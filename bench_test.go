@@ -1,0 +1,141 @@
+// Benchmarks regenerating every table and figure of the paper, plus
+// micro-benchmarks of the underlying machinery. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkTableN / BenchmarkFigureN times one full regeneration of
+// that artifact (quick Monte-Carlo budgets); the reported values are
+// printed by cmd/lanbench and archived in EXPERIMENTS.md.
+package blastlan_test
+
+import (
+	"testing"
+	"time"
+
+	"blastlan"
+	"blastlan/internal/core"
+	"blastlan/internal/experiments"
+	"blastlan/internal/mc"
+	"blastlan/internal/params"
+	"blastlan/internal/simrun"
+	"blastlan/internal/wire"
+)
+
+// benchExperiment times one regeneration of a registered experiment.
+func benchExperiment(b *testing.B, id string) {
+	e, err := experiments.Find(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(experiments.Options{Seed: int64(i), Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Skipped {
+			b.Skip("substrate unavailable")
+		}
+	}
+}
+
+// One benchmark per table and figure in the paper's evaluation.
+func BenchmarkTable1StandaloneProtocols(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2CostBreakdown(b *testing.B)       { benchExperiment(b, "table2") }
+func BenchmarkTable3VKernelMoveTo(b *testing.B)       { benchExperiment(b, "table3") }
+func BenchmarkFigure3Timelines(b *testing.B)          { benchExperiment(b, "figure3") }
+func BenchmarkFigure4ElapsedVsN(b *testing.B)         { benchExperiment(b, "figure4") }
+func BenchmarkFigure5ExpectedTime(b *testing.B)       { benchExperiment(b, "figure5") }
+func BenchmarkFigure6StdDeviation(b *testing.B)       { benchExperiment(b, "figure6") }
+func BenchmarkUtilization(b *testing.B)               { benchExperiment(b, "util") }
+func BenchmarkAblationDMA(b *testing.B)               { benchExperiment(b, "ablation-dma") }
+func BenchmarkAblationBurst(b *testing.B)             { benchExperiment(b, "ablation-burst") }
+func BenchmarkMultiblast(b *testing.B)                { benchExperiment(b, "multiblast") }
+func BenchmarkUDPLoopback(b *testing.B)               { benchExperiment(b, "udp-loopback") }
+
+// Micro-benchmarks of the machinery the experiments rest on.
+
+// BenchmarkSimulatedBlast64KB times one full 64 KB error-free blast through
+// the discrete-event simulator (the paper's core measurement).
+func BenchmarkSimulatedBlast64KB(b *testing.B) {
+	m := params.Standalone3Com()
+	cfg := core.Config{
+		TransferID:     1,
+		Bytes:          64 << 10,
+		Protocol:       core.Blast,
+		Strategy:       core.GoBackN,
+		RetransTimeout: 500 * time.Millisecond,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := simrun.Transfer(cfg, simrun.Options{Cost: m})
+		if err != nil || res.Failed() {
+			b.Fatal(err, res.SendErr)
+		}
+	}
+}
+
+// BenchmarkSimulatedBlastLossy64KB adds 1% loss and go-back-n recovery.
+func BenchmarkSimulatedBlastLossy64KB(b *testing.B) {
+	m := params.VKernel()
+	cfg := core.Config{
+		TransferID:     1,
+		Bytes:          64 << 10,
+		Protocol:       core.Blast,
+		Strategy:       core.GoBackN,
+		RetransTimeout: blastlan.TimeBlast(m, 64),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := simrun.Transfer(cfg, simrun.Options{Cost: m,
+			Loss: params.LossModel{PNet: 0.01}, Seed: int64(i)})
+		if err != nil || res.Failed() {
+			b.Fatal(err, res.SendErr)
+		}
+	}
+}
+
+// BenchmarkMonteCarloTrial times single strategy-level Monte-Carlo trials.
+func BenchmarkMonteCarloTrial(b *testing.B) {
+	m := params.VKernel()
+	p := mc.Params{Cost: m, D: 64, PN: 1e-3, Tr: blastlan.TimeBlast(m, 64),
+		Strategy: core.GoBackN, Trials: 1, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i)
+		if _, err := mc.Blast(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireEncodeDecode times the packet codec round trip.
+func BenchmarkWireEncodeDecode(b *testing.B) {
+	pkt := &wire.Packet{
+		Type: wire.TypeData, Trans: 7, Seq: 41, Total: 64,
+		Payload: make([]byte, 1000),
+	}
+	buf := make([]byte, 0, 1100)
+	b.ReportAllocs()
+	b.SetBytes(int64(wire.HeaderSize + len(pkt.Payload)))
+	for i := 0; i < b.N; i++ {
+		out, err := pkt.Encode(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wire.Decode(out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyticFigure5Point times one closed-form figure point.
+func BenchmarkAnalyticFigure5Point(b *testing.B) {
+	t01 := 5900 * time.Microsecond
+	t0d := 173 * time.Millisecond
+	for i := 0; i < b.N; i++ {
+		_ = blastlan.ExpectedTimeStopAndWait(t01, 10*t01, 64, 1e-4)
+		_ = blastlan.ExpectedTimeBlast(t0d, t0d, 64, 1e-4)
+		_ = blastlan.StdDevFullNoNak(t0d, t0d, 64, 1e-4)
+	}
+}

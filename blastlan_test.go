@@ -1,0 +1,109 @@
+package blastlan_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"blastlan"
+)
+
+// The facade must be sufficient to reproduce the paper's headline result
+// without touching internal packages.
+func TestFacadeHeadline(t *testing.T) {
+	m := blastlan.Standalone3Com()
+	cfg := blastlan.Config{
+		TransferID:     1,
+		Bytes:          64 << 10,
+		Protocol:       blastlan.Blast,
+		Strategy:       blastlan.GoBackN,
+		RetransTimeout: blastlan.DefaultTr(m, 64),
+	}
+	b, err := blastlan.Simulate(cfg, blastlan.SimOptions{Cost: m})
+	if err != nil || b.Failed() {
+		t.Fatal(err, b.SendErr, b.RecvErr)
+	}
+	cfg.Protocol = blastlan.StopAndWait
+	saw, err := blastlan.Simulate(cfg, blastlan.SimOptions{Cost: m})
+	if err != nil || saw.Failed() {
+		t.Fatal(err, saw.SendErr, saw.RecvErr)
+	}
+	ratio := float64(saw.Send.Elapsed) / float64(b.Send.Elapsed)
+	if ratio < 1.6 || ratio > 2.2 {
+		t.Errorf("SAW/B = %.2f, want ≈ 2 (the paper's headline)", ratio)
+	}
+	// Analytic agreement.
+	if got, want := b.Send.Elapsed, blastlan.TimeBlast(m, 64)+2*m.Propagation; got != want {
+		t.Errorf("blast %v, formula %v", got, want)
+	}
+}
+
+func TestFacadeVKernel(t *testing.T) {
+	c, err := blastlan.NewCluster(blastlan.ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := c.A.CreateProcess(8<<10, false)
+	dst := c.B.CreateProcess(8<<10, true)
+	copy(src.Bytes(), bytes.Repeat([]byte("v"), 8<<10))
+	res, err := c.MoveTo(src, 0, dst, 0, 8<<10, blastlan.MoveOptions{
+		Protocol: blastlan.Blast, Strategy: blastlan.GoBackN,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst.Bytes(), src.Bytes()) {
+		t.Error("MoveTo corrupted data")
+	}
+	if res.Elapsed <= 0 {
+		t.Error("no elapsed time")
+	}
+}
+
+func TestFacadeMonteCarlo(t *testing.T) {
+	m := blastlan.VKernel()
+	est, err := blastlan.MonteCarloBlast(blastlan.MCParams{
+		Cost: m, D: 64, PN: 1e-3, Tr: blastlan.TimeBlast(m, 64),
+		Strategy: blastlan.GoBackN, Trials: 2000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Mean <= 0 || est.Mean > 200*time.Millisecond {
+		t.Errorf("mean = %v", est.Mean)
+	}
+	saw, err := blastlan.MonteCarloStopAndWait(blastlan.MCParams{
+		Cost: m, D: 64, PN: 1e-3, Tr: 59 * time.Millisecond, Trials: 2000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saw.Mean <= est.Mean {
+		t.Errorf("SAW %v should exceed blast %v", saw.Mean, est.Mean)
+	}
+}
+
+func TestFacadeChecksumAndPresets(t *testing.T) {
+	if blastlan.TransferChecksum(nil) != 0xffff {
+		t.Error("empty checksum")
+	}
+	for _, m := range []blastlan.CostModel{
+		blastlan.Standalone3Com(), blastlan.VKernel(),
+		blastlan.ExcelanDMA(), blastlan.ModernGigabit(),
+		blastlan.DoubleBuffered(blastlan.Standalone3Com()),
+	} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	for _, l := range []blastlan.LossModel{
+		blastlan.NoLoss(), blastlan.TypicalEthernet(), blastlan.FullSpeedInterfaces(),
+	} {
+		if err := l.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+	if blastlan.Utilization(blastlan.Standalone3Com(), 64) > 0.40 {
+		t.Error("utilization out of range")
+	}
+}

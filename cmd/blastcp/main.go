@@ -1,0 +1,115 @@
+// Command blastcp moves data to or from a blastd daemon using the paper's
+// protocols.
+//
+//	blastcp -to 127.0.0.1:7025 -push file.bin          # MoveTo: push a file
+//	blastcp -to 127.0.0.1:7025 -pull 65536             # MoveFrom: pull n bytes
+//	blastcp -to 127.0.0.1:7025 -push f -proto saw      # compare protocols
+//	blastcp -to 127.0.0.1:7025 -pull 1048576 -window 64 -strategy selective
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"blastlan/internal/core"
+	"blastlan/internal/udplan"
+)
+
+var protocols = map[string]core.Protocol{
+	"saw":   core.StopAndWait,
+	"sw":    core.SlidingWindow,
+	"blast": core.Blast,
+}
+
+var strategies = map[string]core.Strategy{
+	"full-no-nak": core.FullNoNak,
+	"full-nak":    core.FullNak,
+	"go-back-n":   core.GoBackN,
+	"selective":   core.Selective,
+}
+
+func main() {
+	var (
+		to        = flag.String("to", "127.0.0.1:7025", "blastd address")
+		pushFile  = flag.String("push", "", "file to push (MoveTo)")
+		pullBytes = flag.Int("pull", 0, "bytes to pull (MoveFrom)")
+		protoName = flag.String("proto", "blast", "protocol: saw, sw, blast")
+		stratName = flag.String("strategy", "go-back-n", "blast strategy")
+		chunk     = flag.Int("chunk", 1000, "payload bytes per packet")
+		window    = flag.Int("window", 0, "multiblast window in packets")
+		tr        = flag.Duration("tr", 200*time.Millisecond, "retransmission timeout")
+		id        = flag.Uint("id", 1, "transfer id")
+		gap       = flag.Duration("gap", 0, "pace data packets with this inter-packet gap")
+		lossTx    = flag.Float64("drop-tx", 0, "inject outbound loss (testing)")
+		lossRx    = flag.Float64("drop-rx", 0, "inject inbound loss (testing)")
+	)
+	flag.Parse()
+
+	proto, ok := protocols[*protoName]
+	if !ok {
+		log.Fatalf("blastcp: unknown protocol %q", *protoName)
+	}
+	strat, ok := strategies[*stratName]
+	if !ok {
+		log.Fatalf("blastcp: unknown strategy %q", *stratName)
+	}
+	if (*pushFile == "") == (*pullBytes == 0) {
+		log.Fatal("blastcp: exactly one of -push or -pull is required")
+	}
+
+	e, err := udplan.Dial(*to)
+	if err != nil {
+		log.Fatalf("blastcp: %v", err)
+	}
+	defer e.Close()
+	e.PacketGap = *gap
+	if *lossTx > 0 {
+		e.DropTx = udplan.SeededDrop(*lossTx, 1)
+	}
+	if *lossRx > 0 {
+		e.DropRx = udplan.SeededDrop(*lossRx, 2)
+	}
+
+	cfg := core.Config{
+		TransferID:     uint32(*id),
+		ChunkSize:      *chunk,
+		Protocol:       proto,
+		Strategy:       strat,
+		Window:         *window,
+		RetransTimeout: *tr,
+		MaxAttempts:    100,
+		Linger:         2**tr + 100*time.Millisecond,
+		ReceiverIdle:   10 * time.Second,
+	}
+
+	if *pushFile != "" {
+		payload, err := os.ReadFile(*pushFile)
+		if err != nil {
+			log.Fatalf("blastcp: %v", err)
+		}
+		cfg.Bytes = len(payload)
+		cfg.Payload = payload
+		res, err := udplan.Push(e, cfg)
+		if err != nil {
+			log.Fatalf("blastcp: push: %v", err)
+		}
+		fmt.Printf("pushed %d bytes in %v (%.2f MB/s), %d packets (%d retransmitted), checksum %04x\n",
+			len(payload), res.Elapsed.Round(time.Microsecond),
+			float64(len(payload))/res.Elapsed.Seconds()/1e6,
+			res.DataPackets, res.Retransmits, core.TransferChecksum(payload))
+		return
+	}
+
+	cfg.Bytes = *pullBytes
+	res, err := udplan.Pull(e, cfg)
+	if err != nil {
+		log.Fatalf("blastcp: pull: %v", err)
+	}
+	fmt.Printf("pulled %d bytes in %v (%.2f MB/s), %d packets (%d dups), checksum %04x\n",
+		res.Bytes, res.Elapsed.Round(time.Microsecond),
+		float64(res.Bytes)/res.Elapsed.Seconds()/1e6,
+		res.DataPackets, res.Duplicates, res.Checksum)
+}

@@ -1,0 +1,72 @@
+// Command blastd is the transfer daemon: it answers blastcp's push and
+// pull requests over UDP using the paper's protocols.
+//
+//	blastd -listen 127.0.0.1:7025 -out /tmp/received
+//
+// Pushed transfers are written to numbered files under -out (or verified
+// and discarded when -out is empty). Pull requests are served deterministic
+// pseudo-random data of the requested size, so blastcp can verify the
+// transfer checksum end to end.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+
+	"blastlan/internal/core"
+	"blastlan/internal/udplan"
+	"blastlan/internal/wire"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7025", "UDP address to listen on")
+		outDir   = flag.String("out", "", "directory for pushed transfers (empty: verify and discard)")
+		maxBytes = flag.Int("max-bytes", 256<<20, "reject transfers larger than this")
+	)
+	flag.Parse()
+
+	conn, err := net.ListenPacket("udp", *listen)
+	if err != nil {
+		log.Fatalf("blastd: %v", err)
+	}
+	defer conn.Close()
+	log.Printf("blastd: serving on %s", conn.LocalAddr())
+
+	count := 0
+	srv := udplan.NewServer(conn)
+	srv.Data = func(r wire.Req) ([]byte, bool) {
+		if int(r.Bytes) > *maxBytes {
+			log.Printf("blastd: rejecting %d-byte pull (limit %d)", r.Bytes, *maxBytes)
+			return nil, false
+		}
+		payload := make([]byte, r.Bytes)
+		rand.New(rand.NewSource(int64(r.Bytes))).Read(payload)
+		log.Printf("blastd: serving %d-byte pull, checksum %04x",
+			r.Bytes, core.TransferChecksum(payload))
+		return payload, true
+	}
+	srv.Sink = func(r wire.Req, data []byte) {
+		count++
+		sum := core.TransferChecksum(data)
+		if *outDir == "" {
+			log.Printf("blastd: received %d bytes (push #%d), checksum %04x", len(data), count, sum)
+			return
+		}
+		name := filepath.Join(*outDir, fmt.Sprintf("transfer-%04d.bin", count))
+		if err := os.WriteFile(name, data, 0o644); err != nil {
+			log.Printf("blastd: writing %s: %v", name, err)
+			return
+		}
+		log.Printf("blastd: wrote %s (%d bytes, checksum %04x)", name, len(data), sum)
+	}
+
+	if err := srv.Run(); err != nil {
+		log.Fatalf("blastd: %v", err)
+	}
+}

@@ -1,0 +1,69 @@
+// Command lanbench regenerates the tables and figures of Zwaenepoel,
+// "Protocols for Large Data Transfers over Local Networks" (SIGCOMM 1985).
+//
+// Usage:
+//
+//	lanbench                      # run everything
+//	lanbench -experiment table1   # one artifact
+//	lanbench -list                # enumerate artifacts
+//	lanbench -quick               # reduced Monte-Carlo budgets
+//
+// Output is the paper-vs-measured comparison archived in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"blastlan/internal/experiments"
+)
+
+func main() {
+	var (
+		id     = flag.String("experiment", "", "run a single experiment by id (default: all)")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		quick  = flag.Bool("quick", false, "reduce Monte-Carlo budgets ~30x")
+		seed   = flag.Int64("seed", 1, "base seed for stochastic experiments")
+		format = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+	if *format != "text" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	todo := experiments.All()
+	if *id != "" {
+		e, err := experiments.Find(*id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		todo = []*experiments.Experiment{e}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		res, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *format == "csv" {
+			fmt.Printf("# %s — %s\n%s\n", res.ID, res.Title, experiments.RenderCSV(res))
+			continue
+		}
+		fmt.Print(experiments.Render(res))
+		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,143 @@
+// Command lansim runs one simulated transfer and reports both sides,
+// optionally rendering the Figure 3-style activity timeline.
+//
+// Examples:
+//
+//	lansim -bytes 65536 -proto blast -strategy go-back-n
+//	lansim -bytes 3072 -proto saw -timeline
+//	lansim -bytes 65536 -proto blast -loss 0.01 -seed 7
+//	lansim -cost vkernel -bytes 65536 -proto blast -window 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"blastlan/internal/core"
+	"blastlan/internal/params"
+	"blastlan/internal/simrun"
+	"blastlan/internal/trace"
+)
+
+var protocols = map[string]core.Protocol{
+	"saw":    core.StopAndWait,
+	"sw":     core.SlidingWindow,
+	"blast":  core.Blast,
+	"dblast": core.BlastAsync,
+}
+
+var strategies = map[string]core.Strategy{
+	"full-no-nak": core.FullNoNak,
+	"full-nak":    core.FullNak,
+	"go-back-n":   core.GoBackN,
+	"selective":   core.Selective,
+}
+
+func costPreset(name string) (params.CostModel, error) {
+	switch name {
+	case "standalone":
+		return params.Standalone3Com(), nil
+	case "vkernel":
+		return params.VKernel(), nil
+	case "excelan":
+		return params.ExcelanDMA(), nil
+	case "modern":
+		return params.ModernGigabit(), nil
+	case "standalone-dbl":
+		return params.DoubleBuffered(params.Standalone3Com()), nil
+	}
+	return params.CostModel{}, fmt.Errorf("unknown cost preset %q (standalone, vkernel, excelan, modern, standalone-dbl)", name)
+}
+
+func main() {
+	var (
+		bytesN    = flag.Int("bytes", 64<<10, "transfer size in bytes")
+		chunk     = flag.Int("chunk", params.DataPacketSize, "data packet size")
+		protoName = flag.String("proto", "blast", "protocol: saw, sw, blast, dblast")
+		stratName = flag.String("strategy", "go-back-n", "blast strategy: full-no-nak, full-nak, go-back-n, selective")
+		costName  = flag.String("cost", "standalone", "cost preset: standalone, vkernel, excelan, modern, standalone-dbl")
+		loss      = flag.Float64("loss", 0, "wire loss probability pn")
+		ifaceLoss = flag.Float64("iface-loss", 0, "interface drop probability")
+		window    = flag.Int("window", 0, "multiblast window in packets (0 = single blast)")
+		tr        = flag.Duration("tr", 0, "retransmission timeout Tr (0 = 2x error-free blast)")
+		seed      = flag.Int64("seed", 1, "loss-process seed")
+		timeline  = flag.Bool("timeline", false, "render the activity timeline (Figure 3 style)")
+		width     = flag.Int("width", 96, "timeline width in characters")
+	)
+	flag.Parse()
+
+	proto, ok := protocols[*protoName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *protoName)
+		os.Exit(2)
+	}
+	strat, ok := strategies[*stratName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *stratName)
+		os.Exit(2)
+	}
+	cost, err := costPreset(*costName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if proto == core.BlastAsync && cost.TxBuffers < 2 {
+		cost = params.DoubleBuffered(cost)
+	}
+
+	n := (*bytesN + *chunk - 1) / *chunk
+	timeout := *tr
+	if timeout == 0 {
+		timeout = 2 * (time.Duration(n)*(cost.C()+cost.T()) + cost.C() + 2*cost.Ca() + cost.Ta())
+	}
+	cfg := core.Config{
+		TransferID:     1,
+		Bytes:          *bytesN,
+		ChunkSize:      *chunk,
+		Protocol:       proto,
+		Strategy:       strat,
+		Window:         *window,
+		RetransTimeout: timeout,
+	}
+
+	var rec trace.Recorder
+	opt := simrun.Options{
+		Cost: cost,
+		Loss: params.LossModel{PNet: *loss, PIface: *ifaceLoss},
+		Seed: *seed,
+	}
+	if *timeline {
+		opt.Trace = rec.Add
+	}
+	res, err := simrun.Transfer(cfg, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("transfer : %d bytes in %d packets of %d, %s/%s on %s\n",
+		*bytesN, n, *chunk, proto, strat, cost.Name)
+	fmt.Printf("costs    : C=%v Ca=%v T=%v Ta=%v τ=%v Tr=%v\n",
+		cost.C(), cost.Ca(), cost.T(), cost.Ta(), cost.Propagation, timeout)
+	if res.SendErr != nil || res.RecvErr != nil {
+		fmt.Printf("FAILED   : send=%v recv=%v\n", res.SendErr, res.RecvErr)
+		os.Exit(1)
+	}
+	fmt.Printf("elapsed  : %v\n", res.Send.Elapsed)
+	fmt.Printf("sender   : %d data pkts (%d retransmitted), %d rounds, %d timeouts, %d acks, %d naks\n",
+		res.Send.DataPackets, res.Send.Retransmits, res.Send.Rounds,
+		res.Send.Timeouts, res.Send.AcksReceived, res.Send.NaksReceived)
+	fmt.Printf("receiver : %d data pkts (%d dups), %d acks, %d naks sent\n",
+		res.Recv.DataPackets, res.Recv.Duplicates, res.Recv.AcksSent, res.Recv.NaksSent)
+	fmt.Printf("drops    : wire=%d iface=%d overrun=%d\n",
+		res.DstCounters.WireDrops+res.SrcCounters.WireDrops,
+		res.DstCounters.IfaceDrops+res.SrcCounters.IfaceDrops,
+		res.DstCounters.Overruns+res.SrcCounters.Overruns)
+
+	if *timeline {
+		fmt.Println()
+		fmt.Print(rec.Render(*width))
+	}
+}

@@ -1,0 +1,61 @@
+package blastlan_test
+
+import (
+	"fmt"
+	"time"
+
+	"blastlan"
+)
+
+// ExampleSimulate reproduces the paper's headline measurement: a 64 KB
+// blast on the measured SUN/3-Com/Ethernet cost model.
+func ExampleSimulate() {
+	cost := blastlan.Standalone3Com()
+	res, err := blastlan.Simulate(blastlan.Config{
+		Bytes:          64 << 10,
+		Protocol:       blastlan.Blast,
+		Strategy:       blastlan.GoBackN, // §3.2's recommendation
+		RetransTimeout: 500 * time.Millisecond,
+	}, blastlan.SimOptions{Cost: cost})
+	if err != nil || res.Failed() {
+		panic(err)
+	}
+	fmt.Printf("64 KB blast: %v (formula %v + 2τ)\n",
+		res.Send.Elapsed, blastlan.TimeBlast(cost, 64))
+	// Output:
+	// 64 KB blast: 140.59ms (formula 140.57ms + 2τ)
+}
+
+// ExampleTimeStopAndWait shows the §2.1.3 closed forms directly.
+func ExampleTimeStopAndWait() {
+	m := blastlan.Standalone3Com()
+	fmt.Printf("T_SAW(64) = %v\n", blastlan.TimeStopAndWait(m, 64))
+	fmt.Printf("T_B(64)   = %v\n", blastlan.TimeBlast(m, 64))
+	fmt.Printf("u(64)     = %.1f%%\n", 100*blastlan.Utilization(m, 64))
+	// Output:
+	// T_SAW(64) = 250.2656ms
+	// T_B(64)   = 140.57ms
+	// u(64)     = 37.3%
+}
+
+// ExampleMonteCarloBlast estimates the elapsed-time distribution under
+// loss, the paper's §3.2.3 method.
+func ExampleMonteCarloBlast() {
+	m := blastlan.VKernel()
+	est, err := blastlan.MonteCarloBlast(blastlan.MCParams{
+		Cost:     m,
+		D:        64,
+		PN:       1e-4, // the paper's full-speed interface error rate
+		Tr:       blastlan.TimeBlast(m, 64),
+		Strategy: blastlan.GoBackN,
+		Trials:   50000,
+		Seed:     1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("mean within 2%% of error-free: %v\n",
+		float64(est.Mean) < 1.02*float64(blastlan.TimeBlast(m, 64)))
+	// Output:
+	// mean within 2% of error-free: true
+}

@@ -1,0 +1,212 @@
+// Package analytic implements the paper's closed-form performance models:
+// the error-free elapsed-time formulas of §2.1.3, the network-utilization
+// expression, and the expected-time and standard-deviation analysis under
+// independent packet loss of §3.1–3.2.
+//
+// Durations are computed in float64 nanoseconds internally and returned as
+// time.Duration; probabilities are float64. All formulas are cross-validated
+// against the discrete-event simulator (internal/sim) and the strategy-level
+// Monte Carlo (internal/mc) in tests.
+package analytic
+
+import (
+	"math"
+	"time"
+
+	"blastlan/internal/params"
+)
+
+// TimeStopAndWait returns T_SAW = N·(2C + T + 2Ca + Ta): every packet is a
+// full serial exchange; the two processors are never active in parallel
+// (§2.1.3, Figure 3.a).
+func TimeStopAndWait(m params.CostModel, n int) time.Duration {
+	per := 2*m.C() + m.T() + 2*m.Ca() + m.Ta()
+	return time.Duration(n) * per
+}
+
+// TimeBlast returns T_B = N·(C + T) + C + 2Ca + Ta: the copy out of packet
+// k at the receiver overlaps the copy in of packet k+1 at the sender, and a
+// single acknowledgement closes the transfer (§2.1.3, Figure 3.b).
+func TimeBlast(m params.CostModel, n int) time.Duration {
+	return time.Duration(n)*(m.C()+m.T()) + m.C() + 2*m.Ca() + m.Ta()
+}
+
+// TimeSlidingWindow returns T_SW = N·(C + Ca + T) + C + Ta: like blast, but
+// each cycle also copies one acknowledgement in and out of the interfaces
+// (§2.1.3, Figure 3.c).
+func TimeSlidingWindow(m params.CostModel, n int) time.Duration {
+	return time.Duration(n)*(m.C()+m.Ca()+m.T()) + m.C() + m.Ta()
+}
+
+// TimeBlastDouble returns the double-buffered blast time of §2.1.3 /
+// Figure 3.d: copies and transmissions pipeline, so the per-packet cost is
+// max(C, T):
+//
+//	T_dbl = N·C + T + C + 2Ca + Ta   (T ≤ C)
+//	T_dbl = N·T + 2C + 2Ca + Ta      (T > C)
+//
+// A third buffer provides no further improvement because C and T are
+// constant (asserted by tests against the simulator).
+func TimeBlastDouble(m params.CostModel, n int) time.Duration {
+	tail := m.C() + 2*m.Ca() + m.Ta()
+	if m.T() <= m.C() {
+		return time.Duration(n)*m.C() + m.T() + tail
+	}
+	return time.Duration(n)*m.T() + m.C() + tail
+}
+
+// Utilization returns the fraction of the elapsed time the network is
+// actually transmitting during a single-buffered blast transfer:
+//
+//	u_n = (N·T + Ta) / (N·T + Ta + N·C + C + 2Ca)
+//
+// For the paper's 64 KB transfer this is ≈ 38 % (§2.1.3).
+func Utilization(m params.CostModel, n int) float64 {
+	nt := float64(n) * float64(m.T())
+	num := nt + float64(m.Ta())
+	den := num + float64(n)*float64(m.C()) + float64(m.C()) + 2*float64(m.Ca())
+	return num / den
+}
+
+// PFailExchange is the probability p_c that a 1-packet exchange fails:
+// the data packet and its acknowledgement each fail independently with
+// probability p_n, so p_c = 1 - (1-p_n)² (§3.1.1).
+func PFailExchange(pn float64) float64 {
+	return 1 - (1-pn)*(1-pn)
+}
+
+// PFailBlast is the probability p_c that a D-packet blast attempt fails:
+// all D data packets and the acknowledgement must arrive, so
+// p_c = 1 - (1-p_n)^(D+1) (§3.1.2).
+func PFailBlast(pn float64, d int) float64 {
+	return 1 - math.Pow(1-pn, float64(d)+1)
+}
+
+// ExpectedTimeStopAndWait returns the §3.1.1 expected elapsed time of a
+// D-packet stop-and-wait transfer with per-exchange error-free time t01
+// (the paper's T0(1)) and retransmission interval tr:
+//
+//	T(D) = D · [ T0(1) + (T0(1)+Tr) · p_c/(1-p_c) ]
+func ExpectedTimeStopAndWait(t01, tr time.Duration, d int, pn float64) time.Duration {
+	pc := PFailExchange(pn)
+	if pc >= 1 {
+		return time.Duration(math.MaxInt64)
+	}
+	per := float64(t01) + (float64(t01)+float64(tr))*pc/(1-pc)
+	return time.Duration(float64(d) * per)
+}
+
+// ExpectedTimeBlast returns the §3.1.2 expected elapsed time of a D-packet
+// blast with full retransmission on error, error-free time t0d (the paper's
+// T0(D)) and retransmission interval tr:
+//
+//	T(D) = T0(D) + (T0(D)+Tr) · p_c/(1-p_c)
+func ExpectedTimeBlast(t0d, tr time.Duration, d int, pn float64) time.Duration {
+	pc := PFailBlast(pn, d)
+	if pc >= 1 {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(float64(t0d) + (float64(t0d)+float64(tr))*pc/(1-pc))
+}
+
+// StdDevFullNoNak returns the standard deviation of the blast elapsed time
+// under full retransmission without negative acknowledgement (§3.2.1).
+//
+// Derivation: success on attempt i+1 has probability p_c^i(1-p_c); the
+// elapsed time is T0(D) + F·(T0(D)+Tr) where F is the geometric number of
+// failures, so
+//
+//	σ = (T0(D)+Tr) · √p_c / (1-p_c).
+//
+// (The paper's printed formula carries an extra (1+p_c) factor inside the
+// root from its slightly different failed-attempt accounting; the two agree
+// to first order in the p_c ≪ 1 region the paper analyses, and this exact
+// form matches Monte-Carlo simulation — see the cross-validation tests.)
+func StdDevFullNoNak(t0d, tr time.Duration, d int, pn float64) time.Duration {
+	pc := PFailBlast(pn, d)
+	if pc >= 1 {
+		return time.Duration(math.MaxInt64)
+	}
+	sigma := (float64(t0d) + float64(tr)) * math.Sqrt(pc) / (1 - pc)
+	return time.Duration(sigma)
+}
+
+// FullNakModes returns the probabilities of the two failure modes of an
+// attempt under full retransmission *with* a negative acknowledgement
+// (§3.2.2):
+//
+//	pNak    — the last packet arrived, at least one earlier data packet was
+//	          lost, and the NAK made it back: the sender learns of the
+//	          failure after only the response latency.
+//	pSilent — the last packet, the (positive or negative) response was
+//	          lost: the sender must wait out the full Tr.
+//
+// pNak + pSilent = PFailBlast(pn, d).
+func FullNakModes(pn float64, d int) (pNak, pSilent float64) {
+	pc := PFailBlast(pn, d)
+	// last packet arrives: (1-pn); some of the D-1 unreliable packets lost:
+	// 1-(1-pn)^(D-1); NAK survives: (1-pn).
+	pNak = (1 - pn) * (1 - math.Pow(1-pn, float64(d-1))) * (1 - pn)
+	pSilent = pc - pNak
+	if pSilent < 0 {
+		pSilent = 0
+	}
+	return pNak, pSilent
+}
+
+// StdDevFullNak returns the standard deviation of the blast elapsed time
+// under full retransmission with a negative acknowledgement (§3.2.2), from
+// the exact two-mode mixture:
+//
+//	X = T0 + Σ_{k=1..F} Y_k,   F ~ Geom(p_c),
+//	Y = T0 + t_resp  with prob pNak/p_c   (NAK arrived)
+//	Y = T0 + Tr      with prob pSilent/p_c (silence, timeout)
+//
+// so Var X = E[F]·Var Y + Var F · (E Y)². tresp is the response latency
+// (≈ C + 2Ca + Ta + 2τ, small against T0). For p_n ≪ 1/D this reduces to
+// the paper's observation that σ ≈ T0·√p_c/(1-p_c), essentially independent
+// of Tr.
+func StdDevFullNak(t0d, tr, tresp time.Duration, d int, pn float64) time.Duration {
+	pc := PFailBlast(pn, d)
+	if pc >= 1 {
+		return time.Duration(math.MaxInt64)
+	}
+	if pc == 0 {
+		return 0
+	}
+	pNak, pSilent := FullNakModes(pn, d)
+	wNak, wSilent := pNak/pc, pSilent/pc
+	yNak := float64(t0d) + float64(tresp)
+	ySilent := float64(t0d) + float64(tr)
+	meanY := wNak*yNak + wSilent*ySilent
+	varY := wNak*(yNak-meanY)*(yNak-meanY) + wSilent*(ySilent-meanY)*(ySilent-meanY)
+	meanF := pc / (1 - pc)
+	varF := pc / ((1 - pc) * (1 - pc))
+	varX := meanF*varY + varF*meanY*meanY
+	return time.Duration(math.Sqrt(varX))
+}
+
+// ExpectedTimeFullNak returns the mean of the same §3.2.2 mixture model.
+func ExpectedTimeFullNak(t0d, tr, tresp time.Duration, d int, pn float64) time.Duration {
+	pc := PFailBlast(pn, d)
+	if pc >= 1 {
+		return time.Duration(math.MaxInt64)
+	}
+	if pc == 0 {
+		return t0d
+	}
+	pNak, pSilent := FullNakModes(pn, d)
+	wNak, wSilent := pNak/pc, pSilent/pc
+	meanY := wNak*(float64(t0d)+float64(tresp)) + wSilent*(float64(t0d)+float64(tr))
+	meanF := pc / (1 - pc)
+	return time.Duration(float64(t0d) + meanF*meanY)
+}
+
+// ResponseLatency is the interval from the moment the last packet of a
+// blast leaves the sender's interface to the moment the sender has copied
+// the receiver's response out of its own interface: the receiver's copy-out
+// of the last data packet, the response's copy-in, its wire time, and the
+// sender's copy-out, plus two propagation delays.
+func ResponseLatency(m params.CostModel) time.Duration {
+	return m.C() + 2*m.Ca() + m.Ta() + 2*m.Propagation
+}

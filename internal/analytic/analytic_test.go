@@ -1,0 +1,274 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"blastlan/internal/params"
+	"blastlan/internal/stats"
+)
+
+func TestErrorFreeFormulasMatchPaperNumbers(t *testing.T) {
+	m := params.Standalone3Com()
+	// §2.1: the worked example quotes ≈3.91 ms per stop-and-wait exchange.
+	if per := TimeStopAndWait(m, 1); per < 3900*time.Microsecond || per > 3930*time.Microsecond {
+		t.Errorf("T_SAW(1) = %v, want ≈ 3.91 ms", per)
+	}
+	// 64 KB: SAW ≈ 250 ms, B ≈ 140.6 ms, SW ≈ 151 ms.
+	if d := TimeStopAndWait(m, 64); d < 249*time.Millisecond || d > 252*time.Millisecond {
+		t.Errorf("T_SAW(64) = %v", d)
+	}
+	if d := TimeBlast(m, 64); d < 140*time.Millisecond || d > 141*time.Millisecond {
+		t.Errorf("T_B(64) = %v", d)
+	}
+	if d := TimeSlidingWindow(m, 64); d < 150*time.Millisecond || d > 152*time.Millisecond {
+		t.Errorf("T_SW(64) = %v", d)
+	}
+	// The ordering claim of the whole paper.
+	if !(TimeBlast(m, 64) < TimeSlidingWindow(m, 64) &&
+		TimeSlidingWindow(m, 64) < TimeStopAndWait(m, 64)) {
+		t.Error("protocol ordering violated")
+	}
+}
+
+func TestVKernelAnchors(t *testing.T) {
+	m := params.VKernel()
+	// Table 3 / Figure 5 anchors: T0(1) = 5.9 ms, T0(64) = 173 ms.
+	if d := TimeStopAndWait(m, 1); d < 5850*time.Microsecond || d > 5950*time.Microsecond {
+		t.Errorf("kernel T0(1) = %v, want ≈ 5.9 ms", d)
+	}
+	if d := TimeBlast(m, 64); d < 172*time.Millisecond || d > 174*time.Millisecond {
+		t.Errorf("kernel T0(64) = %v, want ≈ 173 ms", d)
+	}
+}
+
+func TestDoubleBufferedFormula(t *testing.T) {
+	m := params.Standalone3Com() // T < C: copy-bound
+	n := 64
+	want := time.Duration(n)*m.C() + m.T() + m.C() + 2*m.Ca() + m.Ta()
+	if got := TimeBlastDouble(m, n); got != want {
+		t.Errorf("T_dbl = %v, want %v", got, want)
+	}
+	// Double buffering must beat single buffering.
+	if TimeBlastDouble(m, n) >= TimeBlast(m, n) {
+		t.Error("double buffering did not help")
+	}
+	// Transmission-bound case.
+	fast := params.NewCostModel("fast", 400*time.Microsecond, 40*time.Microsecond, 10_000_000, 0)
+	if fast.T() <= fast.C() {
+		t.Fatal("premise")
+	}
+	wantFast := time.Duration(n)*fast.T() + 2*fast.C() + 2*fast.Ca() + fast.Ta()
+	if got := TimeBlastDouble(fast, n); got != wantFast {
+		t.Errorf("T_dbl(T>C) = %v, want %v", got, wantFast)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	m := params.Standalone3Com()
+	// §2.1.3: "for the 64 kilobyte transfer ... network utilization is only
+	// 38 percent".
+	u := Utilization(m, 64)
+	if u < 0.36 || u > 0.40 {
+		t.Errorf("u_n(64) = %.3f, want ≈ 0.38", u)
+	}
+	// Utilization is monotone in n and bounded by T/(T+C).
+	prev := 0.0
+	for n := 1; n <= 1024; n *= 2 {
+		u := Utilization(m, n)
+		if u <= prev {
+			t.Fatalf("utilization not increasing at n=%d", n)
+		}
+		prev = u
+	}
+	limit := float64(m.T()) / float64(m.T()+m.C())
+	if prev >= limit {
+		t.Errorf("utilization %.4f exceeded asymptote %.4f", prev, limit)
+	}
+}
+
+func TestFailureProbabilities(t *testing.T) {
+	if got := PFailExchange(0); got != 0 {
+		t.Errorf("PFailExchange(0) = %g", got)
+	}
+	if got := PFailExchange(1); got != 1 {
+		t.Errorf("PFailExchange(1) = %g", got)
+	}
+	if got := PFailExchange(0.1); math.Abs(got-0.19) > 1e-12 {
+		t.Errorf("PFailExchange(0.1) = %g, want 0.19", got)
+	}
+	if got := PFailBlast(0.01, 64); math.Abs(got-(1-math.Pow(0.99, 65))) > 1e-12 {
+		t.Errorf("PFailBlast = %g", got)
+	}
+	// A blast is more fragile than a single exchange for the same pn.
+	f := func(u uint16) bool {
+		pn := float64(u) / (4 * 65536) // [0, 0.25)
+		return PFailBlast(pn, 64) >= PFailExchange(pn)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpectedTimesFlatRegion(t *testing.T) {
+	// Figure 5's central claim: for pn in the typical local-network range
+	// (1e-5..1e-4) the expected times are almost identical to the
+	// error-free times, and blast ≪ stop-and-wait.
+	t01 := 5900 * time.Microsecond // T0(1), Table 3
+	t0d := 173 * time.Millisecond  // T0(64), Table 3
+	d := 64
+	for _, pn := range []float64{1e-5, 1e-4} {
+		saw := ExpectedTimeStopAndWait(t01, 10*t01, d, pn)
+		blast := ExpectedTimeBlast(t0d, t0d, d, pn)
+		// "Almost identical to the error-free transmission time": within 2 %
+		// (at pn=1e-4 the blast is 1.3 % above error-free — the very start
+		// of Figure 5's knee, exactly as the paper describes).
+		if stats.RelErr(float64(saw), float64(64)*float64(t01)) > 0.02 {
+			t.Errorf("pn=%g: SAW expected %v far from error-free %v", pn, saw, 64*t01)
+		}
+		if stats.RelErr(float64(blast), float64(t0d)) > 0.02 {
+			t.Errorf("pn=%g: blast expected %v far from error-free %v", pn, blast, t0d)
+		}
+		if float64(blast) > 0.5*float64(saw) {
+			t.Errorf("pn=%g: blast %v not ≪ SAW %v", pn, blast, saw)
+		}
+	}
+}
+
+func TestExpectedTimesKnee(t *testing.T) {
+	t0d := 173 * time.Millisecond
+	d := 64
+	// Expected time is increasing in pn and blows up as pc → 1.
+	prev := time.Duration(0)
+	for _, pn := range []float64{0, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1} {
+		e := ExpectedTimeBlast(t0d, t0d, d, pn)
+		if e < prev {
+			t.Fatalf("expected time not monotone at pn=%g", pn)
+		}
+		prev = e
+	}
+	// At pn = 1e-2 the knee is well underway: ≥ 1.5× error-free.
+	if e := ExpectedTimeBlast(t0d, t0d, d, 1e-2); float64(e) < 1.5*float64(t0d) {
+		t.Errorf("knee too shallow: %v", e)
+	}
+	// Degenerate pn=1: infinite expectation, reported as MaxInt64.
+	if e := ExpectedTimeBlast(t0d, t0d, d, 1); e != time.Duration(math.MaxInt64) {
+		t.Errorf("pn=1 should saturate, got %v", e)
+	}
+	if e := ExpectedTimeStopAndWait(t0d, t0d, d, 1); e != time.Duration(math.MaxInt64) {
+		t.Errorf("SAW pn=1 should saturate, got %v", e)
+	}
+}
+
+func TestLargerTimeoutCostsMore(t *testing.T) {
+	t01 := 5900 * time.Microsecond
+	d := 64
+	pn := 1e-3
+	small := ExpectedTimeStopAndWait(t01, 10*t01, d, pn)
+	large := ExpectedTimeStopAndWait(t01, 100*t01, d, pn)
+	if large <= small {
+		t.Errorf("Tr=100·T0 (%v) should cost more than Tr=10·T0 (%v)", large, small)
+	}
+}
+
+func TestStdDevFullNoNak(t *testing.T) {
+	t0d := 173 * time.Millisecond
+	d := 64
+	if got := StdDevFullNoNak(t0d, t0d, d, 0); got != 0 {
+		t.Errorf("σ at pn=0 should be 0, got %v", got)
+	}
+	if got := StdDevFullNoNak(t0d, t0d, d, 1); got != time.Duration(math.MaxInt64) {
+		t.Errorf("σ at pn=1 should saturate, got %v", got)
+	}
+	// σ grows with Tr — the §3.2.1 conclusion that makes R1 unacceptable.
+	s1 := StdDevFullNoNak(t0d, t0d, d, 1e-4)
+	s10 := StdDevFullNoNak(t0d, 10*t0d, d, 1e-4)
+	if s10 <= s1 {
+		t.Errorf("σ(Tr=10·T0)=%v should exceed σ(Tr=T0)=%v", s10, s1)
+	}
+	// Hand check: pc = 1-(1-1e-4)^65 ≈ 6.48e-3;
+	// σ = 2·T0·√pc/(1-pc) ≈ 2·173ms·0.0805 ≈ 28 ms.
+	if s1 < 25*time.Millisecond || s1 > 31*time.Millisecond {
+		t.Errorf("σ = %v, hand calculation says ≈ 28 ms", s1)
+	}
+}
+
+func TestStdDevFullNakNearlyTimeoutFree(t *testing.T) {
+	m := params.VKernel()
+	t0d := TimeBlast(m, 64)
+	tresp := ResponseLatency(m)
+	d := 64
+	pn := 1e-3
+	// §3.2.2: with a NAK, σ is "all but independent from the retransmission
+	// interval". The paper's approximation drops the lost-response mode
+	// entirely; the exact mixture keeps a weak (√) residual dependence — a
+	// 10× increase in Tr raises σ by ≈2×, versus 5.5× without the NAK.
+	sSmall := StdDevFullNak(t0d, t0d, tresp, d, pn)
+	sLarge := StdDevFullNak(t0d, 10*t0d, tresp, d, pn)
+	ratio := float64(sLarge) / float64(sSmall)
+	if ratio > 2.5 {
+		t.Errorf("σ ratio across 10× Tr = %.2f; NAK should largely decouple σ from Tr", ratio)
+	}
+	noNakRatio := float64(StdDevFullNoNak(t0d, 10*t0d, d, pn)) / float64(StdDevFullNoNak(t0d, t0d, d, pn))
+	if ratio >= noNakRatio {
+		t.Errorf("NAK ratio %.2f should be far below no-NAK ratio %.2f", ratio, noNakRatio)
+	}
+	// And the NAK strategy must beat no-NAK dramatically at realistic Tr.
+	noNak := StdDevFullNoNak(t0d, 10*t0d, d, pn)
+	if float64(sLarge) > 0.5*float64(noNak) {
+		t.Errorf("NAK σ=%v vs no-NAK σ=%v: expected drastic reduction", sLarge, noNak)
+	}
+	// Edge cases.
+	if got := StdDevFullNak(t0d, t0d, tresp, d, 0); got != 0 {
+		t.Errorf("σ at pn=0 = %v", got)
+	}
+	if got := StdDevFullNak(t0d, t0d, tresp, d, 1); got != time.Duration(math.MaxInt64) {
+		t.Errorf("σ at pn=1 = %v", got)
+	}
+}
+
+func TestFullNakModes(t *testing.T) {
+	d := 64
+	for _, pn := range []float64{1e-5, 1e-4, 1e-3, 1e-2} {
+		pNak, pSilent := FullNakModes(pn, d)
+		if pNak < 0 || pSilent < 0 {
+			t.Fatalf("negative mode probability at pn=%g", pn)
+		}
+		if got, want := pNak+pSilent, PFailBlast(pn, d); math.Abs(got-want) > 1e-12 {
+			t.Errorf("pn=%g: modes sum to %g, want %g", pn, got, want)
+		}
+		// For small pn most failures are NAK-reported (D-1 of D+1 packets
+		// are unreliable data).
+		if pn <= 1e-3 && pNak < pSilent {
+			t.Errorf("pn=%g: pNak=%g < pSilent=%g", pn, pNak, pSilent)
+		}
+	}
+}
+
+func TestExpectedTimeFullNakBeatsTimeoutOnly(t *testing.T) {
+	m := params.VKernel()
+	t0d := TimeBlast(m, 64)
+	tresp := ResponseLatency(m)
+	pn := 1e-2
+	withNak := ExpectedTimeFullNak(t0d, 10*t0d, tresp, 64, pn)
+	noNak := ExpectedTimeBlast(t0d, 10*t0d, 64, pn)
+	if withNak >= noNak {
+		t.Errorf("NAK expected time %v should beat timeout-only %v", withNak, noNak)
+	}
+	if got := ExpectedTimeFullNak(t0d, t0d, tresp, 64, 0); got != t0d {
+		t.Errorf("pn=0 expected time = %v, want %v", got, t0d)
+	}
+	if got := ExpectedTimeFullNak(t0d, t0d, tresp, 64, 1); got != time.Duration(math.MaxInt64) {
+		t.Errorf("pn=1 expected time = %v", got)
+	}
+}
+
+func TestResponseLatency(t *testing.T) {
+	m := params.Standalone3Com()
+	want := m.C() + 2*m.Ca() + m.Ta() + 2*m.Propagation
+	if got := ResponseLatency(m); got != want {
+		t.Errorf("ResponseLatency = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"blastlan/internal/wire"
+)
+
+// sendBlast implements the paper's blast sender: all data packets are
+// transmitted in sequence with a single acknowledgement for the entire
+// sequence (Figure 1, Figure 3.b), under one of the four retransmission
+// strategies of §3.2. When Config.Window is set, the transfer is broken
+// into multiple blasts (§3.1.3), each completed before the next begins.
+//
+// async selects Figure 3.d semantics: unreliable packets are handed to the
+// interface with SendAsync so that a double-buffered interface overlaps the
+// copy of packet k+1 with the transmission of packet k.
+func sendBlast(env Env, c Config, async bool) (SendResult, error) {
+	var res SendResult
+	start := env.Now()
+	n := c.NumPackets()
+	w := c.Window
+	if w <= 0 || w > n {
+		w = n
+	}
+	est := newRTO(c)
+	for base := 0; base < n; base += w {
+		end := base + w
+		if end > n {
+			end = n
+		}
+		if err := sendBlastWindow(env, c, &res, &est, base, end, n, async); err != nil {
+			res.Elapsed = env.Now() - start
+			return res, err
+		}
+	}
+	res.Elapsed = env.Now() - start
+	return res, nil
+}
+
+// sendBlastWindow drives one blast of packets [base, end) to completion.
+func sendBlastWindow(env Env, c Config, res *SendResult, est *rto, base, end, total int, async bool) error {
+	pending := make([]int, 0, end-base)
+	for seq := base; seq < end; seq++ {
+		pending = append(pending, seq)
+	}
+	attempts := 0
+	round := 0
+	for attempts < c.MaxAttempts {
+		res.Rounds++
+		// Blast the pending set: everything before the final packet is sent
+		// without acknowledgement; the final packet carries FlagLast to
+		// elicit the receiver's (positive or negative) response.
+		for _, seq := range pending[:len(pending)-1] {
+			if err := sendData(env, c, res, seq, total, round, false, async); err != nil {
+				return err
+			}
+		}
+		last := pending[len(pending)-1]
+
+		// The final packet is "sent reliably" (§3.2.3): retransmitted until
+		// a response arrives. For the full-retransmission strategies a
+		// silent Tr instead retransmits the whole sequence (§3.2.1–3.2.2),
+		// so their inner loop runs exactly once per round.
+		lastTries := 0
+		for attempts < c.MaxAttempts {
+			attempts++
+			// The FlagLast packet is always sent synchronously so that Tr
+			// starts when it has actually left the interface. Its attempt
+			// number advances per retry so retries count as retransmissions.
+			if err := sendData(env, c, res, last, total, round+lastTries, true, false); err != nil {
+				return err
+			}
+			lastTries++
+			sent := env.Now()
+			nak, done := awaitBlastResponse(env, c, res, end, est.timeout())
+			if (done || nak != nil) && lastTries == 1 {
+				// Karn's rule: the response unambiguously answers this
+				// round's single transmission of the reliable last.
+				est.sample(env.Now() - sent)
+			}
+			if done {
+				return nil
+			}
+			if nak != nil {
+				// A NAK: reshape the pending set per the strategy.
+				pending = pending[:0]
+				switch c.Strategy {
+				case FullNak:
+					for seq := base; seq < end; seq++ {
+						pending = append(pending, seq)
+					}
+				case GoBackN:
+					from := int(nak.Seq)
+					if from < base {
+						from = base
+					}
+					if from >= end {
+						from = end - 1 // defensive: stale NAK beyond window
+					}
+					for seq := from; seq < end; seq++ {
+						pending = append(pending, seq)
+					}
+				case Selective:
+					for _, seq := range filterWindow(nakMissing(nak), base, end) {
+						pending = append(pending, seq)
+					}
+					if len(pending) == 0 {
+						pending = append(pending, end-1)
+					}
+				default: // FullNoNak receivers never NAK; treat as timeout
+					for seq := base; seq < end; seq++ {
+						pending = append(pending, seq)
+					}
+				}
+				round++
+				break
+			}
+			// Timeout.
+			switch c.Strategy {
+			case FullNoNak, FullNak:
+				// Retransmit the whole sequence.
+				pending = pending[:0]
+				for seq := base; seq < end; seq++ {
+					pending = append(pending, seq)
+				}
+				round++
+			case GoBackN, Selective:
+				// Retransmit only the reliable last packet.
+				continue
+			}
+			break
+		}
+	}
+	return fmt.Errorf("blast window [%d,%d): %w", base, end, ErrGiveUp)
+}
+
+// sendData transmits one data packet, choosing sync or async semantics.
+func sendData(env Env, c Config, res *SendResult, seq, total, attempt int, last, async bool) error {
+	pkt := c.dataPacket(seq, total, attempt, last || seq == total-1)
+	if last {
+		pkt.Flags |= wire.FlagLast
+	}
+	var err error
+	if async {
+		err = env.SendAsync(pkt)
+	} else {
+		err = env.Send(pkt)
+	}
+	if err != nil {
+		return err
+	}
+	res.DataPackets++
+	if attempt > 0 {
+		res.Retransmits++
+	}
+	return nil
+}
+
+// awaitBlastResponse waits up to timeout for the receiver's verdict on the
+// window ending at end. It returns (nil, true) when a cumulative ack
+// covering the window arrived, (nak, false) when a NAK arrived, and
+// (nil, false) on timeout.
+func awaitBlastResponse(env Env, c Config, res *SendResult, end int, timeout time.Duration) (nak *wire.Packet, done bool) {
+	remaining := timeout
+	for remaining > 0 {
+		t0 := env.Now()
+		resp, err := env.Recv(remaining)
+		if err != nil {
+			res.Timeouts++
+			return nil, false
+		}
+		remaining -= env.Now() - t0
+		if resp.Trans != c.TransferID {
+			continue
+		}
+		switch resp.Type {
+		case wire.TypeAck:
+			res.AcksReceived++
+			if int(resp.Seq) >= end {
+				return nil, true
+			}
+			// Stale ack from an earlier window: keep waiting.
+		case wire.TypeNak:
+			res.NaksReceived++
+			if int(resp.Seq) >= end {
+				continue // nonsensical; ignore
+			}
+			return resp, false
+		}
+	}
+	res.Timeouts++
+	return nil, false
+}
+
+// nakMissing extracts the selective missing set from a NAK, decoding the
+// bitmap payload for real packets or using the in-memory list for simulated
+// ones.
+func nakMissing(nak *wire.Packet) []uint32 {
+	if nak.SimMissing != nil {
+		return nak.SimMissing
+	}
+	if len(nak.Payload) > 0 {
+		if missing, err := wire.DecodeMissing(nak.Payload); err == nil {
+			return missing
+		}
+	}
+	// Degenerate NAK: fall back to go-back-n from its first-missing field.
+	return []uint32{nak.Seq}
+}
+
+// filterWindow filters a missing list to the window [base, end), as ints.
+func filterWindow(missing []uint32, base, end int) []int {
+	out := make([]int, 0, len(missing))
+	for _, m := range missing {
+		if s := int(m); s >= base && s < end {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// recvBlast implements the blast receiver for all four strategies: data
+// packets are accepted in any order into the pre-allocated transfer buffer
+// (the MoveTo contract guarantees it exists); a FlagLast arrival triggers
+// the strategy's response (§3.2).
+func recvBlast(env Env, c Config) (RecvResult, error) {
+	var res RecvResult
+	n := c.NumPackets()
+	got := make([]bool, n)
+	count := 0
+	firstMissing := 0
+	high := 0 // high-water mark of FlagLast sequence numbers + 1
+	start := env.Now()
+	idle := c.receiverIdle()
+
+	// respond builds the strategy's reply to a FlagLast packet; any other
+	// data packet (including duplicates arriving during linger) gets no
+	// reply — the paper's receiver speaks only when "it receives the last
+	// packet" (§3.2.2). The window being judged ends at the highest
+	// FlagLast sequence seen so far: in every window's first round the true
+	// final packet carries FlagLast, and later rounds may flag an earlier
+	// packet (the reliable last of a partial or selective retransmission,
+	// §3.2.3) without shrinking the window under judgement.
+	respond := func(pkt *wire.Packet) *wire.Packet {
+		if !pkt.IsLast() {
+			return nil
+		}
+		if e := int(pkt.Seq) + 1; e > high {
+			high = e
+		}
+		windowEnd := high
+		for firstMissing < n && got[firstMissing] {
+			firstMissing++
+		}
+		if firstMissing >= windowEnd {
+			return c.ackPacket(windowEnd, n)
+		}
+		if c.Strategy == FullNoNak {
+			return nil // §3.2.1: no negative acknowledgements
+		}
+		var missing []uint32
+		if c.Strategy == Selective {
+			for seq := firstMissing; seq < windowEnd; seq++ {
+				if !got[seq] {
+					missing = append(missing, uint32(seq))
+				}
+			}
+		}
+		nak, err := c.nakPacket(firstMissing, n, missing)
+		if err != nil {
+			// Bitmap too wide for one NAK: degrade to go-back-n.
+			nak, _ = c.nakPacket(firstMissing, n, nil)
+		}
+		return nak
+	}
+
+	for count < n {
+		pkt, err := env.Recv(idle)
+		if err != nil {
+			res.Elapsed = env.Now() - start
+			return res, fmt.Errorf("blast receiver idle with %d/%d packets: %w", count, n, err)
+		}
+		if pkt.Trans != c.TransferID {
+			continue
+		}
+		if pkt.Type == wire.TypeReq {
+			// Retransmitted push announcement: our go-ahead was lost.
+			if err := env.Send(goAhead(c)); err != nil {
+				return res, err
+			}
+			continue
+		}
+		if pkt.Type != wire.TypeData {
+			continue
+		}
+		res.DataPackets++
+		seq := int(pkt.Seq)
+		if seq >= 0 && seq < n && !got[seq] {
+			got[seq] = true
+			count++
+			deliverChunk(&res, c, pkt)
+		} else {
+			res.Duplicates++
+		}
+		if pkt.IsLast() {
+			if reply := respond(pkt); reply != nil {
+				if err := env.Send(reply); err != nil {
+					return res, err
+				}
+				if reply.Type == wire.TypeAck {
+					res.AcksSent++
+				} else {
+					res.NaksSent++
+				}
+			}
+		}
+	}
+	res.Completed = true
+	res.Elapsed = env.Now() - start
+	finishData(&res)
+	lingerReAck(env, c, &res, respond)
+	return res, nil
+}

@@ -1,0 +1,62 @@
+// Package core implements the paper's three protocol classes — stop-and-wait,
+// sliding window and blast — plus the four blast retransmission strategies of
+// §3.2 and the multiblast scheme of §3.1.3.
+//
+// Protocol engines are plain serial programs (the paper implements them as
+// busy-wait standalone programs and interrupt-level kernel code; neither has
+// process scheduling) written against the Env interface. The same code runs
+// on two substrates:
+//
+//   - internal/sim provides a virtual-time Env that charges the paper's copy
+//     and wire costs, so simulated elapsed times reproduce §2.1.3's closed
+//     forms exactly;
+//   - internal/udplan provides a wall-clock Env over real UDP sockets.
+package core
+
+import (
+	"errors"
+	"os"
+	"time"
+
+	"blastlan/internal/wire"
+)
+
+// Env is the substrate a protocol engine runs on. Implementations must be
+// used from a single goroutine (the paper's protocols are strictly serial).
+type Env interface {
+	// Now returns the current time (virtual or wall-clock) since an
+	// arbitrary epoch.
+	Now() time.Duration
+
+	// Compute accounts for d of protocol-internal CPU work. Simulated
+	// environments advance the virtual clock; real environments may treat
+	// it as a no-op because real work takes real time.
+	Compute(d time.Duration)
+
+	// Send transmits a packet to the peer and returns when the transmission
+	// has left the interface (the paper's single-buffered busy-wait
+	// semantics).
+	Send(p *wire.Packet) error
+
+	// SendAsync hands a packet to the interface and returns once it has
+	// been copied in, allowing copy/transmit overlap on double-buffered
+	// interfaces (§2.1.3). On substrates without that distinction it is
+	// equivalent to Send.
+	SendAsync(p *wire.Packet) error
+
+	// Recv returns the next packet from the peer. timeout < 0 waits
+	// forever. On expiry it returns an error satisfying
+	// errors.Is(err, os.ErrDeadlineExceeded).
+	Recv(timeout time.Duration) (*wire.Packet, error)
+}
+
+// IsTimeout reports whether err is a receive-deadline expiry.
+func IsTimeout(err error) bool { return errors.Is(err, os.ErrDeadlineExceeded) }
+
+// ErrGiveUp is returned by senders that exhaust Config.MaxAttempts without
+// completing the transfer (the paper's protocols never give up; the bound
+// exists so that simulations and real transfers terminate).
+var ErrGiveUp = errors.New("core: transfer abandoned after maximum attempts")
+
+// ErrBadConfig reports an invalid configuration.
+var ErrBadConfig = errors.New("core: invalid config")

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"blastlan/internal/params"
+	"blastlan/internal/wire"
+)
+
+// This file implements the request handshake that precedes a pulled
+// transfer: the paper's MoveFrom, where the destination machine asks the
+// data's owner to blast it over (§2). The REQ packet carries every
+// parameter both sides must agree on — it is the stand-in for the V IPC
+// message exchange that guarantees "the recipient has sufficient buffers
+// allocated to receive the data prior to the transfer".
+
+// ReqOf encodes a transfer configuration as a request payload.
+func ReqOf(c Config, push bool) wire.Req {
+	chunk := c.ChunkSize
+	if chunk == 0 {
+		chunk = params.DataPacketSize
+	}
+	return wire.Req{
+		Bytes:    uint64(c.Bytes),
+		Chunk:    uint32(chunk),
+		Strategy: uint8(c.Strategy),
+		Protocol: uint8(c.Protocol),
+		Push:     push,
+		Window:   uint32(c.Window),
+		TrMicros: uint64(c.RetransTimeout / time.Microsecond),
+	}
+}
+
+// ConfigOf reconstructs a transfer configuration from a request. The
+// returned config has no payload; the serving side attaches its data.
+func ConfigOf(transferID uint32, r wire.Req) Config {
+	return Config{
+		TransferID:     transferID,
+		Bytes:          int(r.Bytes),
+		ChunkSize:      int(r.Chunk),
+		Protocol:       Protocol(r.Protocol),
+		Strategy:       Strategy(r.Strategy),
+		Window:         int(r.Window),
+		RetransTimeout: time.Duration(r.TrMicros) * time.Microsecond,
+	}
+}
+
+// reqPacket builds the REQ packet for cfg. Like all control packets it
+// occupies AckSize bytes on a simulated wire.
+func reqPacket(c Config, push bool) *wire.Packet {
+	size := c.AckSize
+	if size == 0 {
+		size = params.AckPacketSize
+	}
+	return &wire.Packet{
+		Type:        wire.TypeReq,
+		Trans:       c.TransferID,
+		Payload:     wire.EncodeReq(ReqOf(c, push)),
+		VirtualSize: size,
+	}
+}
+
+// Request asks the peer to blast the configured transfer to us and receives
+// it. The REQ is retransmitted on silence (it, too, can be lost) up to
+// Config.MaxAttempts times.
+func Request(env Env, cfg Config) (RecvResult, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return RecvResult{}, err
+	}
+	// Bound each receive attempt so a lost REQ retries promptly: the first
+	// data packet should arrive within a round trip once the REQ lands.
+	attemptIdle := 4 * c.RetransTimeout
+	for attempt := 0; attempt < c.MaxAttempts; attempt++ {
+		req := reqPacket(c, false)
+		if err := env.Send(req); err != nil {
+			return RecvResult{}, err
+		}
+		probe := c
+		probe.ReceiverIdle = attemptIdle
+		res, err := RunReceiver(env, probe)
+		if err == nil {
+			return res, nil
+		}
+		if !IsTimeout(err) {
+			return res, err
+		}
+	}
+	return RecvResult{}, fmt.Errorf("request for transfer %d: %w", cfg.TransferID, ErrGiveUp)
+}
+
+// goAhead builds the handshake acknowledgement for a push request: a
+// cumulative ack with Seq 0, which data senders ignore as stale, so it can
+// never be confused with transfer progress.
+func goAhead(c Config) *wire.Packet { return c.ackPacket(0, c.NumPackets()) }
+
+// isGoAhead recognises the handshake acknowledgement.
+func isGoAhead(p *wire.Packet, trans uint32) bool {
+	return p.Type == wire.TypeAck && p.Trans == trans && p.Seq == 0
+}
+
+// Push announces a sender-initiated transfer (the paper's MoveTo over a
+// shared medium where the peer must first set up the pre-allocated buffer),
+// waits for the receiver's go-ahead, and then runs the sender. The REQ is
+// retransmitted on silence.
+func Push(env Env, cfg Config) (SendResult, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return SendResult{}, err
+	}
+	for attempt := 0; attempt < c.MaxAttempts; attempt++ {
+		if err := env.Send(reqPacket(c, true)); err != nil {
+			return SendResult{}, err
+		}
+		remaining := c.RetransTimeout
+		for remaining > 0 {
+			t0 := env.Now()
+			resp, err := env.Recv(remaining)
+			if err != nil {
+				if IsTimeout(err) {
+					break // re-announce
+				}
+				return SendResult{}, err
+			}
+			remaining -= env.Now() - t0
+			if isGoAhead(resp, c.TransferID) {
+				return RunSender(env, c)
+			}
+		}
+	}
+	return SendResult{}, fmt.Errorf("push announce for transfer %d: %w", cfg.TransferID, ErrGiveUp)
+}
+
+// AcceptPush answers an accepted push request with the go-ahead and runs
+// the receiver. Receivers re-issue the go-ahead if the announcement is
+// retransmitted (the go-ahead itself can be lost).
+func AcceptPush(env Env, cfg Config) (RecvResult, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return RecvResult{}, err
+	}
+	if err := env.Send(goAhead(c)); err != nil {
+		return RecvResult{}, err
+	}
+	return RunReceiver(env, c)
+}
+
+// ServeOnce waits up to idle (negative = forever) for a REQ packet, asks
+// accept for the matching transfer configuration, and returns it so the
+// caller can run the sender side. accept returning false rejects the
+// request and keeps waiting; malformed requests are ignored.
+func ServeOnce(env Env, idle time.Duration, accept func(wire.Req) (Config, bool)) (Config, error) {
+	for {
+		pkt, err := env.Recv(idle)
+		if err != nil {
+			return Config{}, err
+		}
+		if pkt.Type != wire.TypeReq {
+			continue
+		}
+		req, err := wire.DecodeReq(pkt.Payload)
+		if err != nil {
+			continue // malformed request: ignore, keep serving
+		}
+		if cfg, ok := accept(req); ok {
+			cfg.TransferID = pkt.Trans
+			return cfg, nil
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"blastlan/internal/wire"
+)
+
+// sendStopAndWait implements the paper's stop-and-wait sender: the source
+// refrains from sending a packet until it has received an acknowledgement
+// for the previous one (Figure 1, Figure 3.a). Lost packets or acks are
+// handled by retransmitting the single outstanding packet after Tr (§3.1.1).
+func sendStopAndWait(env Env, c Config) (SendResult, error) {
+	var res SendResult
+	start := env.Now()
+	n := c.NumPackets()
+	est := newRTO(c)
+	for seq := 0; seq < n; seq++ {
+		acked := false
+		for attempt := 0; attempt < c.MaxAttempts && !acked; attempt++ {
+			if err := env.Send(c.dataPacket(seq, n, attempt, seq == n-1)); err != nil {
+				return res, err
+			}
+			res.DataPackets++
+			if attempt > 0 {
+				res.Retransmits++
+			}
+			res.Rounds++
+			sent := env.Now()
+			acked = awaitCumulativeAck(env, c, &res, seq+1, est.timeout())
+			if acked && attempt == 0 {
+				// Karn's rule: sample only unambiguous exchanges.
+				est.sample(env.Now() - sent)
+			}
+		}
+		if !acked {
+			return res, fmt.Errorf("stop-and-wait seq %d: %w", seq, ErrGiveUp)
+		}
+	}
+	res.Elapsed = env.Now() - start
+	return res, nil
+}
+
+// awaitCumulativeAck waits up to timeout for an acknowledgement with
+// Seq >= want, ignoring stale acks and foreign packets. It reports whether
+// the ack arrived before the timeout.
+func awaitCumulativeAck(env Env, c Config, res *SendResult, want int, timeout time.Duration) bool {
+	remaining := timeout
+	for remaining > 0 {
+		t0 := env.Now()
+		resp, err := env.Recv(remaining)
+		if err != nil {
+			if IsTimeout(err) {
+				res.Timeouts++
+				return false
+			}
+			return false
+		}
+		remaining -= env.Now() - t0
+		if resp.Trans != c.TransferID || resp.Type != wire.TypeAck {
+			continue
+		}
+		res.AcksReceived++
+		if int(resp.Seq) >= want {
+			return true
+		}
+		// Stale (duplicate) ack: keep waiting out the remaining budget.
+	}
+	res.Timeouts++
+	return false
+}
+
+// recvInOrder is the shared receiver for stop-and-wait and sliding-window:
+// data packets are delivered in order and every data packet is answered
+// with a cumulative acknowledgement carrying the next expected sequence
+// number. Duplicates and out-of-order packets re-elicit the current
+// cumulative ack, which is what makes go-back-n recovery work.
+func recvInOrder(env Env, c Config) (RecvResult, error) {
+	var res RecvResult
+	n := c.NumPackets()
+	next := 0
+	start := env.Now()
+	idle := c.receiverIdle()
+	for next < n {
+		pkt, err := env.Recv(idle)
+		if err != nil {
+			res.Elapsed = env.Now() - start
+			return res, fmt.Errorf("receiver idle with %d/%d packets: %w", next, n, err)
+		}
+		if pkt.Trans != c.TransferID {
+			continue
+		}
+		if pkt.Type == wire.TypeReq {
+			// Retransmitted push announcement: our go-ahead was lost.
+			if err := env.Send(goAhead(c)); err != nil {
+				return res, err
+			}
+			continue
+		}
+		if pkt.Type != wire.TypeData {
+			continue
+		}
+		res.DataPackets++
+		if int(pkt.Seq) == next {
+			deliverChunk(&res, c, pkt)
+			next++
+		} else {
+			res.Duplicates++
+		}
+		if err := env.Send(c.ackPacket(next, n)); err != nil {
+			return res, err
+		}
+		res.AcksSent++
+	}
+	res.Completed = true
+	res.Elapsed = env.Now() - start
+	finishData(&res)
+	lingerReAck(env, c, &res, func(pkt *wire.Packet) *wire.Packet {
+		return c.ackPacket(n, n)
+	})
+	return res, nil
+}
+
+// deliverChunk accounts for (and in real mode stores) one new data packet.
+func deliverChunk(res *RecvResult, c Config, pkt *wire.Packet) {
+	if pkt.Payload != nil {
+		if res.Data == nil {
+			res.Data = make([]byte, c.Bytes)
+		}
+		copy(res.Data[int(pkt.Seq)*c.ChunkSize:], pkt.Payload)
+		res.Bytes += len(pkt.Payload)
+		return
+	}
+	size := c.ChunkSize
+	if rem := c.Bytes - int(pkt.Seq)*c.ChunkSize; rem < size {
+		size = rem
+	}
+	res.Bytes += size
+}
+
+// finishData computes the whole-transfer software checksum (the one Spector
+// suggests for multi-packet transfers, §4) once all chunks are assembled.
+func finishData(res *RecvResult) {
+	if res.Data != nil {
+		res.Checksum = wire.Checksum(res.Data)
+	}
+}
+
+// lingerReAck keeps the receiver alive for Config.Linger after completion,
+// re-answering retransmitted data whose acknowledgements were evidently
+// lost. respond builds the reply for a retransmitted packet; returning nil
+// suppresses the reply. The linger timer restarts on every received packet.
+// A FlagDone FIN from the sender ends the linger immediately.
+func lingerReAck(env Env, c Config, res *RecvResult, respond func(*wire.Packet) *wire.Packet) {
+	for {
+		pkt, err := env.Recv(c.Linger)
+		if err != nil {
+			return // silence: the sender is satisfied (or gone)
+		}
+		if pkt.Trans != c.TransferID {
+			continue
+		}
+		if pkt.Type == wire.TypeAck && pkt.Flags&wire.FlagDone != 0 {
+			return // the sender has its ack: release the receiver
+		}
+		if pkt.Type != wire.TypeData {
+			continue
+		}
+		res.DataPackets++
+		res.Duplicates++
+		res.LingerEvents++
+		if reply := respond(pkt); reply != nil {
+			if env.Send(reply) != nil {
+				return
+			}
+			if reply.Type == wire.TypeAck {
+				res.AcksSent++
+			} else {
+				res.NaksSent++
+			}
+		}
+	}
+}
+
+// receiverIdle bounds how long the receiver waits for the next packet of an
+// incomplete transfer before concluding the sender is gone.
+func (c Config) receiverIdle() time.Duration {
+	if c.ReceiverIdle > 0 {
+		return c.ReceiverIdle
+	}
+	// Generous default: virtual time is free in simulation, and real
+	// callers set an explicit bound. Must comfortably exceed any legitimate
+	// inter-packet gap (a full window retransmission plus several Tr).
+	return 64*c.RetransTimeout + 10*time.Second
+}

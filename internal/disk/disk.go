@@ -1,0 +1,127 @@
+// Package disk models the file server's disk — the other half of the
+// paper's motivation. The introduction cites file-access studies [10,12,15]
+// showing that high performance requires large page sizes "due to economies
+// in accessing the disk in large quantities as well as to economies in
+// accessing the network in large quantities"; the paper studies the network
+// half, and this package supplies the disk half so the end-to-end file-read
+// experiment (ext-pagesize) can reproduce the combined effect.
+//
+// The model is the classic three-term access time: average seek, half a
+// rotation of latency, then media transfer at a fixed rate. Sequential
+// follow-on reads skip the seek.
+package disk
+
+import (
+	"fmt"
+	"time"
+)
+
+// Geometry describes a disk's timing parameters.
+type Geometry struct {
+	Name string
+	// AvgSeek is the average seek time for a random access.
+	AvgSeek time.Duration
+	// RotationPeriod is one full platter revolution; random accesses wait
+	// half of it on average.
+	RotationPeriod time.Duration
+	// BytesPerSec is the sustained media transfer rate.
+	BytesPerSec int64
+	// SectorSize is the access granularity; reads round up to whole
+	// sectors.
+	SectorSize int
+}
+
+// FujitsuEagle is a canonical 1985 server disk (Fujitsu M2351 "Eagle"):
+// ~18 ms average seek, 3600 RPM (16.7 ms/rev), ~1.8 MB/s transfer.
+func FujitsuEagle() Geometry {
+	return Geometry{
+		Name:           "fujitsu-eagle",
+		AvgSeek:        18 * time.Millisecond,
+		RotationPeriod: 16667 * time.Microsecond,
+		BytesPerSec:    1_800_000,
+		SectorSize:     512,
+	}
+}
+
+// ModernNVMe is the ablation counterpart: microsecond access, GB/s rates.
+func ModernNVMe() Geometry {
+	return Geometry{
+		Name:           "modern-nvme",
+		AvgSeek:        10 * time.Microsecond,
+		RotationPeriod: 0,
+		BytesPerSec:    3_000_000_000,
+		SectorSize:     4096,
+	}
+}
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	switch {
+	case g.BytesPerSec <= 0:
+		return fmt.Errorf("disk: %s: transfer rate must be positive", g.Name)
+	case g.SectorSize <= 0:
+		return fmt.Errorf("disk: %s: sector size must be positive", g.Name)
+	case g.AvgSeek < 0 || g.RotationPeriod < 0:
+		return fmt.Errorf("disk: %s: negative latency", g.Name)
+	}
+	return nil
+}
+
+// roundUp rounds n up to whole sectors.
+func (g Geometry) roundUp(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	s := g.SectorSize
+	return (n + s - 1) / s * s
+}
+
+// AccessTime is the time to read n bytes starting at a random position:
+// seek + rotational latency + transfer of whole sectors.
+func (g Geometry) AccessTime(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return g.AvgSeek + g.RotationPeriod/2 + g.transfer(n)
+}
+
+// SequentialTime is the time to read n bytes continuing a previous access:
+// no seek, no rotational latency.
+func (g Geometry) SequentialTime(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return g.transfer(n)
+}
+
+func (g Geometry) transfer(n int) time.Duration {
+	bytes := int64(g.roundUp(n))
+	return time.Duration(bytes * int64(time.Second) / g.BytesPerSec)
+}
+
+// FileReadTime is the time to read a file of the given size in pages of
+// pageSize bytes, with the first page paying a random access and each
+// subsequent page costing one rotational latency plus transfer (the page
+// boundary loses the disk's position — the [12] fast-file-system effect
+// that makes small pages expensive).
+func (g Geometry) FileReadTime(fileSize, pageSize int) time.Duration {
+	if fileSize <= 0 || pageSize <= 0 {
+		return 0
+	}
+	pages := (fileSize + pageSize - 1) / pageSize
+	total := g.AccessTime(min(pageSize, fileSize))
+	remaining := fileSize - pageSize
+	for i := 1; i < pages; i++ {
+		n := min(pageSize, remaining)
+		total += g.RotationPeriod/2 + g.transfer(n)
+		remaining -= n
+	}
+	return total
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,117 @@
+package disk
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestGeometryValidate(t *testing.T) {
+	if err := FujitsuEagle().Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := ModernNVMe().Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []Geometry{
+		{Name: "no-rate", SectorSize: 512},
+		{Name: "no-sector", BytesPerSec: 1},
+		{Name: "neg-seek", BytesPerSec: 1, SectorSize: 1, AvgSeek: -1},
+	}
+	for _, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("%s accepted", g.Name)
+		}
+	}
+}
+
+func TestAccessTimeComponents(t *testing.T) {
+	g := FujitsuEagle()
+	// 1 KB = 2 sectors = 1024 bytes at 1.8 MB/s ≈ 569 µs, plus 18 ms seek
+	// and 8.33 ms latency.
+	got := g.AccessTime(1024)
+	want := 18*time.Millisecond + g.RotationPeriod/2 +
+		time.Duration(1024*int64(time.Second)/1_800_000)
+	if got != want {
+		t.Errorf("AccessTime(1KB) = %v, want %v", got, want)
+	}
+	if g.AccessTime(0) != 0 || g.AccessTime(-5) != 0 {
+		t.Error("degenerate sizes should cost nothing")
+	}
+	// Sequential reads skip seek and latency entirely.
+	if g.SequentialTime(1024) >= g.AccessTime(1024) {
+		t.Error("sequential must be cheaper than random")
+	}
+}
+
+func TestSectorRounding(t *testing.T) {
+	g := FujitsuEagle()
+	if g.SequentialTime(1) != g.SequentialTime(512) {
+		t.Error("sub-sector reads round up to one sector")
+	}
+	if g.SequentialTime(513) != g.SequentialTime(1024) {
+		t.Error("513 bytes rounds to two sectors")
+	}
+}
+
+// Property: access time is monotone in size.
+func TestAccessMonotone(t *testing.T) {
+	g := FujitsuEagle()
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return g.AccessTime(x) <= g.AccessTime(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The intro's claim: reading a 64 KB file in larger pages is dramatically
+// cheaper because per-page positioning costs amortise.
+func TestLargePagesAmortise(t *testing.T) {
+	g := FujitsuEagle()
+	prev := time.Duration(1 << 62)
+	for _, page := range []int{1024, 4096, 16384, 65536} {
+		cur := g.FileReadTime(64*1024, page)
+		if cur >= prev {
+			t.Errorf("page %d: %v not cheaper than smaller page %v", page, cur, prev)
+		}
+		prev = cur
+	}
+	// 1 KB pages pay 63 extra rotational latencies ≈ 525 ms extra.
+	small := g.FileReadTime(64*1024, 1024)
+	large := g.FileReadTime(64*1024, 65536)
+	if ratio := float64(small) / float64(large); ratio < 5 {
+		t.Errorf("1KB/64KB page ratio = %.1f, expected dramatic", ratio)
+	}
+}
+
+func TestFileReadTimeEdges(t *testing.T) {
+	g := FujitsuEagle()
+	if g.FileReadTime(0, 1024) != 0 || g.FileReadTime(1024, 0) != 0 {
+		t.Error("degenerate inputs cost nothing")
+	}
+	// A file smaller than one page costs exactly one access.
+	if g.FileReadTime(100, 4096) != g.AccessTime(100) {
+		t.Error("partial single page mismatch")
+	}
+	// Exact multi-page accounting: 2 pages = access + rotation/2 + transfer.
+	want := g.AccessTime(1024) + g.RotationPeriod/2 + g.SequentialTime(1024)
+	if got := g.FileReadTime(2048, 1024); got != want {
+		t.Errorf("2-page read = %v, want %v", got, want)
+	}
+}
+
+func TestModernDiskNearlyFlat(t *testing.T) {
+	g := ModernNVMe()
+	// Compare sector-aligned page sizes: sub-sector pages pay 4× raw
+	// transfer through rounding, which is a (realistic) separate effect.
+	small := g.FileReadTime(64*1024, 4096)
+	large := g.FileReadTime(64*1024, 65536)
+	if ratio := float64(small) / float64(large); ratio > 2 {
+		t.Errorf("modern page-size penalty %.1f should be modest", ratio)
+	}
+}

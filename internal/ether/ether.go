@@ -1,0 +1,135 @@
+// Package ether implements the Ethernet data-link framing the paper's
+// standalone experiments ran on: a 14-byte header (destination, source,
+// EtherType), payload padded to the 64-byte minimum frame, a CRC-32 frame
+// check sequence, and the 1536-byte maximum packet size quoted in §2.1.2.
+//
+// The UDP transport does not need this layer (UDP supplies framing), but the
+// package makes the simulated link a faithful data-link-level reproduction:
+// frames are what cross the simulated wire when Ethernet mode is enabled,
+// and the workload generators use frame arithmetic to size transfers.
+package ether
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Frame layout constants (Ethernet II / DIX v2, which the paper cites).
+const (
+	AddrLen    = 6
+	HeaderLen  = 2*AddrLen + 2
+	FCSLen     = 4
+	MinFrame   = 64   // including FCS
+	MaxFrame   = 1536 // the paper's quoted maximum packet size
+	MaxPayload = MaxFrame - HeaderLen - FCSLen
+	MinPayload = MinFrame - HeaderLen - FCSLen
+
+	// EtherTypeBlast is the private EtherType carrying blastlan packets.
+	EtherTypeBlast = 0xB1A5
+)
+
+// Framing errors.
+var (
+	ErrFrameShort   = errors.New("ether: frame too short")
+	ErrFrameLong    = errors.New("ether: frame exceeds maximum")
+	ErrFCS          = errors.New("ether: FCS mismatch")
+	ErrPayloadLarge = errors.New("ether: payload too large")
+)
+
+// Addr is a 48-bit MAC address.
+type Addr [AddrLen]byte
+
+// Broadcast is the all-ones broadcast address.
+var Broadcast = Addr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// HostAddr returns a deterministic locally-administered unicast address for
+// a small host index, convenient for simulations and tests.
+func HostAddr(i int) Addr {
+	return Addr{0x02, 0x00, 0x5e, byte(i >> 16), byte(i >> 8), byte(i)}
+}
+
+// String renders the address in the usual colon-separated form.
+func (a Addr) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", a[0], a[1], a[2], a[3], a[4], a[5])
+}
+
+// IsBroadcast reports whether a is the broadcast address.
+func (a Addr) IsBroadcast() bool { return a == Broadcast }
+
+// IsMulticast reports whether the group bit is set.
+func (a Addr) IsMulticast() bool { return a[0]&1 == 1 }
+
+// Frame is a decoded Ethernet frame.
+type Frame struct {
+	Dst, Src  Addr
+	EtherType uint16
+	// Payload excludes padding: PayloadLen preserves the true length so
+	// padded minimum-size frames round-trip. Decode returns the padded
+	// payload when the true length cannot be known (foreign EtherTypes).
+	Payload []byte
+}
+
+// Encode appends the encoded frame — header, payload, padding, FCS — to dst.
+func (f *Frame) Encode(dst []byte) ([]byte, error) {
+	if len(f.Payload) > MaxPayload {
+		return dst, fmt.Errorf("%w: %d > %d", ErrPayloadLarge, len(f.Payload), MaxPayload)
+	}
+	start := len(dst)
+	dst = append(dst, f.Dst[:]...)
+	dst = append(dst, f.Src[:]...)
+	var et [2]byte
+	binary.BigEndian.PutUint16(et[:], f.EtherType)
+	dst = append(dst, et[:]...)
+	dst = append(dst, f.Payload...)
+	if pad := MinPayload - len(f.Payload); pad > 0 {
+		dst = append(dst, make([]byte, pad)...)
+	}
+	fcs := crc32.ChecksumIEEE(dst[start:])
+	var fb [4]byte
+	binary.BigEndian.PutUint32(fb[:], fcs)
+	return append(dst, fb[:]...), nil
+}
+
+// EncodedLen returns the on-wire length of a frame carrying payloadLen bytes.
+func EncodedLen(payloadLen int) int {
+	n := HeaderLen + payloadLen + FCSLen
+	if n < MinFrame {
+		n = MinFrame
+	}
+	return n
+}
+
+// Decode parses and verifies one frame. The returned frame's Payload aliases
+// buf and includes any minimum-size padding (the link layer cannot know the
+// true payload length; the next layer's own length field strips it — wire
+// packets carry one).
+func Decode(buf []byte) (*Frame, error) {
+	if len(buf) < MinFrame {
+		return nil, fmt.Errorf("%w: %d < %d", ErrFrameShort, len(buf), MinFrame)
+	}
+	if len(buf) > MaxFrame {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameLong, len(buf), MaxFrame)
+	}
+	body, fcsBytes := buf[:len(buf)-FCSLen], buf[len(buf)-FCSLen:]
+	want := binary.BigEndian.Uint32(fcsBytes)
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("%w: got %08x want %08x", ErrFCS, got, want)
+	}
+	var f Frame
+	copy(f.Dst[:], body[0:AddrLen])
+	copy(f.Src[:], body[AddrLen:2*AddrLen])
+	f.EtherType = binary.BigEndian.Uint16(body[2*AddrLen : HeaderLen])
+	f.Payload = body[HeaderLen:]
+	return &f, nil
+}
+
+// WireTimeBits returns the number of bit times a frame of the given encoded
+// length occupies on the medium, including the 8-byte preamble and start
+// delimiter that precede every Ethernet frame (the paper's arithmetic folds
+// these into its quoted sizes; simulations may choose either convention).
+func WireTimeBits(encodedLen int) int {
+	const preamble = 8
+	return 8 * (encodedLen + preamble)
+}

@@ -1,0 +1,168 @@
+package ether
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := &Frame{
+		Dst:       HostAddr(2),
+		Src:       HostAddr(1),
+		EtherType: EtherTypeBlast,
+		Payload:   []byte("a payload clearly longer than the 46-byte minimum so no padding"),
+	}
+	buf, err := f.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != EncodedLen(len(f.Payload)) {
+		t.Fatalf("encoded len = %d, want %d", len(buf), EncodedLen(len(f.Payload)))
+	}
+	g, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Dst != f.Dst || g.Src != f.Src || g.EtherType != f.EtherType {
+		t.Errorf("header mismatch: %+v", g)
+	}
+	if !bytes.Equal(g.Payload, f.Payload) {
+		t.Errorf("payload mismatch")
+	}
+}
+
+func TestMinimumFramePadding(t *testing.T) {
+	f := &Frame{Dst: HostAddr(1), Src: HostAddr(2), EtherType: EtherTypeBlast, Payload: []byte{1, 2, 3}}
+	buf, err := f.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != MinFrame {
+		t.Fatalf("padded frame = %d bytes, want %d", len(buf), MinFrame)
+	}
+	g, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Padding is preserved; the payload is padded to the 46-byte minimum.
+	if len(g.Payload) != MinPayload {
+		t.Errorf("decoded payload = %d bytes, want %d", len(g.Payload), MinPayload)
+	}
+	if !bytes.Equal(g.Payload[:3], []byte{1, 2, 3}) {
+		t.Error("payload prefix lost")
+	}
+	for _, b := range g.Payload[3:] {
+		if b != 0 {
+			t.Fatal("padding must be zero")
+		}
+	}
+}
+
+// Property: payloads up to MaxPayload round-trip; the payload prefix always
+// survives and frames never exceed the paper's 1536-byte maximum.
+func TestFrameProperty(t *testing.T) {
+	f := func(payload []byte, di, si uint8) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		fr := &Frame{Dst: HostAddr(int(di)), Src: HostAddr(int(si)), EtherType: EtherTypeBlast, Payload: payload}
+		buf, err := fr.Encode(nil)
+		if err != nil {
+			return false
+		}
+		if len(buf) > MaxFrame || len(buf) < MinFrame {
+			return false
+		}
+		g, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		return bytes.HasPrefix(g.Payload, payload) && g.Dst == fr.Dst && g.Src == fr.Src
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	fr := &Frame{Dst: HostAddr(1), Src: HostAddr(2), EtherType: 0x0800, Payload: make([]byte, 100)}
+	good, err := fr.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(good[:MinFrame-1]); !errors.Is(err, ErrFrameShort) {
+		t.Errorf("short: %v", err)
+	}
+	long := make([]byte, MaxFrame+1)
+	if _, err := Decode(long); !errors.Is(err, ErrFrameLong) {
+		t.Errorf("long: %v", err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[20] ^= 0xff
+	if _, err := Decode(bad); !errors.Is(err, ErrFCS) {
+		t.Errorf("fcs: %v", err)
+	}
+	big := &Frame{Payload: make([]byte, MaxPayload+1)}
+	if _, err := big.Encode(nil); !errors.Is(err, ErrPayloadLarge) {
+		t.Errorf("encode big: %v", err)
+	}
+}
+
+// Every single-bit corruption of a frame must be caught by the CRC.
+func TestFCSDetectsBitErrors(t *testing.T) {
+	fr := &Frame{Dst: HostAddr(3), Src: HostAddr(4), EtherType: EtherTypeBlast, Payload: []byte("data")}
+	good, err := fr.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for byteIdx := 0; byteIdx < len(good); byteIdx++ {
+		for bit := 0; bit < 8; bit++ {
+			bad := append([]byte(nil), good...)
+			bad[byteIdx] ^= 1 << bit
+			if _, err := Decode(bad); err == nil {
+				t.Fatalf("bit flip at %d.%d undetected", byteIdx, bit)
+			}
+		}
+	}
+}
+
+func TestAddr(t *testing.T) {
+	a := HostAddr(0x123456)
+	if got, want := a.String(), "02:00:5e:12:34:56"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if a.IsBroadcast() || a.IsMulticast() {
+		t.Error("host addresses are unicast")
+	}
+	if !Broadcast.IsBroadcast() || !Broadcast.IsMulticast() {
+		t.Error("broadcast flags wrong")
+	}
+	if HostAddr(1) == HostAddr(2) {
+		t.Error("host addresses must be distinct")
+	}
+}
+
+func TestEncodedLen(t *testing.T) {
+	cases := []struct{ payload, want int }{
+		{0, MinFrame},
+		{MinPayload, MinFrame},
+		{MinPayload + 1, MinFrame + 1},
+		{1000, HeaderLen + 1000 + FCSLen},
+		{MaxPayload, MaxFrame},
+	}
+	for _, c := range cases {
+		if got := EncodedLen(c.payload); got != c.want {
+			t.Errorf("EncodedLen(%d) = %d, want %d", c.payload, got, c.want)
+		}
+	}
+}
+
+func TestWireTimeBits(t *testing.T) {
+	// A minimum frame plus preamble is 72 bytes = 576 bit times,
+	// 57.6 µs at 10 Mb/s.
+	if got := WireTimeBits(MinFrame); got != 576 {
+		t.Errorf("WireTimeBits(64) = %d, want 576", got)
+	}
+}

@@ -1,0 +1,210 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment pairs the paper's reported values (or
+// qualitative claims, for the log-scale figures) with values measured on
+// this repository's simulator, Monte Carlo, analytic models and — for the
+// loopback experiment — real UDP sockets.
+//
+// cmd/lanbench runs experiments from the command line; the root package's
+// benchmarks time them; EXPERIMENTS.md archives one full run.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"blastlan/internal/core"
+	"blastlan/internal/simrun"
+	"blastlan/internal/stats"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Seed makes stochastic experiments reproducible.
+	Seed int64
+	// Quick reduces trial counts by roughly an order of magnitude so the
+	// full suite runs in seconds (tests and smoke runs).
+	Quick bool
+}
+
+// Result is a rendered experiment outcome.
+type Result struct {
+	ID     string
+	Title  string
+	Paper  string // what the paper reports, for side-by-side comparison
+	Header []string
+	Rows   [][]string
+	// Preformatted blocks (timelines) printed after the table.
+	Preformatted []string
+	Notes        []string
+	// Skipped marks experiments whose substrate is unavailable (e.g. no
+	// UDP sockets); Notes carry the reason.
+	Skipped bool
+}
+
+// Experiment is one reproducible artifact of the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper summarises the expectation the measured values are judged
+	// against.
+	Paper string
+	Run   func(Options) (*Result, error)
+}
+
+// registry holds all experiments in presentation order.
+var registry []*Experiment
+
+func register(e *Experiment) { registry = append(registry, e) }
+
+// All returns every experiment in presentation order.
+func All() []*Experiment {
+	out := make([]*Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (*Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range registry {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return nil, fmt.Errorf("experiments: unknown id %q (have: %s)", id, strings.Join(ids, ", "))
+}
+
+// Render formats a result as aligned text.
+func Render(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", r.ID, r.Title)
+	if r.Paper != "" {
+		fmt.Fprintf(&b, "paper: %s\n", r.Paper)
+	}
+	if r.Skipped {
+		b.WriteString("SKIPPED\n")
+	}
+	if len(r.Header) > 0 {
+		widths := make([]int, len(r.Header))
+		for i, h := range r.Header {
+			widths[i] = len(h)
+		}
+		for _, row := range r.Rows {
+			for i, cell := range row {
+				if i < len(widths) && len(cell) > widths[i] {
+					widths[i] = len(cell)
+				}
+			}
+		}
+		line := func(cells []string) {
+			for i, c := range cells {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			}
+			b.WriteString("\n")
+		}
+		line(r.Header)
+		for i, w := range widths {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(strings.Repeat("-", w))
+		}
+		b.WriteString("\n")
+		for _, row := range r.Rows {
+			line(row)
+		}
+	}
+	for _, p := range r.Preformatted {
+		b.WriteString("\n")
+		b.WriteString(p)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// RenderCSV formats the result's table as CSV (header + rows), suitable
+// for external plotting of the figure series. Preformatted blocks and
+// notes are omitted.
+func RenderCSV(r *Result) string {
+	var b strings.Builder
+	esc := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteString("\n")
+	}
+	if len(r.Header) > 0 {
+		esc(r.Header)
+	}
+	for _, row := range r.Rows {
+		esc(row)
+	}
+	return b.String()
+}
+
+// ms renders a duration in milliseconds with two decimals — the paper's
+// unit everywhere.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond))
+}
+
+// pct renders a ratio as a percentage.
+func pct(x float64) string { return fmt.Sprintf("%.0f%%", 100*x) }
+
+// ratio renders a/b with two decimals.
+func ratio(a, b time.Duration) string {
+	if b == 0 {
+		return "∞"
+	}
+	return fmt.Sprintf("%.2f", float64(a)/float64(b))
+}
+
+// desSample runs n independent DES transfers, varying the seed, and
+// accumulates the sender elapsed times. Failed trials are counted, not
+// accumulated.
+func desSample(cfg core.Config, opt simrun.Options, n int) (acc stats.Durations, failures int, err error) {
+	for i := 0; i < n; i++ {
+		o := opt
+		o.Seed = opt.Seed + int64(i)
+		res, terr := simrun.Transfer(cfg, o)
+		if terr != nil {
+			return acc, failures, terr
+		}
+		if res.Failed() {
+			failures++
+			continue
+		}
+		acc.Add(res.Send.Elapsed)
+	}
+	return acc, failures, nil
+}
+
+// one runs a single deterministic (error-free) DES transfer and returns the
+// sender's elapsed time.
+func one(cfg core.Config, opt simrun.Options) (time.Duration, error) {
+	res, err := simrun.Transfer(cfg, opt)
+	if err != nil {
+		return 0, err
+	}
+	if res.Failed() {
+		return 0, fmt.Errorf("experiments: transfer failed: %v / %v", res.SendErr, res.RecvErr)
+	}
+	return res.Send.Elapsed, nil
+}

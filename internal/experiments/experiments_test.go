@@ -1,0 +1,378 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parse a "12.34" ms cell back to a float.
+func cellMS(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad ms cell %q: %v", s, err)
+	}
+	return v
+}
+
+func runQuick(t *testing.T, id string) *Result {
+	t.Helper()
+	e, err := Find(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(Options{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "table2", "table3", "figure3", "figure4",
+		"figure5", "figure6", "util", "ablation-dma", "ablation-burst",
+		"multiblast", "udp-loopback", "ext-load", "ext-pagesize", "ext-chunk",
+		"ext-adaptive"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for _, id := range want {
+		if _, err := Find(id); err != nil {
+			t.Errorf("missing %s: %v", id, err)
+		}
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+func TestTable1ReproducesHeadline(t *testing.T) {
+	res := runQuick(t, "table1")
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Last row is 64 KB: SAW ≈ 250 ms, B ≈ 141 ms, ratio ≈ 1.8.
+	last := res.Rows[len(res.Rows)-1]
+	saw := cellMS(t, last[2])
+	b := cellMS(t, last[6])
+	if saw < 249 || saw > 252 {
+		t.Errorf("SAW(64KB) = %v ms", saw)
+	}
+	if b < 140 || b > 142 {
+		t.Errorf("B(64KB) = %v ms", b)
+	}
+	r := cellMS(t, last[8])
+	if r < 1.6 || r > 2.1 {
+		t.Errorf("SAW/B = %v", r)
+	}
+	// Sim and model columns agree within a whisker for every row.
+	for _, row := range res.Rows {
+		for _, pair := range [][2]int{{2, 3}, {4, 5}, {6, 7}} {
+			sim, model := cellMS(t, row[pair[0]]), cellMS(t, row[pair[1]])
+			if diff := sim - model; diff < -0.5 || diff > 1.5 {
+				t.Errorf("row %v: sim %v vs model %v", row[0], sim, model)
+			}
+		}
+	}
+}
+
+func TestTable2Components(t *testing.T) {
+	res := runQuick(t, "table2")
+	// Six components + total + observed.
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d: %v", len(res.Rows), res.Rows)
+	}
+	total := cellMS(t, res.Rows[6][2])
+	if total < 3.90 || total > 3.92 {
+		t.Errorf("total = %v ms", total)
+	}
+	observed := cellMS(t, res.Rows[7][2])
+	if observed < total {
+		t.Errorf("observed %v < components %v", observed, total)
+	}
+}
+
+func TestTable3KernelAnchors(t *testing.T) {
+	res := runQuick(t, "table3")
+	first := res.Rows[0] // 1 KB row: SAW MoveTo = T0(1) ≈ 5.9 ms
+	if v := cellMS(t, first[2]); v < 5.8 || v > 6.0 {
+		t.Errorf("T0(1) = %v ms", v)
+	}
+	last := res.Rows[len(res.Rows)-1] // 64 KB row: B MoveTo ≈ 173 ms
+	if v := cellMS(t, last[4]); v < 172 || v > 175 {
+		t.Errorf("T0(64) = %v ms", v)
+	}
+}
+
+func TestFigure3RendersFourTimelines(t *testing.T) {
+	res := runQuick(t, "figure3")
+	if len(res.Preformatted) != 4 {
+		t.Fatalf("timelines = %d", len(res.Preformatted))
+	}
+	for _, block := range res.Preformatted {
+		if !strings.Contains(block, "src cpu") || !strings.Contains(block, "dst cpu") {
+			t.Errorf("timeline missing lanes:\n%s", block)
+		}
+	}
+}
+
+func TestFigure4Ordering(t *testing.T) {
+	res := runQuick(t, "figure4")
+	for _, row := range res.Rows {
+		saw, sw, b, dbl := cellMS(t, row[1]), cellMS(t, row[2]), cellMS(t, row[3]), cellMS(t, row[4])
+		if row[0] == "1" {
+			// A 1-packet transfer is the same serial exchange under every
+			// protocol: all four curves start from one point (Figure 4).
+			if !(dbl == b && b == sw && sw == saw) {
+				t.Errorf("N=1 should coincide: %v", row)
+			}
+			continue
+		}
+		if !(dbl < b && b < sw && sw < saw) {
+			t.Errorf("N=%s: ordering violated: dbl=%v b=%v sw=%v saw=%v", row[0], dbl, b, sw, saw)
+		}
+	}
+}
+
+func TestFigure5FlatThenKnee(t *testing.T) {
+	res := runQuick(t, "figure5")
+	// Column 4 is blast Tr=T0(D) analytic. Flat through 1e-4 (rows 0-2),
+	// then rising.
+	var blast []float64
+	for _, row := range res.Rows {
+		blast = append(blast, cellMS(t, row[4]))
+	}
+	if blast[2] > blast[0]*1.02 {
+		t.Errorf("blast not flat in the paper's operating region: %v", blast)
+	}
+	if blast[len(blast)-1] < blast[0]*2 {
+		t.Errorf("knee missing: %v", blast)
+	}
+	// Blast below SAW everywhere in the realistic region (first 4 rows).
+	for i := 0; i < 4; i++ {
+		saw := cellMS(t, res.Rows[i][1])
+		if blast[i] >= saw {
+			t.Errorf("row %d: blast %v ≥ SAW %v", i, blast[i], saw)
+		}
+	}
+}
+
+func TestFigure6StrategyOrdering(t *testing.T) {
+	res := runQuick(t, "figure6")
+	// At pn = 1e-2 (row 3) the ordering must be clean even with quick
+	// trial counts: R1 > R2 > R3, R4 ≤ R3 within noise.
+	row := res.Rows[3]
+	r1 := cellMS(t, row[1])
+	r2 := cellMS(t, row[4])
+	r3 := cellMS(t, row[6])
+	r4 := cellMS(t, row[7])
+	if !(r1 > r2 && r2 > r3) {
+		t.Errorf("σ ordering violated: R1=%v R2=%v R3=%v", r1, r2, r3)
+	}
+	if r4 > r3*1.25 {
+		t.Errorf("selective σ=%v should not exceed go-back-n σ=%v", r4, r3)
+	}
+}
+
+func TestUtilReproduces38Percent(t *testing.T) {
+	res := runQuick(t, "util")
+	for _, row := range res.Rows {
+		if row[0] == "64" {
+			// The paper quotes "only 38 percent"; exact wire times give
+			// 37.3 % — same claim, different rounding.
+			u, err := strconv.ParseFloat(strings.TrimSuffix(row[1], "%"), 64)
+			if err != nil || u < 36.5 || u > 38.5 {
+				t.Errorf("u(64) = %s, want ≈ 37-38%%", row[1])
+			}
+			if row[5] != "none" {
+				t.Errorf("third buffer gained %s, want none", row[5])
+			}
+			return
+		}
+	}
+	t.Fatal("no N=64 row")
+}
+
+func TestAblationDMA(t *testing.T) {
+	res := runQuick(t, "ablation-dma")
+	var ratios = map[string]float64{}
+	for _, row := range res.Rows {
+		ratios[row[0]] = cellMS(t, row[6])
+	}
+	if ratios["excelan-dma"] <= ratios["standalone-3com"] {
+		t.Errorf("slow DMA copies should widen the SAW/B gap: %v", ratios)
+	}
+	if ratios["modern-1g"] > 1.3 {
+		t.Errorf("modern hardware should collapse the gap: %v", ratios["modern-1g"])
+	}
+}
+
+func TestAblationBurst(t *testing.T) {
+	res := runQuick(t, "ablation-burst")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if cellMS(t, row[1]) <= 0 {
+			t.Errorf("mean missing: %v", row)
+		}
+		if row[4] != "0" {
+			t.Errorf("failures: %v", row)
+		}
+	}
+}
+
+func TestMultiblastWindows(t *testing.T) {
+	res := runQuick(t, "multiblast")
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Error-free time grows (slightly) as windows shrink; retransmitted
+	// packets per run shrink as windows shrink.
+	firstClean := cellMS(t, res.Rows[0][1])
+	lastClean := cellMS(t, res.Rows[len(res.Rows)-1][1])
+	if firstClean < lastClean {
+		t.Errorf("smaller windows should cost more error-free time: %v vs %v", firstClean, lastClean)
+	}
+}
+
+func TestLoadExtension(t *testing.T) {
+	res := runQuick(t, "ext-load")
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Zero load reproduces the uncontended Table 1 numbers exactly.
+	if got := cellMS(t, res.Rows[0][3]); got < 140 || got > 142 {
+		t.Errorf("B at zero load = %v ms", got)
+	}
+	if res.Rows[0][5] != "0" {
+		t.Errorf("zero-load collisions = %s", res.Rows[0][5])
+	}
+	// Elapsed time is monotone in offered load for both protocols.
+	for _, col := range []int{1, 3} {
+		prev := 0.0
+		for _, row := range res.Rows {
+			v := cellMS(t, row[col])
+			if v < prev {
+				t.Errorf("column %d not monotone at load %s", col, row[0])
+			}
+			prev = v
+		}
+	}
+	// The paper's operating assumption: low load barely matters.
+	base := cellMS(t, res.Rows[0][3])
+	low := cellMS(t, res.Rows[1][3])
+	if low > 1.15*base {
+		t.Errorf("10%% load should cost <15%%: %v vs %v", low, base)
+	}
+}
+
+func TestAdaptiveExtension(t *testing.T) {
+	res := runQuick(t, "ext-adaptive")
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// At the highest loss rate the learned timeout must beat the
+	// mis-tuned fixed one on both mean and σ, for both protocols.
+	row := res.Rows[len(res.Rows)-1]
+	sawFixed, sawAdapt := cellMS(t, row[1]), cellMS(t, row[3])
+	mbFixed, mbAdapt := cellMS(t, row[5]), cellMS(t, row[7])
+	if sawAdapt >= sawFixed {
+		t.Errorf("SAW adaptive mean %v should beat fixed %v", sawAdapt, sawFixed)
+	}
+	if mbAdapt >= mbFixed {
+		t.Errorf("multiblast adaptive mean %v should beat fixed %v", mbAdapt, mbFixed)
+	}
+	sawFixedSigma, sawAdaptSigma := cellMS(t, row[2]), cellMS(t, row[4])
+	if sawAdaptSigma >= sawFixedSigma {
+		t.Errorf("SAW adaptive σ %v should beat fixed %v", sawAdaptSigma, sawFixedSigma)
+	}
+}
+
+func TestPageSizeExtension(t *testing.T) {
+	res := runQuick(t, "ext-pagesize")
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Totals strictly decrease with page size — both economies at work.
+	prev := 1e18
+	for _, row := range res.Rows {
+		v := cellMS(t, row[5])
+		if v >= prev {
+			t.Errorf("page %s total %v not cheaper than smaller page", row[0], v)
+		}
+		prev = v
+	}
+	// The 1 KB / 64 KB end-to-end ratio is dramatic.
+	r := cellMS(t, res.Rows[0][6])
+	if r < 3 {
+		t.Errorf("1KB vs 64KB page ratio = %v, expected > 3x", r)
+	}
+}
+
+func TestChunkExtension(t *testing.T) {
+	res := runQuick(t, "ext-chunk")
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	prev := 1e18
+	for _, row := range res.Rows {
+		v := cellMS(t, row[2])
+		if v >= prev {
+			t.Errorf("chunk %s elapsed %v not cheaper than smaller chunk", row[0], v)
+		}
+		prev = v
+	}
+}
+
+func TestUDPLoopbackRunsOrSkips(t *testing.T) {
+	res := runQuick(t, "udp-loopback")
+	if res.Skipped {
+		t.Skipf("udp unavailable: %v", res.Notes)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if cellMS(t, row[1]) <= 0 {
+			t.Errorf("no measurement for %s", row[0])
+		}
+	}
+}
+
+func TestRenderOutput(t *testing.T) {
+	res := runQuick(t, "table1")
+	text := Render(res)
+	for _, want := range []string{"table1", "size", "64KB", "paper:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q:\n%s", want, text)
+		}
+	}
+	// Skipped marker renders.
+	s := Render(&Result{ID: "x", Title: "t", Skipped: true})
+	if !strings.Contains(s, "SKIPPED") {
+		t.Error("skip marker missing")
+	}
+}
+
+// Every experiment must run to completion in quick mode — the smoke test
+// cmd/lanbench relies on.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	for _, e := range All() {
+		res, err := e.Run(Options{Seed: 2, Quick: true})
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if res.ID != e.ID {
+			t.Errorf("%s: result id %s", e.ID, res.ID)
+		}
+		if !res.Skipped && len(res.Rows) == 0 && len(res.Preformatted) == 0 {
+			t.Errorf("%s: empty result", e.ID)
+		}
+	}
+}

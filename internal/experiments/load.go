@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"blastlan/internal/core"
+	"blastlan/internal/params"
+	"blastlan/internal/sim"
+	"blastlan/internal/simrun"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "ext-load",
+		Title: "Extension: protocol elapsed time under background network load (CSMA/CD)",
+		Paper: "§1: \"our conclusions are therefore valid only under low load conditions. Fortunately, such conditions are typical\" — the paper never measures contention; this extension does, with a CSMA/CD medium and a third-party traffic generator",
+		Run:   runLoad,
+	})
+}
+
+func runLoad(opt Options) (*Result, error) {
+	m := params.Standalone3Com()
+	res := &Result{
+		ID:     "ext-load",
+		Title:  "64 KB transfer vs offered background load (CSMA/CD, 1024-byte background frames)",
+		Paper:  "not in the paper: quantifies the low-load caveat",
+		Header: []string{"offered load", "SAW (ms)", "SAW slowdown", "B (ms)", "B slowdown", "collisions (B run)"},
+	}
+	loads := []float64{0, 0.1, 0.3, 0.5, 0.7}
+	var sawBase, bBase time.Duration
+	for _, load := range loads {
+		runOne := func(proto core.Protocol) (time.Duration, int64, error) {
+			cfg := core.Config{
+				TransferID:     1,
+				Bytes:          64 * 1024,
+				Protocol:       proto,
+				Strategy:       core.GoBackN,
+				RetransTimeout: 2 * time.Second,
+			}
+			r, err := simrun.Transfer(cfg, simrun.Options{
+				Cost:           m,
+				Seed:           opt.Seed,
+				Medium:         sim.MediumCSMACD,
+				BackgroundLoad: load,
+			})
+			if err != nil {
+				return 0, 0, err
+			}
+			if r.Failed() {
+				return 0, 0, fmt.Errorf("load %.1f %v: %v/%v", load, proto, r.SendErr, r.RecvErr)
+			}
+			return r.Send.Elapsed, r.Collisions, nil
+		}
+		saw, _, err := runOne(core.StopAndWait)
+		if err != nil {
+			return nil, err
+		}
+		b, coll, err := runOne(core.Blast)
+		if err != nil {
+			return nil, err
+		}
+		if load == 0 {
+			sawBase, bBase = saw, b
+		}
+		res.Rows = append(res.Rows, []string{
+			pct(load),
+			ms(saw), ratio(saw, sawBase),
+			ms(b), ratio(b, bBase),
+			fmt.Sprint(coll),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"stop-and-wait acquires the medium 2N times per transfer (N data + N acks) versus N+1 for blast, so contention hits it in absolute terms hardest; both remain within tens of percent at the low loads the paper assumes",
+		"collisions occur only among stations that deferred behind the same busy period (the 1-persistent restart), so zero-load runs collide exactly never and reproduce the uncontended numbers")
+	return res, nil
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"blastlan/internal/core"
+	"blastlan/internal/disk"
+	"blastlan/internal/params"
+	"blastlan/internal/simrun"
+	"blastlan/internal/vkernel"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "ext-pagesize",
+		Title: "Extension: end-to-end file read vs page size (disk + IPC + MoveTo)",
+		Paper: "§1: high-performance file access requires large page sizes \"due to economies in accessing the disk in large quantities as well as to economies in accessing the network in large quantities\" [10,12,15] — this regenerates the combined effect the paper's intro cites as motivation",
+		Run:   runPageSize,
+	})
+	register(&Experiment{
+		ID:    "ext-chunk",
+		Title: "Extension: blast elapsed time vs network packet size",
+		Paper: "§1's network half in isolation: per-packet costs amortise over bigger packets up to the 1536-byte Ethernet maximum (§2.1.2)",
+		Run:   runChunkSweep,
+	})
+}
+
+func runPageSize(opt Options) (*Result, error) {
+	res := &Result{
+		ID:     "ext-pagesize",
+		Title:  "64 KB file read through the V file server (Fujitsu Eagle disk, blast MoveTo)",
+		Paper:  "large pages amortise both disk positioning and per-packet network costs",
+		Header: []string{"page size", "pages", "IPC (ms)", "disk (ms)", "network (ms)", "total (ms)", "vs 64KB page"},
+	}
+	file := make([]byte, 64*1024)
+	rand.New(rand.NewSource(opt.Seed)).Read(file)
+
+	var base time.Duration
+	for _, page := range []int{1024, 4096, 16384, 65536} {
+		c, err := vkernel.NewCluster(vkernel.Options{Cost: params.VKernel(), Seed: opt.Seed})
+		if err != nil {
+			return nil, err
+		}
+		fs, err := vkernel.NewFileServer(c.A, disk.FujitsuEagle())
+		if err != nil {
+			return nil, err
+		}
+		fs.Store("file", file)
+		client := c.B.CreateProcess(len(file), true)
+		r, err := fs.Read(client, 0, "file", 0, len(file), page,
+			vkernel.MoveOptions{Protocol: core.Blast, Strategy: core.GoBackN})
+		if err != nil {
+			return nil, err
+		}
+		if page == 65536 {
+			base = r.Elapsed
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%dKB", page/1024),
+			fmt.Sprint(r.Pages),
+			ms(r.IPCTime), ms(r.DiskTime), ms(r.NetTime), ms(r.Elapsed),
+			"", // filled below once base is known
+		})
+	}
+	// Fill the ratio column (the base is the last row's measurement).
+	for i := range res.Rows {
+		var v float64
+		fmt.Sscanf(res.Rows[i][5], "%f", &v)
+		res.Rows[i][6] = ratio(time.Duration(v*float64(time.Millisecond)), base)
+	}
+	res.Notes = append(res.Notes,
+		"disk: 18 ms average seek + 8.3 ms rotational latency per page boundary at 1.8 MB/s (a 1985 Fujitsu Eagle); network: V-kernel blast MoveTo per page",
+		"1 KB pages pay 63 extra rotational latencies AND 63 extra per-transfer protocol exchanges: both of the intro's economies point the same way")
+	return res, nil
+}
+
+func runChunkSweep(opt Options) (*Result, error) {
+	m := params.Standalone3Com()
+	res := &Result{
+		ID:     "ext-chunk",
+		Title:  "64 KB blast vs data-packet size (standalone cost model)",
+		Paper:  "bigger packets amortise the fixed per-packet copy cost",
+		Header: []string{"packet size", "packets", "elapsed (ms)", "per-KB (ms)", "utilization"},
+	}
+	for _, chunk := range []int{256, 512, 1024, 1536} {
+		cfg := core.Config{
+			TransferID:     1,
+			Bytes:          64 * 1024,
+			ChunkSize:      chunk,
+			Protocol:       core.Blast,
+			Strategy:       core.GoBackN,
+			RetransTimeout: time.Second,
+		}
+		elapsed, err := one(cfg, simrun.Options{Cost: m})
+		if err != nil {
+			return nil, err
+		}
+		n := cfg.NumPackets()
+		// Utilization with chunk-sized packets: share of elapsed time the
+		// wire carries bits.
+		wire := time.Duration(n) * m.WireTime(chunk)
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprint(chunk),
+			fmt.Sprint(n),
+			ms(elapsed),
+			ms(elapsed / 64),
+			pct(float64(wire) / float64(elapsed)),
+		})
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("every packet costs a fixed ≈%v of copy set-up regardless of size (the linear copy model's intercept), so 256-byte packets quadruple that overhead relative to 1024-byte packets", m.CopyTime(0)),
+		"the paper transfers \"amounts one or two orders of magnitude bigger than the maximum network packet size\" in maximal packets for exactly this reason")
+	return res, nil
+}

@@ -1,0 +1,304 @@
+// Package mc implements the paper's strategy-level Monte-Carlo simulation
+// (§3.2.3: "We have simulated the procedures by computer and determined both
+// the expected time and the variance from the simulation").
+//
+// Unlike the cycle-accurate discrete-event simulator in internal/sim, a
+// trial here samples only per-packet loss outcomes and composes elapsed time
+// from the §2.1.3 closed-form segment costs. That makes 10⁵–10⁶ trials per
+// parameter point cheap, which Figure 6's small-σ points need. The model
+// tracks the receiver's accumulated bitmap across attempts (packets received
+// in a failed attempt stay received — the paper's pre-allocated buffers make
+// this the physically correct model), so it agrees with the full DES rather
+// than with the paper's slightly pessimistic independent-attempt
+// approximation; the two coincide as p_n → 0.
+package mc
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"blastlan/internal/core"
+	"blastlan/internal/params"
+	"blastlan/internal/stats"
+)
+
+// Params configures one Monte-Carlo estimate.
+type Params struct {
+	// Cost provides the C, Ca, T, Ta, τ segment costs.
+	Cost params.CostModel
+	// D is the number of data packets in the transfer.
+	D int
+	// PN is the per-packet loss probability (applied independently to every
+	// data packet and every response, per §3's model). Combine wire and
+	// interface losses with CombinedLoss.
+	PN float64
+	// Tr is the retransmission timeout.
+	Tr time.Duration
+	// Strategy selects the §3.2 retransmission strategy (blast trials).
+	Strategy core.Strategy
+	// Trials is the number of independent transfers to sample
+	// (default 100000).
+	Trials int
+	// Seed makes the estimate reproducible; trial i uses Seed+i.
+	Seed int64
+	// MaxRounds bounds a single trial (default 1e6 rounds); exceeding it
+	// counts as a failure instead of looping forever at p_n → 1.
+	MaxRounds int
+}
+
+// Estimate is the sampled distribution summary of the transfer time.
+type Estimate struct {
+	Mean     time.Duration
+	StdDev   time.Duration
+	Min, Max time.Duration
+	Trials   int
+	Failures int // trials abandoned at MaxRounds
+}
+
+// CombinedLoss folds independent wire and interface loss probabilities into
+// the single per-packet loss probability the §3 analysis uses.
+func CombinedLoss(l params.LossModel) float64 {
+	return 1 - (1-l.PNet)*(1-l.PIface)
+}
+
+func (p Params) withDefaults() (Params, error) {
+	if p.Trials == 0 {
+		p.Trials = 100000
+	}
+	if p.MaxRounds == 0 {
+		p.MaxRounds = 1_000_000
+	}
+	switch {
+	case p.D <= 0:
+		return p, fmt.Errorf("mc: D must be positive, got %d", p.D)
+	case p.PN < 0 || p.PN > 1:
+		return p, fmt.Errorf("mc: PN must be in [0,1], got %g", p.PN)
+	case p.Tr < 0:
+		return p, fmt.Errorf("mc: Tr must be non-negative")
+	case p.Trials < 1:
+		return p, fmt.Errorf("mc: Trials must be positive")
+	}
+	if err := p.Cost.Validate(); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// segments holds the closed-form time components a trial composes.
+type segments struct {
+	cycle time.Duration // C+T: one data packet through a single-buffered sender
+	resp  time.Duration // last-packet copy-out + response turnaround (analytic.ResponseLatency)
+	tr    time.Duration
+}
+
+func newSegments(p Params) segments {
+	m := p.Cost
+	return segments{
+		cycle: m.C() + m.T(),
+		resp:  m.C() + 2*m.Ca() + m.Ta() + 2*m.Propagation,
+		tr:    p.Tr,
+	}
+}
+
+// Blast estimates the elapsed-time distribution of a D-packet blast under
+// the configured retransmission strategy.
+func Blast(p Params) (Estimate, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return Estimate{}, err
+	}
+	return parallelTrials(p, func(rng *rand.Rand) (time.Duration, bool) {
+		return blastTrial(p, newSegments(p), rng)
+	})
+}
+
+// StopAndWait estimates the elapsed-time distribution of a D-packet
+// stop-and-wait transfer (§3.1.1's model, with receiver-state tracking).
+func StopAndWait(p Params) (Estimate, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return Estimate{}, err
+	}
+	return parallelTrials(p, func(rng *rand.Rand) (time.Duration, bool) {
+		return sawTrial(p, newSegments(p), rng)
+	})
+}
+
+// sawTrial samples one stop-and-wait transfer: per packet, retry until the
+// data packet and its acknowledgement both arrive.
+func sawTrial(p Params, seg segments, rng *rand.Rand) (time.Duration, bool) {
+	var t time.Duration
+	rounds := 0
+	for pkt := 0; pkt < p.D; pkt++ {
+		for {
+			rounds++
+			if rounds > p.MaxRounds {
+				return t, false
+			}
+			t += seg.cycle
+			dataOK := rng.Float64() >= p.PN
+			if dataOK {
+				// Receiver acks (it may already have the packet; a dup
+				// re-elicits the ack with identical timing).
+				if rng.Float64() >= p.PN {
+					t += seg.resp
+					break
+				}
+			}
+			t += seg.tr
+		}
+	}
+	return t, true
+}
+
+// blastTrial samples one blast transfer under p.Strategy.
+func blastTrial(p Params, seg segments, rng *rand.Rand) (time.Duration, bool) {
+	var t time.Duration
+	d := p.D
+	got := make([]bool, d)
+	count := 0
+	firstMissing := 0
+	rounds := 0
+
+	// pending is the set to (re)transmit this round; nil means "all of
+	// [from, d)" to avoid materialising the common suffix case.
+	resendFrom := 0
+	var selective []int // used by Selective after the first NAK
+
+	for {
+		rounds++
+		if rounds > p.MaxRounds {
+			return t, false
+		}
+
+		// Transmit this round's pending set; every packet but the round's
+		// final one is unreliable.
+		var roundSeqs []int
+		if selective != nil {
+			roundSeqs = selective
+		} else {
+			roundSeqs = make([]int, 0, d-resendFrom)
+			for s := resendFrom; s < d; s++ {
+				roundSeqs = append(roundSeqs, s)
+			}
+		}
+		for _, s := range roundSeqs[:len(roundSeqs)-1] {
+			t += seg.cycle
+			if rng.Float64() >= p.PN && !got[s] {
+				got[s] = true
+				count++
+			}
+		}
+		last := roundSeqs[len(roundSeqs)-1]
+
+		// The round's final packet is sent reliably: retransmit on silence.
+		for {
+			rounds++
+			if rounds > p.MaxRounds {
+				return t, false
+			}
+			t += seg.cycle // send the last packet
+			lastArrived := rng.Float64() >= p.PN
+			if lastArrived && !got[last] {
+				got[last] = true
+				count++
+			}
+			if !lastArrived {
+				// Silence at the receiver: the sender waits out Tr.
+				t += seg.tr
+				if p.Strategy == core.FullNoNak || p.Strategy == core.FullNak {
+					break // retransmit the whole sequence
+				}
+				continue // retransmit just the last packet
+			}
+			// The receiver responds (positively or negatively, §3.2).
+			for firstMissing < d && got[firstMissing] {
+				firstMissing++
+			}
+			complete := count == d
+			if p.Strategy == core.FullNoNak && !complete {
+				// §3.2.1: no NAK exists; the sender hears nothing.
+				t += seg.tr
+				break
+			}
+			if rng.Float64() < p.PN {
+				// Response lost: timeout.
+				t += seg.tr
+				if p.Strategy == core.FullNoNak || p.Strategy == core.FullNak {
+					break
+				}
+				continue
+			}
+			t += seg.resp
+			if complete {
+				return t, true
+			}
+			// NAK in hand: shape the next round.
+			switch p.Strategy {
+			case core.FullNak:
+				resendFrom, selective = 0, nil
+			case core.GoBackN:
+				resendFrom, selective = firstMissing, nil
+			case core.Selective:
+				selective = selective[:0]
+				for s := firstMissing; s < d; s++ {
+					if !got[s] {
+						selective = append(selective, s)
+					}
+				}
+			}
+			break
+		}
+	}
+}
+
+// parallelTrials fans trials across workers with per-trial seeding, so the
+// estimate is deterministic regardless of GOMAXPROCS.
+func parallelTrials(p Params, trial func(*rand.Rand) (time.Duration, bool)) (Estimate, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > p.Trials {
+		workers = p.Trials
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type part struct {
+		w        stats.Welford
+		failures int
+	}
+	parts := make([]part, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < p.Trials; i += workers {
+				rng := rand.New(rand.NewSource(p.Seed + int64(i)))
+				elapsed, ok := trial(rng)
+				if !ok {
+					parts[w].failures++
+					continue
+				}
+				parts[w].w.Add(float64(elapsed))
+			}
+		}(w)
+	}
+	wg.Wait()
+	var all stats.Welford
+	failures := 0
+	for i := range parts {
+		all.Merge(&parts[i].w)
+		failures += parts[i].failures
+	}
+	return Estimate{
+		Mean:     time.Duration(all.Mean()),
+		StdDev:   time.Duration(all.StdDev()),
+		Min:      time.Duration(all.Min()),
+		Max:      time.Duration(all.Max()),
+		Trials:   p.Trials,
+		Failures: failures,
+	}, nil
+}

@@ -1,0 +1,213 @@
+package mc
+
+import (
+	"testing"
+	"time"
+
+	"blastlan/internal/analytic"
+	"blastlan/internal/core"
+	"blastlan/internal/params"
+	"blastlan/internal/stats"
+)
+
+func baseParams(strategy core.Strategy, pn float64) Params {
+	m := params.VKernel()
+	return Params{
+		Cost:     m,
+		D:        64,
+		PN:       pn,
+		Tr:       analytic.TimeBlast(m, 64), // Tr = T0(D), Figure 5/6 setting
+		Strategy: strategy,
+		Trials:   30000,
+		Seed:     1,
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Params{
+		{Cost: params.VKernel(), D: 0},
+		{Cost: params.VKernel(), D: 4, PN: -0.5},
+		{Cost: params.VKernel(), D: 4, PN: 1.5},
+		{Cost: params.VKernel(), D: 4, Tr: -1},
+		{Cost: params.CostModel{}, D: 4},
+	}
+	for i, p := range bad {
+		if _, err := Blast(p); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestErrorFreeBlastIsDeterministic(t *testing.T) {
+	p := baseParams(core.GoBackN, 0)
+	p.Trials = 100
+	est, err := Blast(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pn=0: exactly D·(C+T) + response latency, zero variance.
+	want := time.Duration(p.D)*(p.Cost.C()+p.Cost.T()) + analytic.ResponseLatency(p.Cost)
+	if est.Mean != want {
+		t.Errorf("mean = %v, want %v", est.Mean, want)
+	}
+	if est.StdDev != 0 || est.Min != want || est.Max != want {
+		t.Errorf("degenerate distribution expected: %+v", est)
+	}
+	if est.Failures != 0 {
+		t.Errorf("failures = %d", est.Failures)
+	}
+}
+
+func TestErrorFreeSAW(t *testing.T) {
+	p := baseParams(core.FullNoNak, 0)
+	p.Trials = 100
+	est, err := StopAndWait(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pn=0: D·(C+T + response latency) = T_SAW + 2Dτ.
+	want := analytic.TimeStopAndWait(p.Cost, p.D) +
+		time.Duration(2*p.D)*p.Cost.Propagation
+	if est.Mean != want {
+		t.Errorf("mean = %v, want %v", est.Mean, want)
+	}
+}
+
+// The MC's R1 estimates must agree with §3.1.2/§3.2.1 closed forms in the
+// low-loss regime where the paper's independent-attempt approximation holds.
+func TestR1MatchesAnalytic(t *testing.T) {
+	for _, pn := range []float64{1e-4, 1e-3} {
+		p := baseParams(core.FullNoNak, pn)
+		p.Trials = 200000
+		est, err := Blast(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t0d := analytic.TimeBlast(p.Cost, p.D) + 2*p.Cost.Propagation
+		wantMean := analytic.ExpectedTimeBlast(t0d, p.Tr, p.D, pn)
+		if re := stats.RelErr(float64(est.Mean), float64(wantMean)); re > 0.02 {
+			t.Errorf("pn=%g: mean %v vs analytic %v (rel err %.3f)", pn, est.Mean, wantMean, re)
+		}
+		wantStd := analytic.StdDevFullNoNak(t0d, p.Tr, p.D, pn)
+		if re := stats.RelErr(float64(est.StdDev), float64(wantStd)); re > 0.10 {
+			t.Errorf("pn=%g: σ %v vs analytic %v (rel err %.3f)", pn, est.StdDev, wantStd, re)
+		}
+	}
+}
+
+// The MC's R2 estimates must agree with the exact mixture model.
+func TestR2MatchesAnalytic(t *testing.T) {
+	pn := 1e-3
+	p := baseParams(core.FullNak, pn)
+	p.Trials = 200000
+	est, err := Blast(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0d := analytic.TimeBlast(p.Cost, p.D) + 2*p.Cost.Propagation
+	tresp := analytic.ResponseLatency(p.Cost)
+	wantMean := analytic.ExpectedTimeFullNak(t0d, p.Tr, tresp, p.D, pn)
+	if re := stats.RelErr(float64(est.Mean), float64(wantMean)); re > 0.02 {
+		t.Errorf("mean %v vs analytic %v (rel err %.3f)", est.Mean, wantMean, re)
+	}
+	wantStd := analytic.StdDevFullNak(t0d, p.Tr, tresp, p.D, pn)
+	if re := stats.RelErr(float64(est.StdDev), float64(wantStd)); re > 0.10 {
+		t.Errorf("σ %v vs analytic %v (rel err %.3f)", est.StdDev, wantStd, re)
+	}
+}
+
+// Figure 6's qualitative content: σ(R1) > σ(R2) > σ(R3) ≥ σ(R4), with R3
+// only marginally above R4 — the paper's justification for choosing
+// go-back-n.
+func TestStrategyOrdering(t *testing.T) {
+	pn := 1e-2
+	sigmas := map[core.Strategy]time.Duration{}
+	for _, s := range []core.Strategy{core.FullNoNak, core.FullNak, core.GoBackN, core.Selective} {
+		p := baseParams(s, pn)
+		p.Trials = 60000
+		est, err := Blast(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Failures != 0 {
+			t.Fatalf("%v: %d failures", s, est.Failures)
+		}
+		sigmas[s] = est.StdDev
+	}
+	if !(sigmas[core.FullNoNak] > sigmas[core.FullNak]) {
+		t.Errorf("σ R1 %v should exceed R2 %v", sigmas[core.FullNoNak], sigmas[core.FullNak])
+	}
+	if !(sigmas[core.FullNak] > sigmas[core.GoBackN]) {
+		t.Errorf("σ R2 %v should exceed R3 %v", sigmas[core.FullNak], sigmas[core.GoBackN])
+	}
+	// R3 vs R4: selective no worse, but within a modest factor ("the
+	// improvement in performance is not very significant").
+	r3, r4 := float64(sigmas[core.GoBackN]), float64(sigmas[core.Selective])
+	if r4 > r3*1.10 {
+		t.Errorf("σ R4 %v materially worse than R3 %v", sigmas[core.Selective], sigmas[core.GoBackN])
+	}
+	if r4 < r3*0.4 {
+		t.Errorf("σ R4 %v suspiciously far below R3 %v (paper: marginal difference)",
+			sigmas[core.Selective], sigmas[core.GoBackN])
+	}
+}
+
+// Mean elapsed time barely differs across strategies in the flat region —
+// §3.1.3's "no significant improvements in expected time can be achieved by
+// more sophisticated retransmission strategies".
+func TestMeansNearlyEqualAcrossStrategies(t *testing.T) {
+	pn := 1e-4
+	m := params.VKernel()
+	errorFree := float64(analytic.TimeBlast(m, 64))
+	for _, s := range []core.Strategy{core.FullNoNak, core.FullNak, core.GoBackN, core.Selective} {
+		p := baseParams(s, pn)
+		p.Trials = 50000
+		est, err := Blast(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Even the crudest strategy stays within ~1.3 % of error-free here,
+		// so nothing smarter can buy a significant mean improvement.
+		if re := stats.RelErr(float64(est.Mean), errorFree); re > 0.02 {
+			t.Errorf("%v: mean %v vs error-free %v (rel err %.3f)", s, est.Mean, analytic.TimeBlast(m, 64), re)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := baseParams(core.GoBackN, 5e-2)
+	p.Trials = 5000
+	a, err := Blast(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Blast(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("estimates differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestHopelessLinkFails(t *testing.T) {
+	p := baseParams(core.GoBackN, 1)
+	p.Trials = 5
+	p.MaxRounds = 50
+	est, err := Blast(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Failures != p.Trials {
+		t.Errorf("failures = %d, want %d", est.Failures, p.Trials)
+	}
+}
+
+func TestCombinedLoss(t *testing.T) {
+	if got := CombinedLoss(params.LossModel{PNet: 0.1, PIface: 0.1}); stats.RelErr(got, 0.19) > 1e-12 {
+		t.Errorf("CombinedLoss = %g, want 0.19", got)
+	}
+	if got := CombinedLoss(params.NoLoss()); got != 0 {
+		t.Errorf("CombinedLoss(0) = %g", got)
+	}
+}

@@ -1,0 +1,171 @@
+package params
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestStandalonePreset(t *testing.T) {
+	m := Standalone3Com()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The preset must reproduce the paper's four constants exactly.
+	if got, want := m.C(), 1350*time.Microsecond; got != want {
+		t.Errorf("C = %v, want %v", got, want)
+	}
+	if got, want := m.Ca(), 170*time.Microsecond; got != want {
+		t.Errorf("Ca = %v, want %v", got, want)
+	}
+	// Wire times: 1024 B at 10 Mb/s = 819.2 µs (paper rounds to 0.82 ms),
+	// 64 B = 51.2 µs (paper: 51 µs).
+	if got, want := m.T(), time.Duration(1024*8)*time.Second/10_000_000; got != want {
+		t.Errorf("T = %v, want %v", got, want)
+	}
+	if got := m.T(); got < 819*time.Microsecond || got > 820*time.Microsecond {
+		t.Errorf("T = %v, want ≈ 820 µs", got)
+	}
+	if got := m.Ta(); got < 51*time.Microsecond || got > 52*time.Microsecond {
+		t.Errorf("Ta = %v, want ≈ 51 µs", got)
+	}
+}
+
+func TestVKernelPreset(t *testing.T) {
+	m := VKernel()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.C(), 1830*time.Microsecond; got != want {
+		t.Errorf("C = %v, want %v", got, want)
+	}
+	if got, want := m.Ca(), 670*time.Microsecond; got != want {
+		t.Errorf("Ca = %v, want %v", got, want)
+	}
+}
+
+func TestCopyTimeMonotonic(t *testing.T) {
+	m := Standalone3Com()
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return m.CopyTime(x) <= m.CopyTime(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCopyTimeNegativeClamped(t *testing.T) {
+	m := Standalone3Com()
+	if m.CopyTime(-5) != m.CopyTime(0) {
+		t.Error("negative size should clamp to zero")
+	}
+	if m.WireTime(-5) != m.WireTime(0) {
+		t.Error("negative size should clamp to zero")
+	}
+}
+
+func TestWireTimeLinear(t *testing.T) {
+	m := Standalone3Com()
+	f := func(a uint8) bool {
+		n := int(a)
+		// wire time of n bytes + wire time of n bytes == wire time of 2n bytes
+		// (within integer rounding of 1 ns per call).
+		lhs := m.WireTime(n) + m.WireTime(n)
+		rhs := m.WireTime(2 * n)
+		diff := lhs - rhs
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackets(t *testing.T) {
+	cases := []struct{ bytes, want int }{
+		{0, 0}, {-1, 0}, {1, 1}, {1023, 1}, {1024, 1}, {1025, 2},
+		{64 * 1024, 64}, {64*1024 + 1, 65},
+	}
+	for _, c := range cases {
+		if got := Packets(c.bytes); got != c.want {
+			t.Errorf("Packets(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	bad := []CostModel{
+		{Name: "no-bandwidth", TxBuffers: 1, RxBuffers: 1},
+		{Name: "neg-copy", BandwidthBitsPerSec: 1, CopyAckPkt: -1, TxBuffers: 1, RxBuffers: 1},
+		{Name: "inverted-copy", BandwidthBitsPerSec: 1, CopyDataPkt: 1, CopyAckPkt: 2, TxBuffers: 1, RxBuffers: 1},
+		{Name: "no-tx", BandwidthBitsPerSec: 1, RxBuffers: 1},
+		{Name: "no-rx", BandwidthBitsPerSec: 1, TxBuffers: 1},
+		{Name: "neg-prop", BandwidthBitsPerSec: 1, TxBuffers: 1, RxBuffers: 1, Propagation: -1},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", m.Name)
+		}
+	}
+	if err := Standalone3Com().Validate(); err != nil {
+		t.Errorf("standalone preset should validate: %v", err)
+	}
+}
+
+func TestDoubleBuffered(t *testing.T) {
+	m := DoubleBuffered(Standalone3Com())
+	if m.TxBuffers != 2 {
+		t.Errorf("TxBuffers = %d, want 2", m.TxBuffers)
+	}
+	// Costs are unchanged.
+	if m.C() != Standalone3Com().C() {
+		t.Error("double buffering must not change copy costs")
+	}
+}
+
+func TestLossModelValidate(t *testing.T) {
+	good := []LossModel{NoLoss(), TypicalEthernet(), FullSpeedInterfaces(),
+		{Burst: &GilbertElliott{PGood: 0.001, PBad: 0.5, PGoodToBad: 0.01, PBadToGood: 0.2}}}
+	for _, l := range good {
+		if err := l.Validate(); err != nil {
+			t.Errorf("%+v: unexpected error %v", l, err)
+		}
+	}
+	bad := []LossModel{{PNet: -0.1}, {PNet: 1.5}, {PIface: 2},
+		{Burst: &GilbertElliott{PGood: -1}}}
+	for _, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("%+v: expected error", l)
+		}
+	}
+}
+
+func TestGilbertElliottMeanLoss(t *testing.T) {
+	// Symmetric chain spends half its time in each state.
+	g := GilbertElliott{PGood: 0, PBad: 0.2, PGoodToBad: 0.1, PBadToGood: 0.1}
+	if got := g.MeanLoss(); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("MeanLoss = %g, want 0.1", got)
+	}
+	// Degenerate chain that never transitions stays in Good.
+	g2 := GilbertElliott{PGood: 0.03, PBad: 0.9}
+	if got := g2.MeanLoss(); got != 0.03 {
+		t.Errorf("MeanLoss = %g, want 0.03", got)
+	}
+}
+
+func TestOneKilobyteExchangeMatchesTable2(t *testing.T) {
+	// Table 2: C + T + C + Ca + Ta + Ca = 3.91 ms (sum of components).
+	m := Standalone3Com()
+	total := 2*m.C() + m.T() + 2*m.Ca() + m.Ta()
+	lo, hi := 3900*time.Microsecond, 3920*time.Microsecond
+	if total < lo || total > hi {
+		t.Errorf("1 KB exchange = %v, want ≈ 3.91 ms", total)
+	}
+}

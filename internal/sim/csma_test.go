@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"blastlan/internal/params"
+	"blastlan/internal/wire"
+)
+
+// Under no contention, CSMA/CD must produce exactly the same timing as the
+// FIFO medium — the property that keeps the paper's error-free numbers
+// valid in either mode.
+func TestCSMAUncontendedMatchesFIFO(t *testing.T) {
+	run := func(mode MediumMode) time.Duration {
+		k := NewKernel()
+		n, err := NewNetwork(k, params.Standalone3Com(), params.NoLoss(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Medium = mode
+		src, dst := n.AddStation("src"), n.AddStation("dst")
+		var done time.Duration
+		k.Go("sender", func(p *Proc) {
+			for i := 0; i < 8; i++ {
+				src.Send(p, dst, dataPkt(uint32(i)))
+			}
+			done = p.Now()
+		})
+		k.Go("receiver", func(p *Proc) {
+			for i := 0; i < 8; i++ {
+				dst.Recv(p, -1)
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if n.Collisions != 0 && mode == MediumCSMACD {
+			t.Fatalf("uncontended run collided %d times", n.Collisions)
+		}
+		return done
+	}
+	fifo := run(MediumFIFO)
+	csma := run(MediumCSMACD)
+	// CSMA adds only the 9.6 µs inter-frame gaps between back-to-back
+	// frames; with the serial sender (cycle C+T > T+ifg) even those vanish.
+	if diff := csma - fifo; diff < 0 || diff > 100*time.Microsecond {
+		t.Errorf("uncontended CSMA %v vs FIFO %v", csma, fifo)
+	}
+}
+
+// Two stations that defer behind the same busy period must collide, back
+// off, and both eventually deliver.
+func TestCSMACollisionAndRecovery(t *testing.T) {
+	k := NewKernel()
+	n, err := NewNetwork(k, params.Standalone3Com(), params.NoLoss(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Medium = MediumCSMACD
+	a := n.AddStation("a")
+	b := n.AddStation("b")
+	c := n.AddStation("c")
+	sink := n.AddStation("sink")
+	sink.SetSink()
+
+	// a seizes the medium first; b and c queue behind it and restart
+	// together when it goes idle → collision.
+	k.Go("a", func(p *Proc) { a.Send(p, sink, dataPkt(1)) })
+	k.Go("b", func(p *Proc) {
+		p.Sleep(100 * time.Microsecond) // arrive while a transmits
+		b.Send(p, sink, dataPkt(2))
+	})
+	k.Go("c", func(p *Proc) {
+		p.Sleep(120 * time.Microsecond)
+		c.Send(p, sink, dataPkt(3))
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Collisions == 0 {
+		t.Error("expected at least one collision")
+	}
+	if sink.Counters.RxPackets != 3 {
+		t.Errorf("delivered %d of 3 frames", sink.Counters.RxPackets)
+	}
+}
+
+// Background load slows a foreground transfer down, monotonically in the
+// offered load — the beyond-the-paper contention study.
+func TestLoadGeneratorContention(t *testing.T) {
+	elapsed := func(load float64) time.Duration {
+		k := NewKernel()
+		n, err := NewNetwork(k, params.Standalone3Com(), params.NoLoss(), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Medium = MediumCSMACD
+		src, dst := n.AddStation("src"), n.AddStation("dst")
+		bg := n.AddStation("bg")
+		sink := n.AddStation("sink")
+		sink.SetSink()
+		n.AddLoadGenerator(bg, sink, load, 1024)
+
+		var done time.Duration
+		const pkts = 16
+		k.Go("sender", func(p *Proc) {
+			for i := 0; i < pkts; i++ {
+				src.Send(p, dst, dataPkt(uint32(i)))
+			}
+			done = p.Now()
+		})
+		k.Go("receiver", func(p *Proc) {
+			for i := 0; i < pkts; i++ {
+				if _, err := dst.Recv(p, 5*time.Second); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		})
+		// The generator never lets the event heap drain, so drive the
+		// kernel step by step until the foreground transfer completes.
+		if err := runUntilSettled(k, &done); err != nil {
+			t.Fatal(err)
+		}
+		if done == 0 {
+			t.Fatal("transfer never completed under load")
+		}
+		return done
+	}
+	base := elapsed(0)
+	mid := elapsed(0.3)
+	high := elapsed(0.7)
+	if !(base < mid && mid < high) {
+		t.Errorf("elapsed not monotone in load: %v %v %v", base, mid, high)
+	}
+	// Low load barely hurts (the paper's operating assumption).
+	if float64(mid) > 1.6*float64(base) {
+		t.Errorf("30%% load tripled the transfer? %v vs %v", mid, base)
+	}
+}
+
+// runUntilSettled drives the kernel until the foreground measurement is
+// taken, then stops; infinite background generators otherwise keep the
+// event heap non-empty forever.
+func runUntilSettled(k *Kernel, done *time.Duration) error {
+	for i := 0; i < 5_000_000; i++ {
+		more, err := k.Step()
+		if err != nil {
+			return err
+		}
+		if *done != 0 || !more {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Excessive collisions must surface as wire drops, not hangs.
+func TestExcessiveCollisionsDrop(t *testing.T) {
+	k := NewKernel()
+	n, err := NewNetwork(k, params.Standalone3Com(), params.NoLoss(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Medium = MediumCSMACD
+	// Force perpetual collisions: the rng can't save stations that always
+	// pick slot 0 — so instead verify the counter plumbing by checking the
+	// attempts path with many contenders, which makes ≥1 excessive drop
+	// plausible but not guaranteed; assert only consistency.
+	stations := make([]*Station, 6)
+	sink := n.AddStation("sink")
+	sink.SetSink()
+	for i := range stations {
+		stations[i] = n.AddStation(string(rune('a' + i)))
+	}
+	for i, s := range stations {
+		s := s
+		i := i
+		k.Go(s.Name, func(p *Proc) {
+			p.Sleep(time.Duration(i) * 10 * time.Microsecond)
+			for j := 0; j < 10; j++ {
+				s.Send(p, sink, dataPkt(uint32(j)))
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	delivered := sink.Counters.RxPackets
+	dropped := sink.Counters.WireDrops
+	if delivered+dropped != 60 {
+		t.Errorf("delivered %d + dropped %d != 60", delivered, dropped)
+	}
+	if n.Collisions == 0 {
+		t.Error("six contenders should collide")
+	}
+}
+
+func TestBackgroundPacketsTagged(t *testing.T) {
+	p := &wire.Packet{Trans: backgroundTransferID}
+	if p.Trans != 0xBAC46F0A {
+		t.Error("background tag changed; update protocol filters if intentional")
+	}
+}

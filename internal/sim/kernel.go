@@ -1,0 +1,324 @@
+// Package sim is a deterministic, process-based discrete-event simulator.
+//
+// It exists to stand in for the paper's hardware testbed (two SUN
+// workstations on an idle 10 Mb/s Ethernet): simulated "processes" are
+// goroutine coroutines that execute the paper's busy-wait protocol programs
+// in virtual time, charging CPU time for packet copies, occupying a
+// half-duplex medium for transmissions, and suffering seeded packet loss.
+//
+// Scheduling is strictly sequential: the kernel resumes exactly one process
+// at a time and waits for it to block again before advancing the clock, so
+// a given seed always produces an identical execution. Events at equal
+// times fire in schedule order.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kernel is the event loop and virtual clock. Create one with NewKernel,
+// spawn processes with Go, then call Run.
+type Kernel struct {
+	now     time.Duration
+	events  eventHeap
+	seq     uint64
+	yielded chan struct{}
+	live    int // non-daemon processes that have not finished
+	failure error
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{yielded: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// event is a scheduled callback. fire runs in kernel context.
+type event struct {
+	at        time.Duration
+	seq       uint64
+	fire      func()
+	cancelled bool
+}
+
+// Timer is a handle for a scheduled event that may be cancelled.
+type Timer struct{ ev *event }
+
+// Cancel prevents the event from firing. Safe to call multiple times and
+// after the event has fired.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.ev.cancelled = true
+	}
+}
+
+// Schedule registers fire to run at absolute virtual time at (clamped to
+// now). It may be called from process context or from event callbacks.
+func (k *Kernel) Schedule(at time.Duration, fire func()) *Timer {
+	if at < k.now {
+		at = k.now
+	}
+	ev := &event{at: at, seq: k.seq, fire: fire}
+	k.seq++
+	k.events.push(ev)
+	return &Timer{ev: ev}
+}
+
+// After registers fire to run d from now.
+func (k *Kernel) After(d time.Duration, fire func()) *Timer {
+	return k.Schedule(k.now+d, fire)
+}
+
+// Run drives the simulation until no events remain, then reports an error
+// if non-daemon processes are still blocked (deadlock) or a process
+// panicked.
+func (k *Kernel) Run() error {
+	for k.events.len() > 0 && k.failure == nil {
+		ev := k.events.pop()
+		if ev.cancelled {
+			continue
+		}
+		k.now = ev.at
+		ev.fire()
+	}
+	if k.failure != nil {
+		return k.failure
+	}
+	if k.live > 0 {
+		return fmt.Errorf("sim: deadlock: %d process(es) blocked with no pending events at t=%v", k.live, k.now)
+	}
+	return nil
+}
+
+// Step processes the next pending event. It reports whether an event was
+// processed (false means the heap is empty) and any recorded failure.
+// Callers use it to drive simulations containing unbounded background
+// activity — load generators never let the event heap drain, so Run would
+// never return.
+func (k *Kernel) Step() (bool, error) {
+	for k.events.len() > 0 {
+		if k.failure != nil {
+			return false, k.failure
+		}
+		ev := k.events.pop()
+		if ev.cancelled {
+			continue
+		}
+		k.now = ev.at
+		ev.fire()
+		return true, k.failure
+	}
+	return false, k.failure
+}
+
+// fail records a fatal simulation error; Run returns it after the current
+// event completes.
+func (k *Kernel) fail(err error) {
+	if k.failure == nil {
+		k.failure = err
+	}
+}
+
+// wake carries the reason a process was resumed.
+type wake struct{ timedOut bool }
+
+// Proc is a simulated process. All Proc methods must be called from the
+// process's own goroutine (i.e. inside the function passed to Go).
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan wake
+	daemon bool
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.k.now }
+
+// Go spawns a process that begins executing at the current virtual time.
+func (k *Kernel) Go(name string, fn func(*Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan wake)}
+	k.live++
+	k.Schedule(k.now, func() {
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					k.fail(fmt.Errorf("sim: process %q panicked: %v", name, r))
+				}
+				if !p.daemon {
+					k.live--
+				}
+				k.yielded <- struct{}{}
+			}()
+			fn(p)
+		}()
+		<-k.yielded
+	})
+	return p
+}
+
+// Daemon marks the process as a background service: Run will not consider it
+// for deadlock detection when it remains blocked after all work completes.
+func (p *Proc) Daemon() {
+	if !p.daemon {
+		p.daemon = true
+		p.k.live--
+	}
+}
+
+// handoff transfers control to p and waits until it blocks or finishes.
+// Must only be called from kernel context (event callbacks).
+func (k *Kernel) handoff(p *Proc, w wake) {
+	p.resume <- w
+	<-k.yielded
+}
+
+// yield returns control to the kernel and blocks until resumed.
+func (p *Proc) yield() wake {
+	p.k.yielded <- struct{}{}
+	return <-p.resume
+}
+
+// Sleep advances the process by d of busy virtual time (modelling CPU work
+// or waiting); other processes run meanwhile.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	k := p.k
+	k.Schedule(k.now+d, func() { k.handoff(p, wake{}) })
+	p.yield()
+}
+
+// Signal is a broadcast condition variable in virtual time. The zero value
+// is ready to use. It must only be touched from kernel or process context
+// of a single kernel.
+type Signal struct {
+	waiters []*svwaiter
+}
+
+type svwaiter struct {
+	p     *Proc
+	woken bool
+	timer *Timer
+}
+
+// Wait blocks the process until the signal is broadcast or timeout elapses
+// (timeout < 0 waits forever). It reports whether the wait timed out.
+func (p *Proc) Wait(s *Signal, timeout time.Duration) (timedOut bool) {
+	w := &svwaiter{p: p}
+	s.waiters = append(s.waiters, w)
+	if timeout >= 0 {
+		w.timer = p.k.Schedule(p.k.now+timeout, func() {
+			if w.woken {
+				return
+			}
+			w.woken = true
+			s.remove(w)
+			p.k.handoff(p, wake{timedOut: true})
+		})
+	}
+	return p.yield().timedOut
+}
+
+// WaitCond blocks until cond() holds, rechecking on every broadcast of s.
+// deadline is an absolute virtual time; negative means no deadline. It
+// reports whether cond() held when it returned (false means the deadline
+// passed first).
+func (p *Proc) WaitCond(s *Signal, deadline time.Duration, cond func() bool) bool {
+	for !cond() {
+		timeout := time.Duration(-1)
+		if deadline >= 0 {
+			timeout = deadline - p.k.now
+			if timeout < 0 {
+				return false
+			}
+		}
+		if p.Wait(s, timeout) {
+			return cond()
+		}
+	}
+	return true
+}
+
+// Broadcast wakes every current waiter. New waiters arriving after the call
+// are unaffected. Wakeups are scheduled at the current time in FIFO order.
+func (s *Signal) Broadcast(k *Kernel) {
+	for _, w := range s.waiters {
+		w := w
+		if w.woken {
+			continue
+		}
+		w.woken = true
+		w.timer.Cancel()
+		k.Schedule(k.now, func() { k.handoff(w.p, wake{}) })
+	}
+	s.waiters = s.waiters[:0]
+}
+
+func (s *Signal) remove(w *svwaiter) {
+	for i, x := range s.waiters {
+		if x == w {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// eventHeap is a binary min-heap ordered by (at, seq).
+type eventHeap struct{ xs []*event }
+
+func (h *eventHeap) len() int { return len(h.xs) }
+
+func (h *eventHeap) less(i, j int) bool {
+	if h.xs[i].at != h.xs[j].at {
+		return h.xs[i].at < h.xs[j].at
+	}
+	return h.xs[i].seq < h.xs[j].seq
+}
+
+func (h *eventHeap) push(ev *event) {
+	h.xs = append(h.xs, ev)
+	i := len(h.xs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.xs[i], h.xs[parent] = h.xs[parent], h.xs[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() *event {
+	top := h.xs[0]
+	last := len(h.xs) - 1
+	h.xs[0] = h.xs[last]
+	h.xs[last] = nil
+	h.xs = h.xs[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.xs) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.xs) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.xs[i], h.xs[smallest] = h.xs[smallest], h.xs[i]
+		i = smallest
+	}
+	return top
+}

@@ -1,0 +1,359 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"blastlan/internal/ether"
+	"blastlan/internal/params"
+	"blastlan/internal/wire"
+)
+
+// Span is one rectangle of simulated activity, consumed by the trace
+// package to render the paper's Figure 2/3 timelines.
+type Span struct {
+	Host  string // station name, or "net" for the wire
+	Lane  string // LaneCPU or LaneWire
+	Label string
+	Start time.Duration
+	End   time.Duration
+}
+
+// Lane names used in trace spans.
+const (
+	LaneCPU  = "cpu"
+	LaneWire = "wire"
+)
+
+// Network models the paper's measurement set-up: stations attached to one
+// half-duplex broadcast medium, with per-packet copy costs charged to the
+// station CPUs and seeded loss processes on the wire and in the receiving
+// interfaces.
+type Network struct {
+	K    *Kernel
+	Cost params.CostModel
+	Loss params.LossModel
+
+	// Trace, if non-nil, receives one Span per copy and transmission.
+	Trace func(Span)
+
+	// Medium selects the arbitration discipline: MediumFIFO (default,
+	// the paper's uncontended setting) or MediumCSMACD (collisions and
+	// exponential backoff, for the load extension).
+	Medium MediumMode
+
+	// DropFilter, when non-nil, is consulted for every delivery before the
+	// probabilistic loss models: returning true drops the packet (counted
+	// as a wire drop). Tests use it to inject precisely targeted failures
+	// — "lose exactly the final acknowledgement of round one" — that
+	// seed-hunting cannot express.
+	DropFilter func(pkt *wire.Packet, to *Station) bool
+
+	// Collisions and ExcessiveCollisions count CSMA/CD events.
+	Collisions          int64
+	ExcessiveCollisions int64
+
+	rng      *rand.Rand
+	stations []*Station
+
+	// medium state: at most one frame on the wire at a time; contenders
+	// queue (FIFO order, or CSMA/CD contention set).
+	mediumBusy bool
+	mediumQ    []*txJob
+
+	geBad bool // Gilbert–Elliott loss-process state
+}
+
+// NewNetwork validates the models and returns an empty network.
+func NewNetwork(k *Kernel, cost params.CostModel, loss params.LossModel, seed int64) (*Network, error) {
+	if err := cost.Validate(); err != nil {
+		return nil, err
+	}
+	if err := loss.Validate(); err != nil {
+		return nil, err
+	}
+	return &Network{K: k, Cost: cost, Loss: loss, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Counters accumulates per-station totals for experiment reporting.
+type Counters struct {
+	TxPackets  int64
+	TxBytes    int64
+	RxPackets  int64
+	RxBytes    int64
+	WireDrops  int64 // lost on the medium (the paper's network errors)
+	IfaceDrops int64 // lost in the receiving interface (the paper's interface errors)
+	Overruns   int64 // arrived while all receive buffers were full
+}
+
+// Station is one host plus its network interface.
+type Station struct {
+	net  *Network
+	Name string
+	Addr ether.Addr
+
+	Counters Counters
+
+	rxq   []*wire.Packet
+	rxSig Signal
+
+	txFree int
+	txSig  Signal
+
+	sink bool
+}
+
+// SetSink marks the station as a traffic sink: delivered packets are
+// counted and discarded without occupying receive buffers. Load-generator
+// destinations use this so background frames never overrun a real
+// receiver.
+func (s *Station) SetSink() { s.sink = true }
+
+// txJob tracks one packet through the transmit path.
+type txJob struct {
+	from *Station
+	to   *Station
+	pkt  *wire.Packet
+	done bool
+	sig  Signal
+	// attempts counts CSMA/CD collisions suffered by this frame.
+	attempts int
+	// detached jobs (background traffic) own no transmit buffer and no
+	// waiting process.
+	detached bool
+}
+
+// AddStation attaches a new station to the network.
+func (n *Network) AddStation(name string) *Station {
+	s := &Station{
+		net:    n,
+		Name:   name,
+		Addr:   ether.HostAddr(len(n.stations) + 1),
+		txFree: n.Cost.TxBuffers,
+	}
+	n.stations = append(n.stations, s)
+	return s
+}
+
+// Stations returns the attached stations in attachment order.
+func (n *Network) Stations() []*Station { return n.stations }
+
+func (n *Network) span(host, lane, label string, start, end time.Duration) {
+	if n.Trace != nil {
+		n.Trace(Span{Host: host, Lane: lane, Label: label, Start: start, End: end})
+	}
+}
+
+// typeLabel names a packet for trace spans; the post-measurement FIN gets
+// its own label so timeline renderers can separate protocol activity from
+// teardown housekeeping.
+func typeLabel(p *wire.Packet) string {
+	if p.Type == wire.TypeAck && p.Flags&wire.FlagDone != 0 {
+		return "FIN"
+	}
+	return p.Type.String()
+}
+
+// Send copies the packet into the interface and waits for the transmission
+// to complete (the paper's single-buffered busy-wait semantics). It must be
+// called from process context.
+func (s *Station) Send(p *Proc, to *Station, pkt *wire.Packet) {
+	job := s.beginSend(p, to, pkt)
+	p.WaitCond(&job.sig, -1, func() bool { return job.done })
+}
+
+// SendAsync copies the packet into a free interface buffer and returns as
+// soon as the copy completes; the interface transmits in the background
+// (the double-buffered semantics of §2.1.3/Figure 3.d). If all transmit
+// buffers are busy the call waits for one to free.
+func (s *Station) SendAsync(p *Proc, to *Station, pkt *wire.Packet) {
+	s.beginSend(p, to, pkt)
+}
+
+// Drain blocks until all of the station's transmit buffers are idle,
+// ensuring previously issued SendAsync transmissions have left the wire.
+func (s *Station) Drain(p *Proc) {
+	p.WaitCond(&s.txSig, -1, func() bool { return s.txFree == s.net.Cost.TxBuffers })
+}
+
+func (s *Station) beginSend(p *Proc, to *Station, pkt *wire.Packet) *txJob {
+	if to == nil || to == s {
+		panic(fmt.Sprintf("sim: station %s: invalid send destination", s.Name))
+	}
+	k := s.net.K
+	// Acquire a transmit buffer.
+	p.WaitCond(&s.txSig, -1, func() bool { return s.txFree > 0 })
+	s.txFree--
+	// Copy the packet into the interface: CPU time on this station.
+	size := pkt.WireSize()
+	start := k.Now()
+	p.Sleep(s.net.Cost.CopyTime(size))
+	s.net.span(s.Name, LaneCPU, "in:"+typeLabel(pkt), start, k.Now())
+	s.Counters.TxPackets++
+	s.Counters.TxBytes += int64(size)
+	job := &txJob{from: s, to: to, pkt: pkt.Clone()}
+	s.net.enqueueTx(job)
+	return job
+}
+
+// enqueueTx starts the transmission if the medium is idle, else queues it
+// under the configured arbitration discipline.
+func (n *Network) enqueueTx(job *txJob) {
+	if n.Medium == MediumCSMACD {
+		n.csmaEnqueue(job)
+		return
+	}
+	if n.mediumBusy {
+		n.mediumQ = append(n.mediumQ, job)
+		return
+	}
+	n.startTx(job)
+}
+
+func (n *Network) startTx(job *txJob) {
+	n.mediumBusy = true
+	k := n.K
+	size := job.pkt.WireSize()
+	wireTime := n.Cost.WireTime(size)
+	start := k.Now()
+	k.After(wireTime, func() {
+		n.span("net", LaneWire, fmt.Sprintf("%s %d", typeLabel(job.pkt), job.pkt.Seq), start, k.Now())
+		n.mediumBusy = false
+		// Propagation: the frame is fully received τ after the last bit
+		// leaves the sender.
+		pkt := job.pkt
+		to := job.to
+		k.After(n.Cost.Propagation, func() { n.deliver(to, pkt) })
+		// Free the sender's buffer and wake anyone waiting on it.
+		n.finishTx(job)
+		// Medium is free: start the next queued transmission, FIFO.
+		if len(n.mediumQ) > 0 {
+			next := n.mediumQ[0]
+			n.mediumQ = append(n.mediumQ[:0], n.mediumQ[1:]...)
+			n.startTx(next)
+		}
+	})
+}
+
+// deliver applies the loss model and enqueues the packet in the receiver.
+func (n *Network) deliver(to *Station, pkt *wire.Packet) {
+	if n.DropFilter != nil && n.DropFilter(pkt, to) {
+		to.Counters.WireDrops++
+		return
+	}
+	if n.wireLost() {
+		to.Counters.WireDrops++
+		return
+	}
+	if n.Loss.PIface > 0 && n.rng.Float64() < n.Loss.PIface {
+		to.Counters.IfaceDrops++
+		return
+	}
+	if to.sink {
+		to.Counters.RxPackets++
+		to.Counters.RxBytes += int64(pkt.WireSize())
+		return
+	}
+	if len(to.rxq) >= n.Cost.RxBuffers {
+		to.Counters.Overruns++
+		return
+	}
+	to.rxq = append(to.rxq, pkt)
+	to.rxSig.Broadcast(n.K)
+}
+
+// wireLost draws from the configured wire-loss process.
+func (n *Network) wireLost() bool {
+	if g := n.Loss.Burst; g != nil {
+		// Advance the Gilbert–Elliott chain one packet, then draw from the
+		// new state's loss probability.
+		if n.geBad {
+			if n.rng.Float64() < g.PBadToGood {
+				n.geBad = false
+			}
+		} else {
+			if n.rng.Float64() < g.PGoodToBad {
+				n.geBad = true
+			}
+		}
+		p := g.PGood
+		if n.geBad {
+			p = g.PBad
+		}
+		return n.rng.Float64() < p
+	}
+	return n.Loss.PNet > 0 && n.rng.Float64() < n.Loss.PNet
+}
+
+// Recv blocks until a packet has been copied out of the interface and
+// returns it. timeout < 0 waits forever; on expiry Recv returns
+// os.ErrDeadlineExceeded (matching net.Conn deadline semantics, so protocol
+// code is substrate-agnostic). The copy out of the interface is charged to
+// this station's CPU. Single consumer per station.
+func (s *Station) Recv(p *Proc, timeout time.Duration) (*wire.Packet, error) {
+	k := s.net.K
+	deadline := time.Duration(-1)
+	if timeout >= 0 {
+		deadline = k.Now() + timeout
+	}
+	if !p.WaitCond(&s.rxSig, deadline, func() bool { return len(s.rxq) > 0 }) {
+		return nil, os.ErrDeadlineExceeded
+	}
+	pkt := s.rxq[0]
+	size := pkt.WireSize()
+	start := k.Now()
+	p.Sleep(s.net.Cost.CopyTime(size))
+	s.net.span(s.Name, LaneCPU, "out:"+typeLabel(pkt), start, k.Now())
+	// The buffer is occupied until the copy completes.
+	s.rxq = append(s.rxq[:0], s.rxq[1:]...)
+	s.Counters.RxPackets++
+	s.Counters.RxBytes += int64(size)
+	return pkt, nil
+}
+
+// FlushRx discards any packets queued in the receive interface without
+// charging copy time (used between Monte-Carlo attempts that model a
+// restart, and by tests).
+func (s *Station) FlushRx() int {
+	n := len(s.rxq)
+	s.rxq = s.rxq[:0]
+	return n
+}
+
+// Endpoint adapts a (process, station, peer) triple to the Env interface the
+// protocol engines in internal/core are written against.
+type Endpoint struct {
+	P    *Proc
+	St   *Station
+	Peer *Station
+}
+
+// NewEndpoint binds a process to its station and peer.
+func NewEndpoint(p *Proc, st, peer *Station) *Endpoint {
+	return &Endpoint{P: p, St: st, Peer: peer}
+}
+
+// Now returns the current virtual time.
+func (e *Endpoint) Now() time.Duration { return e.P.Now() }
+
+// Compute charges d of CPU time to this endpoint's host.
+func (e *Endpoint) Compute(d time.Duration) { e.P.Sleep(d) }
+
+// Send transmits synchronously (single-buffered semantics).
+func (e *Endpoint) Send(pkt *wire.Packet) error {
+	e.St.Send(e.P, e.Peer, pkt)
+	return nil
+}
+
+// SendAsync transmits with double-buffered semantics.
+func (e *Endpoint) SendAsync(pkt *wire.Packet) error {
+	e.St.SendAsync(e.P, e.Peer, pkt)
+	return nil
+}
+
+// Recv waits for the next packet.
+func (e *Endpoint) Recv(timeout time.Duration) (*wire.Packet, error) {
+	return e.St.Recv(e.P, timeout)
+}

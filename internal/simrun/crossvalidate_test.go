@@ -1,0 +1,128 @@
+package simrun
+
+import (
+	"testing"
+	"time"
+
+	"blastlan/internal/analytic"
+	"blastlan/internal/core"
+	"blastlan/internal/mc"
+	"blastlan/internal/params"
+	"blastlan/internal/stats"
+)
+
+// desEstimate runs `trials` independent DES transfers and summarises the
+// sender elapsed-time distribution.
+func desEstimate(t *testing.T, cfg core.Config, opt Options, trials int) (mean, sigma time.Duration) {
+	t.Helper()
+	var acc stats.Durations
+	for i := 0; i < trials; i++ {
+		o := opt
+		o.Seed = opt.Seed + int64(i)
+		res, err := Transfer(cfg, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed() {
+			t.Fatalf("trial %d failed: %v %v", i, res.SendErr, res.RecvErr)
+		}
+		acc.Add(res.Send.Elapsed)
+	}
+	return acc.Mean(), acc.StdDev()
+}
+
+// The strategy-level Monte Carlo must agree with the cycle-accurate DES on
+// both mean and standard deviation: they are independent implementations of
+// the same protocol semantics.
+func TestMonteCarloMatchesDES(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation is slow")
+	}
+	m := params.VKernel()
+	tr := analytic.TimeBlast(m, 64) // Tr = T0(D)
+	pn := 2e-2                      // lossy enough for σ to be measurable with few DES trials
+	for _, s := range []core.Strategy{core.FullNoNak, core.FullNak, core.GoBackN, core.Selective} {
+		cfg := core.Config{
+			TransferID:     1,
+			Bytes:          64 * 1024,
+			Protocol:       core.Blast,
+			Strategy:       s,
+			RetransTimeout: tr,
+		}
+		desMean, desSigma := desEstimate(t, cfg,
+			Options{Cost: m, Loss: params.LossModel{PNet: pn}, Seed: 10_000}, 800)
+
+		est, err := mc.Blast(mc.Params{
+			Cost: m, D: 64, PN: pn, Tr: tr, Strategy: s, Trials: 120000, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re := stats.RelErr(float64(desMean), float64(est.Mean)); re > 0.03 {
+			t.Errorf("%v: DES mean %v vs MC mean %v (rel err %.3f)", s, desMean, est.Mean, re)
+		}
+		// σ needs wider tolerance: 800 DES trials give ±~7 % sampling error.
+		if re := stats.RelErr(float64(desSigma), float64(est.StdDev)); re > 0.20 {
+			t.Errorf("%v: DES σ %v vs MC σ %v (rel err %.3f)", s, desSigma, est.StdDev, re)
+		}
+	}
+}
+
+// Same cross-validation for stop-and-wait.
+func TestMonteCarloMatchesDESStopAndWait(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation is slow")
+	}
+	m := params.VKernel()
+	tr := 10 * analytic.TimeStopAndWait(m, 1) // Tr = 10·T0(1), Figure 5 setting
+	pn := 2e-2
+	cfg := core.Config{
+		TransferID:     1,
+		Bytes:          64 * 1024,
+		Protocol:       core.StopAndWait,
+		RetransTimeout: tr,
+	}
+	desMean, desSigma := desEstimate(t, cfg,
+		Options{Cost: m, Loss: params.LossModel{PNet: pn}, Seed: 50_000}, 500)
+	est, err := mc.StopAndWait(mc.Params{
+		Cost: m, D: 64, PN: pn, Tr: tr, Trials: 120000, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := stats.RelErr(float64(desMean), float64(est.Mean)); re > 0.03 {
+		t.Errorf("DES mean %v vs MC mean %v (rel err %.3f)", desMean, est.Mean, re)
+	}
+	if re := stats.RelErr(float64(desSigma), float64(est.StdDev)); re > 0.25 {
+		t.Errorf("DES σ %v vs MC σ %v (rel err %.3f)", desSigma, est.StdDev, re)
+	}
+}
+
+// Interface drops and wire drops compose: the DES with both loss processes
+// must match the MC fed the combined probability.
+func TestCombinedLossMatchesDES(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation is slow")
+	}
+	m := params.VKernel()
+	tr := analytic.TimeBlast(m, 64)
+	loss := params.LossModel{PNet: 1e-2, PIface: 1e-2}
+	cfg := core.Config{
+		TransferID:     1,
+		Bytes:          64 * 1024,
+		Protocol:       core.Blast,
+		Strategy:       core.GoBackN,
+		RetransTimeout: tr,
+	}
+	desMean, _ := desEstimate(t, cfg, Options{Cost: m, Loss: loss, Seed: 90_000}, 500)
+	est, err := mc.Blast(mc.Params{
+		Cost: m, D: 64, PN: mc.CombinedLoss(loss), Tr: tr,
+		Strategy: core.GoBackN, Trials: 100000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := stats.RelErr(float64(desMean), float64(est.Mean)); re > 0.03 {
+		t.Errorf("DES mean %v vs MC mean %v (rel err %.3f)", desMean, est.Mean, re)
+	}
+}

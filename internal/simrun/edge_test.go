@@ -1,0 +1,234 @@
+package simrun
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"blastlan/internal/core"
+	"blastlan/internal/params"
+	"blastlan/internal/sim"
+	"blastlan/internal/wire"
+)
+
+// Targeted fault injection: drop exactly the first positive acknowledgement
+// of a blast. The sender must time out, retransmit the sequence (FullNoNak
+// has no other recovery), and the lingering receiver must re-acknowledge.
+func TestDropExactlyTheFinalAck(t *testing.T) {
+	cfg := paper64K(core.Blast, core.FullNoNak)
+	acksSeen := 0
+	res, err := Transfer(cfg, Options{
+		Cost: params.VKernel(),
+		DropFilter: func(pkt *wire.Packet, to *sim.Station) bool {
+			if pkt.Type == wire.TypeAck {
+				acksSeen++
+				return acksSeen == 1 // lose only the first ack
+			}
+			return false
+		},
+	})
+	if err != nil || res.Failed() {
+		t.Fatal(err, res.SendErr, res.RecvErr)
+	}
+	if res.Send.Timeouts != 1 {
+		t.Errorf("timeouts = %d, want exactly 1", res.Send.Timeouts)
+	}
+	if res.Send.Retransmits != 64 {
+		t.Errorf("retransmits = %d, want the full sequence (64)", res.Send.Retransmits)
+	}
+	if res.Recv.LingerEvents == 0 {
+		t.Error("the retransmitted round must be handled by the lingering receiver")
+	}
+	// Elapsed ≈ 2 rounds + Tr.
+	want := 2*(64*(params.VKernel().C()+params.VKernel().T())) + cfg.RetransTimeout
+	if res.Send.Elapsed < want || res.Send.Elapsed > want+10*time.Millisecond {
+		t.Errorf("elapsed %v, want ≈ %v", res.Send.Elapsed, want)
+	}
+}
+
+// Drop exactly one mid-sequence data packet: go-back-n must resend the
+// suffix, selective only the single packet.
+func TestDropExactlyOneDataPacket(t *testing.T) {
+	dropSeq5 := func() func(pkt *wire.Packet, to *sim.Station) bool {
+		dropped := false
+		return func(pkt *wire.Packet, to *sim.Station) bool {
+			if !dropped && pkt.Type == wire.TypeData && pkt.Seq == 5 {
+				dropped = true
+				return true
+			}
+			return false
+		}
+	}
+
+	gbn, err := Transfer(paper64K(core.Blast, core.GoBackN),
+		Options{Cost: params.VKernel(), DropFilter: dropSeq5()})
+	if err != nil || gbn.Failed() {
+		t.Fatal(err, gbn.SendErr)
+	}
+	// Go-back-n resends 5..63: 59 packets.
+	if gbn.Send.Retransmits != 59 {
+		t.Errorf("go-back-n retransmits = %d, want 59", gbn.Send.Retransmits)
+	}
+	if gbn.Recv.Duplicates != 58 { // 6..63 arrive twice
+		t.Errorf("go-back-n dups = %d, want 58", gbn.Recv.Duplicates)
+	}
+
+	sel, err := Transfer(paper64K(core.Blast, core.Selective),
+		Options{Cost: params.VKernel(), DropFilter: dropSeq5()})
+	if err != nil || sel.Failed() {
+		t.Fatal(err, sel.SendErr)
+	}
+	if sel.Send.Retransmits != 1 {
+		t.Errorf("selective retransmits = %d, want 1", sel.Send.Retransmits)
+	}
+	if sel.Recv.Duplicates != 0 {
+		t.Errorf("selective dups = %d, want 0", sel.Recv.Duplicates)
+	}
+	// §3.2.4's quantitative comparison on this exact scenario.
+	if sel.Send.Elapsed >= gbn.Send.Elapsed {
+		t.Errorf("selective %v should beat go-back-n %v here", sel.Send.Elapsed, gbn.Send.Elapsed)
+	}
+}
+
+// Drop the FlagLast packet itself: R3 retries only the reliable last.
+func TestDropReliableLast(t *testing.T) {
+	dropped := 0
+	res, err := Transfer(paper64K(core.Blast, core.GoBackN), Options{
+		Cost: params.VKernel(),
+		DropFilter: func(pkt *wire.Packet, to *sim.Station) bool {
+			if pkt.Type == wire.TypeData && pkt.IsLast() && dropped < 2 {
+				dropped++
+				return true // lose the reliable last twice
+			}
+			return false
+		},
+	})
+	if err != nil || res.Failed() {
+		t.Fatal(err, res.SendErr)
+	}
+	// Only the last packet is retried — twice — not the window.
+	if res.Send.Retransmits != 2 {
+		t.Errorf("retransmits = %d, want 2 (reliable-last only)", res.Send.Retransmits)
+	}
+	if res.Send.Timeouts != 2 {
+		t.Errorf("timeouts = %d, want 2", res.Send.Timeouts)
+	}
+}
+
+// A NAK lost on the way back: the sender times out and (for go-back-n)
+// retries the reliable last; the receiver re-NAKs; recovery proceeds.
+func TestDropTheNak(t *testing.T) {
+	droppedData, droppedNak := false, false
+	res, err := Transfer(paper64K(core.Blast, core.GoBackN), Options{
+		Cost: params.VKernel(),
+		DropFilter: func(pkt *wire.Packet, to *sim.Station) bool {
+			if !droppedData && pkt.Type == wire.TypeData && pkt.Seq == 10 {
+				droppedData = true
+				return true
+			}
+			if !droppedNak && pkt.Type == wire.TypeNak {
+				droppedNak = true
+				return true
+			}
+			return false
+		},
+	})
+	if err != nil || res.Failed() {
+		t.Fatal(err, res.SendErr)
+	}
+	if res.Recv.NaksSent < 2 {
+		t.Errorf("naks sent = %d, want ≥ 2 (the first was lost)", res.Recv.NaksSent)
+	}
+	if res.Send.Timeouts == 0 {
+		t.Error("the lost NAK must cost a timeout")
+	}
+}
+
+// Degenerate geometries.
+func TestEdgeGeometries(t *testing.T) {
+	cases := []core.Config{
+		{Bytes: 1, Protocol: core.Blast, Strategy: core.GoBackN},                      // 1-byte transfer
+		{Bytes: 1, Protocol: core.StopAndWait},                                        // 1 byte SAW
+		{Bytes: 1536, ChunkSize: 1536, Protocol: core.Blast},                          // paper's max packet
+		{Bytes: 3 * 1536, ChunkSize: 1536, Protocol: core.SlidingWindow},              // max packets, SW
+		{Bytes: 10 * 1024, Protocol: core.Blast, Window: 1, Strategy: core.GoBackN},   // every packet its own blast
+		{Bytes: 999, ChunkSize: 1000, Protocol: core.Blast, Strategy: core.Selective}, // chunk > bytes
+		{Bytes: 64*1024 + 1, Protocol: core.Blast, Strategy: core.FullNak},            // ragged last
+	}
+	for i, cfg := range cases {
+		cfg.TransferID = uint32(i + 1)
+		cfg.RetransTimeout = 100 * time.Millisecond
+		res, err := Transfer(cfg, Options{Cost: params.Standalone3Com()})
+		if err != nil || res.Failed() {
+			t.Fatalf("case %d (%+v): %v %v %v", i, cfg, err, res.SendErr, res.RecvErr)
+		}
+		if res.Recv.Bytes != cfg.Bytes {
+			t.Fatalf("case %d: got %d bytes, want %d", i, res.Recv.Bytes, cfg.Bytes)
+		}
+		// Window=1 means one ack per packet.
+		if cfg.Window == 1 && res.Send.AcksReceived != cfg.NumPackets() {
+			t.Errorf("case %d: acks = %d, want %d", i, res.Send.AcksReceived, cfg.NumPackets())
+		}
+	}
+}
+
+// Tr below the response latency: pathological but must still terminate —
+// the sender's premature timeout retries the last packet, and a queued ack
+// is found on the next wait.
+func TestTimeoutBelowResponseLatency(t *testing.T) {
+	cfg := paper64K(core.Blast, core.GoBackN)
+	cfg.RetransTimeout = time.Millisecond // ≪ response latency ≈ 3.2 ms
+	res, err := Transfer(cfg, Options{Cost: params.VKernel()})
+	if err != nil || res.Failed() {
+		t.Fatal(err, res.SendErr, res.RecvErr)
+	}
+	if res.Send.Timeouts == 0 {
+		t.Error("premature Tr must cause timeouts")
+	}
+	if res.Recv.Bytes != cfg.Bytes {
+		t.Error("transfer incomplete")
+	}
+}
+
+// A single receive buffer with a double-buffered sender: arrivals can race
+// copy-outs; the protocol must absorb any overruns via retransmission.
+func TestSingleRxBufferSurvives(t *testing.T) {
+	cost := params.DoubleBuffered(params.Standalone3Com())
+	cost.RxBuffers = 1
+	cfg := paper64K(core.BlastAsync, core.GoBackN)
+	res, err := Transfer(cfg, Options{Cost: cost})
+	if err != nil || res.Failed() {
+		t.Fatal(err, res.SendErr, res.RecvErr)
+	}
+	if res.Recv.Bytes != cfg.Bytes {
+		t.Error("transfer incomplete")
+	}
+	t.Logf("overruns=%d retransmits=%d", res.DstCounters.Overruns, res.Send.Retransmits)
+}
+
+// Property: for arbitrary geometry, strategy and moderate loss, a transfer
+// either completes exactly or gives up cleanly — driven by testing/quick.
+func TestQuickTransferInvariants(t *testing.T) {
+	f := func(bytesSeed uint16, chunkSel, protoSel, stratSel uint8, seed int64, lossSel uint8) bool {
+		cfg := core.Config{
+			TransferID:     1,
+			Bytes:          1 + int(bytesSeed)%40000,
+			ChunkSize:      []int{256, 512, 1024, 1536}[int(chunkSel)%4],
+			Protocol:       []core.Protocol{core.StopAndWait, core.SlidingWindow, core.Blast, core.BlastAsync}[int(protoSel)%4],
+			Strategy:       []core.Strategy{core.FullNoNak, core.FullNak, core.GoBackN, core.Selective}[int(stratSel)%4],
+			RetransTimeout: 60 * time.Millisecond,
+		}
+		loss := params.LossModel{PNet: []float64{0, 0.02, 0.06}[int(lossSel)%3]}
+		res, err := Transfer(cfg, Options{Cost: params.Standalone3Com(), Loss: loss, Seed: seed})
+		if err != nil {
+			return false
+		}
+		if res.SendErr != nil {
+			return true // clean give-up is acceptable under loss
+		}
+		return res.Recv.Completed && res.Recv.Bytes == cfg.Bytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

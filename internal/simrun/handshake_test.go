@@ -1,0 +1,136 @@
+package simrun
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"blastlan/internal/core"
+	"blastlan/internal/params"
+	"blastlan/internal/sim"
+	"blastlan/internal/wire"
+)
+
+// runHandshake wires a push or pull handshake pair over a simulated
+// network and returns both sides' outcomes.
+func runHandshake(t *testing.T, push bool, loss params.LossModel, seed int64) (core.SendResult, core.RecvResult) {
+	t.Helper()
+	payload := make([]byte, 16*1024)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	cfg := core.Config{
+		TransferID:     42,
+		Bytes:          len(payload),
+		Protocol:       core.Blast,
+		Strategy:       core.GoBackN,
+		RetransTimeout: 50 * time.Millisecond,
+		MaxAttempts:    200,
+		Payload:        payload,
+	}
+	k := sim.NewKernel()
+	n, err := sim.NewNetwork(k, params.VKernel(), loss, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := n.AddStation("src"), n.AddStation("dst")
+
+	var sres core.SendResult
+	var rres core.RecvResult
+	var sErr, rErr error
+
+	if push {
+		k.Go("pusher", func(p *sim.Proc) {
+			env := sim.NewEndpoint(p, src, dst)
+			sres, sErr = core.Push(env, cfg)
+		})
+		k.Go("accepter", func(p *sim.Proc) {
+			env := sim.NewEndpoint(p, dst, src)
+			acc, err := core.ServeOnce(env, -1, func(r wire.Req) (core.Config, bool) {
+				if !r.Push {
+					return core.Config{}, false
+				}
+				return core.ConfigOf(0, r), true
+			})
+			if err != nil {
+				rErr = err
+				return
+			}
+			rres, rErr = core.AcceptPush(env, acc)
+		})
+	} else {
+		k.Go("server", func(p *sim.Proc) {
+			env := sim.NewEndpoint(p, src, dst)
+			acc, err := core.ServeOnce(env, -1, func(r wire.Req) (core.Config, bool) {
+				c := core.ConfigOf(0, r)
+				c.Payload = payload
+				return c, true
+			})
+			if err != nil {
+				rErr = err
+				return
+			}
+			sres, sErr = core.RunSender(env, acc)
+		})
+		k.Go("puller", func(p *sim.Proc) {
+			env := sim.NewEndpoint(p, dst, src)
+			pull := cfg
+			pull.Payload = nil
+			rres, rErr = core.Request(env, pull)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sErr != nil || rErr != nil {
+		t.Fatalf("handshake failed: send=%v recv=%v", sErr, rErr)
+	}
+	if !rres.Completed || !bytes.Equal(rres.Data, payload) {
+		t.Fatalf("payload mismatch: completed=%v got %d bytes", rres.Completed, len(rres.Data))
+	}
+	return sres, rres
+}
+
+func TestPushHandshakeErrorFree(t *testing.T) {
+	sres, _ := runHandshake(t, true, params.NoLoss(), 1)
+	if sres.DataPackets != 16 {
+		t.Errorf("sent %d packets", sres.DataPackets)
+	}
+}
+
+func TestPullHandshakeErrorFree(t *testing.T) {
+	runHandshake(t, false, params.NoLoss(), 1)
+}
+
+func TestPushHandshakeUnderLoss(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		runHandshake(t, true, params.LossModel{PNet: 0.05}, seed)
+	}
+}
+
+func TestPullHandshakeUnderLoss(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		runHandshake(t, false, params.LossModel{PNet: 0.05}, seed)
+	}
+}
+
+// ConfigOf/ReqOf must round-trip the transfer parameters.
+func TestConfigReqRoundTrip(t *testing.T) {
+	cfg := core.Config{
+		Bytes:          123456,
+		ChunkSize:      512,
+		Protocol:       core.SlidingWindow,
+		Strategy:       core.Selective,
+		Window:         32,
+		RetransTimeout: 70 * time.Millisecond,
+	}
+	got := core.ConfigOf(9, core.ReqOf(cfg, true))
+	if got.Bytes != cfg.Bytes || got.ChunkSize != cfg.ChunkSize ||
+		got.Protocol != cfg.Protocol || got.Strategy != cfg.Strategy ||
+		got.Window != cfg.Window || got.RetransTimeout != cfg.RetransTimeout {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, cfg)
+	}
+	if got.TransferID != 9 {
+		t.Errorf("transfer id = %d", got.TransferID)
+	}
+}

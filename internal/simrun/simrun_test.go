@@ -1,0 +1,391 @@
+package simrun
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"blastlan/internal/core"
+	"blastlan/internal/params"
+	"blastlan/internal/stats"
+)
+
+// paper64K is the canonical 64 KB transfer of the paper's tables.
+func paper64K(p core.Protocol, s core.Strategy) core.Config {
+	return core.Config{
+		TransferID:     1,
+		Bytes:          64 * 1024,
+		Protocol:       p,
+		Strategy:       s,
+		RetransTimeout: 200 * time.Millisecond,
+	}
+}
+
+func mustTransfer(t *testing.T, cfg core.Config, opt Options) Result {
+	t.Helper()
+	res, err := Transfer(cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SendErr != nil || res.RecvErr != nil {
+		t.Fatalf("transfer failed: send=%v recv=%v", res.SendErr, res.RecvErr)
+	}
+	if !res.Recv.Completed {
+		t.Fatal("receiver did not complete")
+	}
+	if res.Recv.Bytes != cfg.Bytes {
+		t.Fatalf("receiver got %d bytes, want %d", res.Recv.Bytes, cfg.Bytes)
+	}
+	return res
+}
+
+// Error-free elapsed times must equal the paper's §2.1.3 closed forms
+// (plus the 2τ round-trip propagation the formulas ignore).
+func TestErrorFreeMatchesPaperFormulas(t *testing.T) {
+	m := params.Standalone3Com()
+	C, Ca, T, Ta, tau := m.C(), m.Ca(), m.T(), m.Ta(), m.Propagation
+	const n = 64
+	nd := time.Duration(n)
+
+	t.Run("stop-and-wait", func(t *testing.T) {
+		res := mustTransfer(t, paper64K(core.StopAndWait, core.FullNoNak), Options{Cost: m})
+		want := nd * (2*C + 2*Ca + T + Ta + 2*tau)
+		if res.Send.Elapsed != want {
+			t.Errorf("T_SAW = %v, want %v", res.Send.Elapsed, want)
+		}
+		// The paper's headline: ≈ 3.91–3.93 ms per packet.
+		perPkt := res.Send.Elapsed / nd
+		if perPkt < 3900*time.Microsecond || perPkt > 3950*time.Microsecond {
+			t.Errorf("per-packet = %v, want ≈ 3.91 ms", perPkt)
+		}
+	})
+
+	t.Run("blast", func(t *testing.T) {
+		res := mustTransfer(t, paper64K(core.Blast, core.GoBackN), Options{Cost: m})
+		want := nd*(C+T) + C + 2*Ca + Ta + 2*tau
+		if res.Send.Elapsed != want {
+			t.Errorf("T_B = %v, want %v", res.Send.Elapsed, want)
+		}
+	})
+
+	t.Run("sliding-window", func(t *testing.T) {
+		res := mustTransfer(t, paper64K(core.SlidingWindow, core.FullNoNak), Options{Cost: m})
+		paper := nd*(C+Ca+T) + C + Ta
+		// The paper's formula idealises the tail (it folds the final ack
+		// handling differently than a cycle-accurate execution); the sim
+		// lands within a fraction of a percent.
+		if re := stats.RelErr(float64(res.Send.Elapsed), float64(paper)); re > 0.005 {
+			t.Errorf("T_SW = %v, paper formula %v (rel err %.4f)", res.Send.Elapsed, paper, re)
+		}
+	})
+
+	t.Run("blast-double-buffered", func(t *testing.T) {
+		res := mustTransfer(t, paper64K(core.BlastAsync, core.GoBackN),
+			Options{Cost: params.DoubleBuffered(m)})
+		// T ≤ C on this hardware: T_dbl = N·C + T + C + 2Ca + Ta.
+		want := nd*C + T + C + 2*Ca + Ta + 2*tau
+		if res.Send.Elapsed != want {
+			t.Errorf("T_dbl = %v, want %v", res.Send.Elapsed, want)
+		}
+	})
+}
+
+// On transmission-bound hardware (T > C) the double-buffered formula
+// switches to N·T + 2C + 2Ca + Ta (§2.1.3).
+func TestDoubleBufferedTransmissionBound(t *testing.T) {
+	m := params.NewCostModel("fastcopy", 400*time.Microsecond, 40*time.Microsecond,
+		10_000_000, 10*time.Microsecond)
+	m = params.DoubleBuffered(m)
+	C, Ca, T, Ta, tau := m.C(), m.Ca(), m.T(), m.Ta(), m.Propagation
+	if T <= C {
+		t.Fatalf("test premise violated: T=%v C=%v", T, C)
+	}
+	const n = 32
+	cfg := paper64K(core.BlastAsync, core.GoBackN)
+	cfg.Bytes = n * 1024
+	res := mustTransfer(t, cfg, Options{Cost: m})
+	want := time.Duration(n)*T + 2*C + 2*Ca + Ta + 2*tau
+	if res.Send.Elapsed != want {
+		t.Errorf("T_dbl(T>C) = %v, want %v", res.Send.Elapsed, want)
+	}
+}
+
+// The headline of Table 1: stop-and-wait ≈ 2× slower than blast, sliding
+// window slightly slower than blast.
+func TestProtocolOrdering(t *testing.T) {
+	m := params.Standalone3Com()
+	saw := mustTransfer(t, paper64K(core.StopAndWait, core.FullNoNak), Options{Cost: m}).Send.Elapsed
+	sw := mustTransfer(t, paper64K(core.SlidingWindow, core.FullNoNak), Options{Cost: m}).Send.Elapsed
+	b := mustTransfer(t, paper64K(core.Blast, core.GoBackN), Options{Cost: m}).Send.Elapsed
+	if !(b < sw && sw < saw) {
+		t.Errorf("ordering violated: blast=%v sw=%v saw=%v", b, sw, saw)
+	}
+	ratio := float64(saw) / float64(b)
+	if ratio < 1.6 || ratio > 2.2 {
+		t.Errorf("SAW/blast ratio = %.2f, paper says ≈ 2", ratio)
+	}
+}
+
+// V-kernel preset: T0(1) ≈ 5.9 ms and T0(64) ≈ 173 ms (Table 3 / Fig. 5).
+func TestVKernelTable3Anchors(t *testing.T) {
+	m := params.VKernel()
+	one := paper64K(core.StopAndWait, core.FullNoNak)
+	one.Bytes = 1024
+	res1 := mustTransfer(t, one, Options{Cost: m})
+	if res1.Send.Elapsed < 5800*time.Microsecond || res1.Send.Elapsed > 6000*time.Microsecond {
+		t.Errorf("T0(1) = %v, want ≈ 5.9 ms", res1.Send.Elapsed)
+	}
+	res64 := mustTransfer(t, paper64K(core.Blast, core.GoBackN), Options{Cost: m})
+	if res64.Send.Elapsed < 172*time.Millisecond || res64.Send.Elapsed > 174*time.Millisecond {
+		t.Errorf("T0(64) = %v, want ≈ 173 ms", res64.Send.Elapsed)
+	}
+}
+
+// Every strategy must deliver the complete transfer under loss, for many
+// seeds: the central correctness invariant.
+func TestLossRecoveryAllStrategies(t *testing.T) {
+	m := params.VKernel()
+	strategies := []core.Strategy{core.FullNoNak, core.FullNak, core.GoBackN, core.Selective}
+	losses := []params.LossModel{
+		{PNet: 0.01},
+		{PNet: 0.05},
+		{PNet: 0.02, PIface: 0.02},
+	}
+	for _, s := range strategies {
+		for _, loss := range losses {
+			for seed := int64(0); seed < 8; seed++ {
+				cfg := paper64K(core.Blast, s)
+				res, err := Transfer(cfg, Options{Cost: m, Loss: loss, Seed: seed})
+				if err != nil {
+					t.Fatalf("%v loss=%+v seed=%d: %v", s, loss, seed, err)
+				}
+				if res.Failed() {
+					t.Fatalf("%v loss=%+v seed=%d: send=%v recv=%v", s, loss, seed, res.SendErr, res.RecvErr)
+				}
+				if res.Recv.Bytes != cfg.Bytes {
+					t.Fatalf("%v seed=%d: got %d bytes", s, seed, res.Recv.Bytes)
+				}
+				if res.Send.Elapsed <= 0 {
+					t.Fatalf("%v seed=%d: elapsed %v", s, seed, res.Send.Elapsed)
+				}
+			}
+		}
+	}
+}
+
+// Stop-and-wait and sliding-window must also recover from loss.
+func TestLossRecoveryInOrderProtocols(t *testing.T) {
+	m := params.VKernel()
+	for _, p := range []core.Protocol{core.StopAndWait, core.SlidingWindow} {
+		for seed := int64(0); seed < 8; seed++ {
+			cfg := paper64K(p, core.FullNoNak)
+			cfg.RetransTimeout = 50 * time.Millisecond
+			res, err := Transfer(cfg, Options{Cost: m, Loss: params.LossModel{PNet: 0.03}, Seed: seed})
+			if err != nil {
+				t.Fatalf("%v seed=%d: %v", p, seed, err)
+			}
+			if res.Failed() || res.Recv.Bytes != cfg.Bytes {
+				t.Fatalf("%v seed=%d: failed (send=%v recv=%v bytes=%d)",
+					p, seed, res.SendErr, res.RecvErr, res.Recv.Bytes)
+			}
+		}
+	}
+}
+
+// Selective retransmission must never resend more data packets than
+// go-back-n for the same loss pattern (same seed).
+func TestSelectiveBeatsGoBackN(t *testing.T) {
+	m := params.VKernel()
+	var selTotal, gbnTotal int
+	for seed := int64(0); seed < 20; seed++ {
+		sel, err := Transfer(paper64K(core.Blast, core.Selective),
+			Options{Cost: m, Loss: params.LossModel{PNet: 0.05}, Seed: seed})
+		if err != nil || sel.Failed() {
+			t.Fatal(err, sel.SendErr, sel.RecvErr)
+		}
+		gbn, err := Transfer(paper64K(core.Blast, core.GoBackN),
+			Options{Cost: m, Loss: params.LossModel{PNet: 0.05}, Seed: seed})
+		if err != nil || gbn.Failed() {
+			t.Fatal(err, gbn.SendErr, gbn.RecvErr)
+		}
+		selTotal += sel.Send.DataPackets
+		gbnTotal += gbn.Send.DataPackets
+	}
+	if selTotal > gbnTotal {
+		t.Errorf("selective sent %d packets total, go-back-n %d", selTotal, gbnTotal)
+	}
+}
+
+// Full retransmission (R1/R2) must resend whole windows; go-back-n resends
+// suffixes; the error-free run retransmits nothing.
+func TestRetransmissionAccounting(t *testing.T) {
+	m := params.VKernel()
+	clean := mustTransfer(t, paper64K(core.Blast, core.GoBackN), Options{Cost: m})
+	if clean.Send.Retransmits != 0 || clean.Send.Rounds != 1 {
+		t.Errorf("error-free run: %+v", clean.Send)
+	}
+	if clean.Send.DataPackets != 64 {
+		t.Errorf("error-free run sent %d packets", clean.Send.DataPackets)
+	}
+	if clean.Recv.Duplicates != 0 {
+		t.Errorf("error-free run had %d dups", clean.Recv.Duplicates)
+	}
+
+	lossy, err := Transfer(paper64K(core.Blast, core.FullNak),
+		Options{Cost: m, Loss: params.LossModel{PNet: 0.05}, Seed: 3})
+	if err != nil || lossy.Failed() {
+		t.Fatal(err)
+	}
+	if lossy.Send.Retransmits == 0 {
+		t.Error("5% loss with full retransmission must retransmit")
+	}
+}
+
+// Multiblast (§3.1.3): splitting a large transfer into several blasts, each
+// individually acknowledged.
+func TestMultiblast(t *testing.T) {
+	m := params.VKernel()
+	cfg := paper64K(core.Blast, core.GoBackN)
+	cfg.Bytes = 256 * 1024 // 256 packets
+	cfg.Window = 64
+	res := mustTransfer(t, cfg, Options{Cost: m})
+	if res.Send.AcksReceived != 4 {
+		t.Errorf("acks = %d, want 4 (one per blast)", res.Send.AcksReceived)
+	}
+	if res.Recv.AcksSent != 4 {
+		t.Errorf("receiver sent %d acks", res.Recv.AcksSent)
+	}
+	// Multiblast under loss.
+	for seed := int64(0); seed < 5; seed++ {
+		r, err := Transfer(cfg, Options{Cost: m, Loss: params.LossModel{PNet: 0.02}, Seed: seed})
+		if err != nil || r.Failed() || r.Recv.Bytes != cfg.Bytes {
+			t.Fatalf("seed %d: %v %v %v", seed, err, r.SendErr, r.RecvErr)
+		}
+	}
+}
+
+// Real payload mode: bytes must arrive intact, in order, with a matching
+// whole-transfer checksum.
+func TestRealPayloadIntegrity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	payload := make([]byte, 10_000)
+	rng.Read(payload)
+	for _, p := range []core.Protocol{core.StopAndWait, core.SlidingWindow, core.Blast} {
+		cfg := core.Config{
+			TransferID:     7,
+			Bytes:          len(payload),
+			Payload:        payload,
+			Protocol:       p,
+			Strategy:       core.Selective,
+			RetransTimeout: 100 * time.Millisecond,
+		}
+		res, err := Transfer(cfg, Options{Cost: params.Standalone3Com(),
+			Loss: params.LossModel{PNet: 0.02}, Seed: 5})
+		if err != nil || res.Failed() {
+			t.Fatalf("%v: %v %v %v", p, err, res.SendErr, res.RecvErr)
+		}
+		if !bytes.Equal(res.Recv.Data, payload) {
+			t.Fatalf("%v: payload corrupted", p)
+		}
+		if res.Recv.Checksum != core.TransferChecksum(payload) {
+			t.Fatalf("%v: checksum mismatch", p)
+		}
+	}
+}
+
+// A hopeless link makes the sender give up with ErrGiveUp.
+func TestGiveUp(t *testing.T) {
+	cfg := paper64K(core.Blast, core.GoBackN)
+	cfg.MaxAttempts = 3
+	cfg.RetransTimeout = 10 * time.Millisecond
+	cfg.ReceiverIdle = 200 * time.Millisecond
+	res, err := Transfer(cfg, Options{Cost: params.Standalone3Com(),
+		Loss: params.LossModel{PNet: 1}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res.SendErr, core.ErrGiveUp) {
+		t.Errorf("SendErr = %v, want ErrGiveUp", res.SendErr)
+	}
+	if res.Recv.Completed {
+		t.Error("receiver cannot have completed")
+	}
+}
+
+// Determinism: identical seeds give identical results.
+func TestTransferDeterminism(t *testing.T) {
+	cfg := paper64K(core.Blast, core.GoBackN)
+	opt := Options{Cost: params.VKernel(), Loss: params.LossModel{PNet: 0.05}, Seed: 99}
+	a, err := Transfer(cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Transfer(cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Send != b.Send {
+		t.Errorf("send results differ:\n%+v\n%+v", a.Send, b.Send)
+	}
+	if a.Send.Elapsed != b.Send.Elapsed {
+		t.Error("elapsed differs")
+	}
+}
+
+// Randomised robustness sweep: many random configurations and loss rates;
+// the transfer must either complete exactly or give up cleanly — never
+// deliver the wrong byte count, never deadlock.
+func TestRandomisedInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	protos := []core.Protocol{core.StopAndWait, core.SlidingWindow, core.Blast, core.BlastAsync}
+	strategies := []core.Strategy{core.FullNoNak, core.FullNak, core.GoBackN, core.Selective}
+	for trial := 0; trial < 60; trial++ {
+		cfg := core.Config{
+			TransferID:     uint32(trial),
+			Bytes:          1 + rng.Intn(100*1024),
+			ChunkSize:      256 << rng.Intn(3), // 256,512,1024
+			Protocol:       protos[rng.Intn(len(protos))],
+			Strategy:       strategies[rng.Intn(len(strategies))],
+			RetransTimeout: time.Duration(20+rng.Intn(200)) * time.Millisecond,
+			Window:         rng.Intn(3) * 16, // 0,16,32
+		}
+		loss := params.LossModel{PNet: []float64{0, 0.01, 0.08}[rng.Intn(3)]}
+		cost := params.Standalone3Com()
+		if rng.Intn(2) == 0 {
+			cost = params.DoubleBuffered(params.VKernel())
+		}
+		res, err := Transfer(cfg, Options{Cost: cost, Loss: loss, Seed: int64(trial)})
+		if err != nil {
+			t.Fatalf("trial %d (%+v): substrate error %v", trial, cfg, err)
+		}
+		if res.SendErr == nil {
+			if !res.Recv.Completed || res.Recv.Bytes != cfg.Bytes {
+				t.Fatalf("trial %d (%+v): sender ok but receiver got %d/%d (completed=%v)",
+					trial, cfg, res.Recv.Bytes, cfg.Bytes, res.Recv.Completed)
+			}
+		}
+	}
+}
+
+// Interface counters must reconcile with protocol results in the error-free
+// case: every transmitted packet is received.
+func TestCountersReconcile(t *testing.T) {
+	res := mustTransfer(t, paper64K(core.Blast, core.GoBackN),
+		Options{Cost: params.Standalone3Com()})
+	// 64 data packets plus the post-measurement FIN.
+	if res.SrcCounters.TxPackets != 65 {
+		t.Errorf("src tx = %d, want 65 (64 data + fin)", res.SrcCounters.TxPackets)
+	}
+	if res.DstCounters.RxPackets != 65 {
+		t.Errorf("dst rx = %d, want 65", res.DstCounters.RxPackets)
+	}
+	if res.DstCounters.WireDrops+res.DstCounters.IfaceDrops+res.DstCounters.Overruns != 0 {
+		t.Errorf("error-free run dropped packets: %+v", res.DstCounters)
+	}
+	// One ack back.
+	if res.DstCounters.TxPackets != 1 || res.SrcCounters.RxPackets != 1 {
+		t.Errorf("ack counters: dst.tx=%d src.rx=%d", res.DstCounters.TxPackets, res.SrcCounters.RxPackets)
+	}
+}

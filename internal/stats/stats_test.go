@@ -1,0 +1,250 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d, want 8", w.N())
+	}
+	if got := w.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("mean = %g, want 5", got)
+	}
+	// Population variance of this classic data set is 4.
+	if got := w.PopVariance(); math.Abs(got-4) > 1e-12 {
+		t.Errorf("pop variance = %g, want 4", got)
+	}
+	if got := w.Variance(); math.Abs(got-32.0/7.0) > 1e-12 {
+		t.Errorf("sample variance = %g, want 32/7", got)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("min/max = %g/%g, want 2/9", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.StdDev() != 0 || w.StdErr() != 0 {
+		t.Error("empty accumulator should report zeros")
+	}
+	w.Add(42)
+	if w.Mean() != 42 || w.Variance() != 0 {
+		t.Error("single observation: mean 42, variance 0")
+	}
+}
+
+// Property: Welford agrees with the naive two-pass computation.
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var w Welford
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+			w.Add(xs[i])
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		naiveVar := ss / float64(len(xs)-1)
+		return RelErr(w.Mean(), mean) < 1e-9 && RelErr(w.Variance(), naiveVar) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merging two accumulators equals accumulating the concatenation.
+func TestWelfordMerge(t *testing.T) {
+	f := func(a, b []int16) bool {
+		var wa, wb, wall Welford
+		for _, v := range a {
+			wa.Add(float64(v))
+			wall.Add(float64(v))
+		}
+		for _, v := range b {
+			wb.Add(float64(v))
+			wall.Add(float64(v))
+		}
+		wa.Merge(&wb)
+		if wa.N() != wall.N() {
+			return false
+		}
+		if wall.N() == 0 {
+			return true
+		}
+		return RelErr(wa.Mean(), wall.Mean()) < 1e-9 &&
+			math.Abs(wa.Variance()-wall.Variance()) <= 1e-6*(1+wall.Variance()) &&
+			wa.Min() == wall.Min() && wa.Max() == wall.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDurations(t *testing.T) {
+	var d Durations
+	d.Add(1 * time.Millisecond)
+	d.Add(3 * time.Millisecond)
+	if got := d.Mean(); got != 2*time.Millisecond {
+		t.Errorf("mean = %v, want 2ms", got)
+	}
+	if d.Min() != time.Millisecond || d.Max() != 3*time.Millisecond {
+		t.Errorf("min/max = %v/%v", d.Min(), d.Max())
+	}
+	if d.N() != 2 {
+		t.Errorf("N = %d", d.N())
+	}
+	if d.StdDev() <= 0 {
+		t.Error("stddev should be positive")
+	}
+	if d.Welford().N() != 2 {
+		t.Error("Welford() should expose the accumulator")
+	}
+}
+
+func TestSampleQuantiles(t *testing.T) {
+	var s Sample
+	if !math.IsNaN(s.Quantile(0.5)) {
+		t.Error("empty sample quantile should be NaN")
+	}
+	for i := 10; i >= 1; i-- { // insert unsorted
+		s.Add(float64(i))
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Errorf("q0 = %g", got)
+	}
+	if got := s.Quantile(1); got != 10 {
+		t.Errorf("q1 = %g", got)
+	}
+	if got := s.Median(); math.Abs(got-5.5) > 1e-12 {
+		t.Errorf("median = %g, want 5.5", got)
+	}
+	if got := s.Mean(); math.Abs(got-5.5) > 1e-12 {
+		t.Errorf("mean = %g, want 5.5", got)
+	}
+	if s.N() != 10 {
+		t.Errorf("N = %d", s.N())
+	}
+	// Quantiles are monotone in q.
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%g: %g < %g", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.999, 10, 11} {
+		h.Add(x)
+	}
+	if h.Underflow != 1 || h.Overflow != 2 {
+		t.Errorf("under/over = %d/%d, want 1/2", h.Underflow, h.Overflow)
+	}
+	if h.Counts[0] != 2 { // 0 and 1.9
+		t.Errorf("bin0 = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[1] != 1 { // 2
+		t.Errorf("bin1 = %d, want 1", h.Counts[1])
+	}
+	if h.Counts[4] != 1 { // 9.999
+		t.Errorf("bin4 = %d, want 1", h.Counts[4])
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %d, want 7", h.Total())
+	}
+	if out := h.Render(20); !strings.Contains(out, "#") {
+		t.Error("render should contain bars")
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero bins should error")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("lo==hi should error")
+	}
+	if _, err := NewHistogram(6, 5, 3); err == nil {
+		t.Error("lo>hi should error")
+	}
+}
+
+// Property: every in-range float lands in exactly one bin.
+func TestHistogramBinning(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 7)
+	f := func(u uint32) bool {
+		x := float64(u) / float64(math.MaxUint32) // [0,1]
+		before := h.Total()
+		h.Add(x)
+		return h.Total() == before+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeomHelpers(t *testing.T) {
+	if GeomMeanFailures(0) != 0 || GeomVarFailures(0) != 0 {
+		t.Error("p=0 should give 0")
+	}
+	if !math.IsInf(GeomMeanFailures(1), 1) || !math.IsInf(GeomVarFailures(1), 1) {
+		t.Error("p=1 should give +Inf")
+	}
+	// Monte-Carlo sanity: sample geometric failures at p=0.3.
+	rng := rand.New(rand.NewSource(1))
+	var w Welford
+	for i := 0; i < 200000; i++ {
+		n := 0
+		for rng.Float64() < 0.3 {
+			n++
+		}
+		w.Add(float64(n))
+	}
+	if RelErr(w.Mean(), GeomMeanFailures(0.3)) > 0.02 {
+		t.Errorf("geometric mean mismatch: %g vs %g", w.Mean(), GeomMeanFailures(0.3))
+	}
+	if RelErr(w.Variance(), GeomVarFailures(0.3)) > 0.05 {
+		t.Errorf("geometric variance mismatch: %g vs %g", w.Variance(), GeomVarFailures(0.3))
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(0, 0) != 0 {
+		t.Error("RelErr(0,0) should be 0")
+	}
+	if RelErr(1, 1) != 0 {
+		t.Error("RelErr(1,1) should be 0")
+	}
+	if got := RelErr(90, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelErr(90,100) = %g, want 0.1", got)
+	}
+	if RelErr(-1, 1) != 2 {
+		t.Errorf("RelErr(-1,1) = %g, want 2", RelErr(-1, 1))
+	}
+}

@@ -1,0 +1,283 @@
+// Package udplan runs the protocol engines of internal/core over real UDP
+// sockets, playing the role of the paper's standalone measurement programs
+// (§2.1.1): the same sender/receiver code that executes in virtual time on
+// the simulator executes here against the operating system's network stack.
+//
+// UDP gives exactly the substrate the paper's data-link-level experiments
+// assume: unreliable, unordered-but-practically-ordered datagram delivery
+// with no protocol machinery on top. All reliability comes from
+// internal/core. Loss can be injected deterministically on either side for
+// testing recovery paths on a lossless loopback.
+package udplan
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"blastlan/internal/core"
+	"blastlan/internal/wire"
+)
+
+// MaxDatagram bounds receive buffers; it comfortably exceeds the paper's
+// 1536-byte maximum packet (§2.1.2).
+const MaxDatagram = 2048
+
+// Endpoint adapts a packet socket to core.Env. It must be used from a
+// single goroutine, like every Env.
+type Endpoint struct {
+	conn  net.PacketConn
+	peer  net.Addr
+	start time.Time
+	rbuf  [MaxDatagram]byte
+	wbuf  []byte
+
+	// DropTx and DropRx, when non-nil, drop matching packets before the
+	// socket write / after the socket read. They exist to exercise
+	// retransmission machinery deterministically on a lossless loopback.
+	DropTx func(*wire.Packet) bool
+	DropRx func(*wire.Packet) bool
+
+	// LockPeer, when set, discards datagrams from other sources once a
+	// peer is known.
+	LockPeer bool
+
+	// LearnReqOnly restricts peer learning to TypeReq packets. Servers use
+	// this so stragglers from a finished transfer cannot claim the
+	// endpoint before the next client's request arrives.
+	LearnReqOnly bool
+
+	// PacketGap paces data packets: Send sleeps this long after writing a
+	// TypeData packet. The paper assumes "source and destination machine
+	// are more or less matched in speed" (§1); on a modern loopback the
+	// sender can outrun kernel socket buffers by orders of magnitude, and
+	// pacing restores the matched-speed premise for large blasts.
+	PacketGap time.Duration
+}
+
+// NewEndpoint wraps an open socket. peer may be nil for servers; it is
+// learned from the first valid datagram.
+func NewEndpoint(conn net.PacketConn, peer net.Addr) *Endpoint {
+	return &Endpoint{conn: conn, peer: peer, start: time.Now()}
+}
+
+// Dial opens an ephemeral UDP socket talking to remote.
+func Dial(remote string) (*Endpoint, error) {
+	raddr, err := net.ResolveUDPAddr("udp", remote)
+	if err != nil {
+		return nil, fmt.Errorf("udplan: resolve %q: %w", remote, err)
+	}
+	local := ":0"
+	if raddr.IP != nil && raddr.IP.IsLoopback() {
+		local = "127.0.0.1:0"
+	}
+	conn, err := net.ListenPacket("udp", local)
+	if err != nil {
+		return nil, fmt.Errorf("udplan: listen: %w", err)
+	}
+	e := NewEndpoint(conn, raddr)
+	e.LockPeer = true
+	return e, nil
+}
+
+// Close releases the underlying socket.
+func (e *Endpoint) Close() error { return e.conn.Close() }
+
+// LocalAddr returns the socket's address.
+func (e *Endpoint) LocalAddr() net.Addr { return e.conn.LocalAddr() }
+
+// Peer returns the current peer (nil until learned).
+func (e *Endpoint) Peer() net.Addr { return e.peer }
+
+// ResetPeer forgets the current peer so a server endpoint can accept its
+// next client.
+func (e *Endpoint) ResetPeer() { e.peer = nil }
+
+// Now returns the wall-clock time since the endpoint was created.
+func (e *Endpoint) Now() time.Duration { return time.Since(e.start) }
+
+// Compute is a no-op: real work takes real time.
+func (e *Endpoint) Compute(time.Duration) {}
+
+// Send encodes and transmits one packet to the peer.
+func (e *Endpoint) Send(p *wire.Packet) error {
+	if e.peer == nil {
+		return errors.New("udplan: no peer known")
+	}
+	if e.DropTx != nil && e.DropTx(p) {
+		return nil // injected loss: silently dropped, like a wire error
+	}
+	buf, err := p.Encode(e.wbuf[:0])
+	if err != nil {
+		return err
+	}
+	e.wbuf = buf[:0]
+	if _, err := e.conn.WriteTo(buf, e.peer); err != nil {
+		return err
+	}
+	if e.PacketGap > 0 && p.Type == wire.TypeData {
+		time.Sleep(e.PacketGap)
+	}
+	return nil
+}
+
+// SendAsync is Send: UDP writes do not wait for transmission anyway.
+func (e *Endpoint) SendAsync(p *wire.Packet) error { return e.Send(p) }
+
+// Recv returns the next valid packet. timeout < 0 waits forever. Malformed
+// datagrams and (with LockPeer) foreign sources are skipped. On expiry the
+// error satisfies errors.Is(err, os.ErrDeadlineExceeded).
+func (e *Endpoint) Recv(timeout time.Duration) (*wire.Packet, error) {
+	var deadline time.Time
+	if timeout >= 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	if err := e.conn.SetReadDeadline(deadline); err != nil {
+		return nil, err
+	}
+	for {
+		n, addr, err := e.conn.ReadFrom(e.rbuf[:])
+		if err != nil {
+			return nil, err
+		}
+		pkt, derr := wire.Decode(e.rbuf[:n])
+		if derr != nil {
+			continue // not ours / corrupted: the checksum did its job
+		}
+		if e.peer == nil {
+			if e.LearnReqOnly && pkt.Type != wire.TypeReq {
+				continue // unverifiable straggler
+			}
+			e.peer = addr
+		} else if e.LockPeer && addr.String() != e.peer.String() {
+			continue
+		}
+		if e.DropRx != nil && e.DropRx(pkt) {
+			continue
+		}
+		return pkt.Clone(), nil // rbuf is reused; detach
+	}
+}
+
+// SeededDrop returns a deterministic drop function losing packets with
+// probability p. Each returned function owns its generator, so install
+// separate instances for Tx and Rx.
+func SeededDrop(p float64, seed int64) func(*wire.Packet) bool {
+	rng := rand.New(rand.NewSource(seed))
+	return func(*wire.Packet) bool { return rng.Float64() < p }
+}
+
+// Push transfers cfg.Payload to the peer: announce, wait for the go-ahead,
+// blast (or whatever cfg.Protocol says).
+func Push(e *Endpoint, cfg core.Config) (core.SendResult, error) {
+	return core.Push(e, cfg)
+}
+
+// Pull requests the configured transfer from the peer and receives it.
+func Pull(e *Endpoint, cfg core.Config) (core.RecvResult, error) {
+	return core.Request(e, cfg)
+}
+
+// Server answers transfer requests on one socket, serially (the paper's
+// world is two matched machines; a transfer in progress owns the link).
+type Server struct {
+	// Data, when non-nil, satisfies pull requests (MoveFrom): it returns
+	// the bytes to blast back for an accepted request.
+	Data func(wire.Req) ([]byte, bool)
+	// Sink, when non-nil, accepts push requests (MoveTo) and receives the
+	// completed transfer.
+	Sink func(wire.Req, []byte)
+	// Idle bounds how long Run waits for the next request; zero waits
+	// forever (until the socket closes).
+	Idle time.Duration
+
+	conn net.PacketConn
+
+	mu      sync.Mutex
+	served  int
+	lastErr error
+}
+
+// NewServer wraps a socket in a transfer server.
+func NewServer(conn net.PacketConn) *Server { return &Server{conn: conn} }
+
+// Served reports how many transfers completed successfully.
+func (s *Server) Served() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
+}
+
+// Run serves requests until the socket is closed (or Idle expires).
+// It returns nil on a clean close.
+func (s *Server) Run() error {
+	for {
+		if err := s.serveOne(); err != nil {
+			if core.IsTimeout(err) {
+				return nil // idle bound reached
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// serveOne accepts and completes a single transfer.
+func (s *Server) serveOne() error {
+	e := NewEndpoint(s.conn, nil)
+	e.LockPeer = true
+	e.LearnReqOnly = true
+	idle := time.Duration(-1)
+	if s.Idle > 0 {
+		idle = s.Idle
+	}
+	cfg, err := core.ServeOnce(e, idle, func(r wire.Req) (core.Config, bool) {
+		c := core.ConfigOf(0, r)
+		// Wall-clock linger/idle bounds: the simulation defaults are sized
+		// for free virtual time and would stall a serial server between
+		// clients.
+		c.Linger = 2*c.RetransTimeout + 100*time.Millisecond
+		c.ReceiverIdle = 8*c.RetransTimeout + 2*time.Second
+		if r.Push {
+			if s.Sink == nil {
+				return core.Config{}, false
+			}
+			return c, true
+		}
+		if s.Data == nil {
+			return core.Config{}, false
+		}
+		payload, ok := s.Data(r)
+		if !ok || len(payload) != c.Bytes {
+			return core.Config{}, false
+		}
+		c.Payload = payload
+		return c, true
+	})
+	if err != nil {
+		return err
+	}
+	if cfg.Payload == nil {
+		// Push: receive the transfer.
+		res, err := core.AcceptPush(e, cfg)
+		if err != nil {
+			return fmt.Errorf("udplan: accepting push: %w", err)
+		}
+		if s.Sink != nil {
+			s.Sink(core.ReqOf(cfg, true), res.Data)
+		}
+	} else {
+		if _, err := core.RunSender(e, cfg); err != nil {
+			return fmt.Errorf("udplan: serving pull: %w", err)
+		}
+	}
+	s.mu.Lock()
+	s.served++
+	s.mu.Unlock()
+	return nil
+}

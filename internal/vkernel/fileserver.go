@@ -1,0 +1,185 @@
+package vkernel
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"blastlan/internal/disk"
+	"blastlan/internal/sim"
+)
+
+// FileServer is the paper's motivating application (§2): a server process
+// that, on request, "reads the file from disk, and then uses MoveTo to move
+// the file from its address space into that of the client". Reads follow
+// the full V sequence — a 32-byte IPC request/reply to arrange the
+// transfer, a modelled disk access, then the bulk MoveTo — so the
+// end-to-end page-size experiment captures both of the intro's "economies
+// in large quantities" at once.
+type FileServer struct {
+	kernel *Kernel
+	geom   disk.Geometry
+	files  map[string][]byte
+	// staging is the server's address space for the file being served.
+	staging *Process
+}
+
+// File-server errors.
+var (
+	ErrNoFile   = errors.New("vkernel: no such file")
+	ErrFileSize = errors.New("vkernel: read beyond end of file")
+)
+
+// File-server IPC message layout (words of the 32-byte message).
+const (
+	fsWordOp     = 0 // 1 = read request, 2 = reply OK, 3 = reply error
+	fsWordName   = 1 // FNV-32 hash of the file name
+	fsWordOffset = 2
+	fsWordLength = 3
+	fsWordStatus = 4 // reply: bytes available
+)
+
+// NewFileServer attaches a file server to a kernel with the given disk.
+func NewFileServer(k *Kernel, geom disk.Geometry) (*FileServer, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	fs := &FileServer{kernel: k, geom: geom, files: map[string][]byte{}}
+	// Serve read-arrangement requests over V IPC.
+	k.ServeIPC(func(m Message) Message {
+		var reply Message
+		if m.Uint32(fsWordOp) != 1 {
+			reply.PutUint32(fsWordOp, 3)
+			return reply
+		}
+		data, ok := fs.lookup(m.Uint32(fsWordName))
+		if !ok {
+			reply.PutUint32(fsWordOp, 3)
+			return reply
+		}
+		off, n := int(m.Uint32(fsWordOffset)), int(m.Uint32(fsWordLength))
+		if off < 0 || n < 0 || off+n > len(data) {
+			reply.PutUint32(fsWordOp, 3)
+			return reply
+		}
+		reply.PutUint32(fsWordOp, 2)
+		reply.PutUint32(fsWordStatus, uint32(len(data)))
+		return reply
+	})
+	return fs, nil
+}
+
+// Store places a file on the server's disk.
+func (fs *FileServer) Store(name string, data []byte) {
+	fs.files[name] = data
+}
+
+// lookup finds a stored file by name hash.
+func (fs *FileServer) lookup(h uint32) ([]byte, bool) {
+	for name, data := range fs.files {
+		if nameHash(name) == h {
+			return data, true
+		}
+	}
+	return nil, false
+}
+
+// nameHash is the 32-bit identity a file name compresses to inside a
+// 32-byte V message.
+func nameHash(name string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return h.Sum32()
+}
+
+// ReadResult reports one completed file read.
+type ReadResult struct {
+	// Elapsed is the end-to-end time: IPC + disk + transfer.
+	Elapsed time.Duration
+	// DiskTime and NetTime decompose it.
+	DiskTime time.Duration
+	NetTime  time.Duration
+	IPCTime  time.Duration
+	// Pages is the number of page transfers performed.
+	Pages int
+}
+
+// Read performs the paper's complete file-read interaction: the client
+// (which has already allocated buf, per the MoveTo contract) requests
+// [off, off+n) of the named file in pages of pageSize bytes. Each page is
+// arranged over IPC, read from the modelled disk into the server's address
+// space, and moved with MoveTo under opt's protocol.
+func (fs *FileServer) Read(client *Process, buf int, name string, off, n, pageSize int, opt MoveOptions) (*ReadResult, error) {
+	data, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoFile, name)
+	}
+	if off < 0 || n < 0 || off+n > len(data) {
+		return nil, fmt.Errorf("%w: [%d,%d) of %d", ErrFileSize, off, off+n, len(data))
+	}
+	if pageSize <= 0 {
+		return nil, fmt.Errorf("vkernel: page size must be positive")
+	}
+	c := fs.kernel.cluster
+	res := &ReadResult{}
+	start := c.Sim.Now()
+
+	// One IPC exchange arranges the whole read (the paper's single
+	// request message naming buffer address and length).
+	var req Message
+	req.PutUint32(fsWordOp, 1)
+	req.PutUint32(fsWordName, nameHash(name))
+	req.PutUint32(fsWordOffset, uint32(off))
+	req.PutUint32(fsWordLength, uint32(n))
+	reply, ipcElapsed, err := c.Exchange(client.kernel, fs.kernel, req, 10*time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Uint32(fsWordOp) != 2 {
+		return nil, fmt.Errorf("%w: server refused %q", ErrNoFile, name)
+	}
+	res.IPCTime = ipcElapsed
+
+	// Page loop: disk read into the staging space, then MoveTo.
+	if fs.staging == nil || fs.staging.Size() < pageSize {
+		fs.staging = fs.kernel.CreateProcess(pageSize, false)
+	}
+	remaining := n
+	pos := off
+	dst := buf
+	first := true
+	for remaining > 0 {
+		chunk := pageSize
+		if chunk > remaining {
+			chunk = remaining
+		}
+		// Disk access, charged on the server in virtual time: the first
+		// page seeks; follow-on pages pay rotational latency only.
+		var dt time.Duration
+		if first {
+			dt = fs.geom.AccessTime(chunk)
+		} else {
+			dt = fs.geom.RotationPeriod/2 + fs.geom.SequentialTime(chunk)
+		}
+		first = false
+		c.Sim.Go("disk-read", func(p *sim.Proc) { p.Sleep(dt) })
+		if err := c.Sim.Run(); err != nil {
+			return nil, err
+		}
+		copy(fs.staging.space[:chunk], data[pos:pos+chunk])
+		res.DiskTime += dt
+
+		netStart := c.Sim.Now()
+		if _, err := c.MoveTo(fs.staging, 0, client, dst, chunk, opt); err != nil {
+			return nil, err
+		}
+		res.NetTime += c.Sim.Now() - netStart
+		res.Pages++
+		remaining -= chunk
+		pos += chunk
+		dst += chunk
+	}
+	res.Elapsed = c.Sim.Now() - start
+	return res, nil
+}

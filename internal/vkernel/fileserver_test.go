@@ -1,0 +1,134 @@
+package vkernel
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"blastlan/internal/core"
+	"blastlan/internal/disk"
+	"blastlan/internal/params"
+)
+
+func newFS(t *testing.T) (*Cluster, *FileServer, *Process) {
+	t.Helper()
+	c := newCluster(t, Options{})
+	fs, err := NewFileServer(c.A, disk.FujitsuEagle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := c.B.CreateProcess(64*1024, true)
+	return c, fs, client
+}
+
+func TestFileServerReadWhole(t *testing.T) {
+	c, fs, client := newFS(t)
+	_ = c
+	file := make([]byte, 64*1024)
+	fill(file, 12)
+	fs.Store("kernel-image", file)
+
+	res, err := fs.Read(client, 0, "kernel-image", 0, len(file), 16*1024,
+		MoveOptions{Protocol: core.Blast, Strategy: core.GoBackN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(client.Bytes(), file) {
+		t.Fatal("file corrupted in transit")
+	}
+	if res.Pages != 4 {
+		t.Errorf("pages = %d, want 4", res.Pages)
+	}
+	if res.DiskTime <= 0 || res.NetTime <= 0 || res.IPCTime <= 0 {
+		t.Errorf("decomposition missing: %+v", res)
+	}
+	if res.Elapsed < res.DiskTime+res.NetTime {
+		t.Errorf("elapsed %v < disk %v + net %v", res.Elapsed, res.DiskTime, res.NetTime)
+	}
+}
+
+func TestFileServerPartialRead(t *testing.T) {
+	_, fs, client := newFS(t)
+	file := make([]byte, 10000)
+	fill(file, 5)
+	fs.Store("f", file)
+	if _, err := fs.Read(client, 100, "f", 2000, 3000, 1024,
+		MoveOptions{Protocol: core.Blast}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(client.Bytes()[100:3100], file[2000:5000]) {
+		t.Error("partial read corrupted")
+	}
+}
+
+func TestFileServerErrors(t *testing.T) {
+	_, fs, client := newFS(t)
+	fs.Store("small", make([]byte, 100))
+	if _, err := fs.Read(client, 0, "missing", 0, 10, 1024, MoveOptions{}); !errors.Is(err, ErrNoFile) {
+		t.Errorf("missing file: %v", err)
+	}
+	if _, err := fs.Read(client, 0, "small", 50, 100, 1024, MoveOptions{}); !errors.Is(err, ErrFileSize) {
+		t.Errorf("oversize read: %v", err)
+	}
+	if _, err := fs.Read(client, 0, "small", 0, 100, 0, MoveOptions{}); err == nil {
+		t.Error("zero page size accepted")
+	}
+}
+
+// The intro's end-to-end claim: with disk and network both modelled, large
+// pages beat small pages by a wide margin.
+func TestPageSizeEconomies(t *testing.T) {
+	file := make([]byte, 64*1024)
+	fill(file, 7)
+	read := func(page int) time.Duration {
+		_, fs, client := newFS(t)
+		fs.Store("f", file)
+		res, err := fs.Read(client, 0, "f", 0, len(file), page,
+			MoveOptions{Protocol: core.Blast, Strategy: core.GoBackN})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(client.Bytes(), file) {
+			t.Fatal("corrupted")
+		}
+		return res.Elapsed
+	}
+	prev := time.Duration(1 << 62)
+	for _, page := range []int{1024, 4096, 16384, 65536} {
+		cur := read(page)
+		if cur >= prev {
+			t.Errorf("page %d: %v not faster than smaller pages %v", page, cur, prev)
+		}
+		prev = cur
+	}
+	if ratio := float64(read(1024)) / float64(read(65536)); ratio < 2 {
+		t.Errorf("1KB/64KB end-to-end ratio = %.2f, expected substantial", ratio)
+	}
+}
+
+// The read must also work under a lossy network.
+func TestFileServerUnderLoss(t *testing.T) {
+	c := newCluster(t, Options{Loss: blastLoss(0.02), Seed: 4})
+	fs, err := NewFileServer(c.A, disk.FujitsuEagle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := c.B.CreateProcess(32*1024, true)
+	file := make([]byte, 32*1024)
+	fill(file, 9)
+	fs.Store("f", file)
+	if _, err := fs.Read(client, 0, "f", 0, len(file), 8*1024,
+		MoveOptions{Protocol: core.Blast, Strategy: core.GoBackN, Tr: 50 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(client.Bytes(), file) {
+		t.Error("corrupted under loss")
+	}
+}
+
+// blastLoss builds a wire-loss model for file-server tests.
+func blastLoss(pn float64) (l lossModel) { l.PNet = pn; return }
+
+// lossModel aliases params.LossModel locally.
+type lossModel = params.LossModel

@@ -1,0 +1,73 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode: arbitrary bytes must never panic the decoder, and anything
+// that decodes successfully must re-encode to a buffer that decodes to the
+// same packet (when it carries no trailing junk).
+func FuzzDecode(f *testing.F) {
+	// Seed with valid packets of each type and classic corruptions.
+	for _, p := range []*Packet{
+		{Type: TypeData, Trans: 1, Seq: 5, Total: 64, Payload: []byte("seed")},
+		{Type: TypeAck, Trans: 2, Seq: 64, Total: 64, Flags: FlagAllReceived},
+		{Type: TypeNak, Trans: 3, Seq: 7},
+		{Type: TypeReq, Trans: 4, Payload: EncodeReq(Req{Bytes: 1000, Chunk: 100})},
+	} {
+		buf, err := p.Encode(nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+		if len(buf) > 2 {
+			bad := append([]byte(nil), buf...)
+			bad[len(bad)/2] ^= 0x40
+			f.Add(bad)
+		}
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xB1}, HeaderSize))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return // rejected: fine, as long as it did not panic
+		}
+		out, err := p.Encode(nil)
+		if err != nil {
+			t.Fatalf("decoded packet failed to re-encode: %v", err)
+		}
+		q, err := Decode(out)
+		if err != nil {
+			t.Fatalf("re-encoded packet failed to decode: %v", err)
+		}
+		if q.Type != p.Type || q.Trans != p.Trans || q.Seq != p.Seq ||
+			q.Total != p.Total || !bytes.Equal(q.Payload, p.Payload) {
+			t.Fatal("decode/encode/decode not a fixed point")
+		}
+	})
+}
+
+// FuzzDecodeMissing: the selective-NAK bitmap decoder must never panic and
+// must round-trip whatever it accepts.
+func FuzzDecodeMissing(f *testing.F) {
+	good, _ := EncodeMissing([]uint32{1, 5, 9})
+	f.Add(good)
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 8, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		missing, err := DecodeMissing(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeMissing(missing)
+		if err != nil {
+			t.Fatalf("accepted bitmap failed to re-encode: %v", err)
+		}
+		back, err := DecodeMissing(re)
+		if err != nil || len(back) != len(missing) {
+			t.Fatalf("bitmap not a fixed point: %v %v", back, err)
+		}
+	})
+}

@@ -1,0 +1,142 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Selective-retransmission NAK payload (§3.2.3, strategy 4): a base sequence
+// number followed by a bitmap in which bit i set means packet base+i was NOT
+// received. The encoding is
+//
+//	base  uint32
+//	count uint32            number of bitmap bits
+//	bits  ceil(count/8) bytes, MSB-first within each byte
+//
+// A NAK for the paper's 64-packet transfers costs 8 + 8 = 16 payload bytes,
+// comfortably inside a 64-byte ack-sized packet.
+
+// ErrNakEncoding reports a malformed selective-NAK payload.
+var ErrNakEncoding = errors.New("wire: malformed selective-nak payload")
+
+// nakHeaderLen is the fixed portion of the selective-NAK payload.
+const nakHeaderLen = 8
+
+// MaxMissingBits is the largest bitmap that fits in MaxPayload.
+const MaxMissingBits = (MaxPayload - nakHeaderLen) * 8
+
+// EncodeMissing builds the selective-NAK payload for the given missing
+// sequence numbers. The slice may be in any order; it must be non-empty and
+// its span (max-min+1) must not exceed MaxMissingBits.
+func EncodeMissing(missing []uint32) ([]byte, error) {
+	if len(missing) == 0 {
+		return nil, fmt.Errorf("%w: no missing packets", ErrNakEncoding)
+	}
+	sorted := make([]uint32, len(missing))
+	copy(sorted, missing)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	base := sorted[0]
+	span := sorted[len(sorted)-1] - base + 1
+	if span > MaxMissingBits {
+		return nil, fmt.Errorf("%w: span %d exceeds %d bits", ErrNakEncoding, span, MaxMissingBits)
+	}
+	buf := make([]byte, nakHeaderLen+(int(span)+7)/8)
+	binary.BigEndian.PutUint32(buf[0:4], base)
+	binary.BigEndian.PutUint32(buf[4:8], span)
+	for _, s := range sorted {
+		bit := s - base
+		buf[nakHeaderLen+bit/8] |= 0x80 >> (bit % 8)
+	}
+	return buf, nil
+}
+
+// DecodeMissing parses a selective-NAK payload and returns the missing
+// sequence numbers in ascending order.
+func DecodeMissing(payload []byte) ([]uint32, error) {
+	if len(payload) < nakHeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrNakEncoding, len(payload))
+	}
+	base := binary.BigEndian.Uint32(payload[0:4])
+	count := binary.BigEndian.Uint32(payload[4:8])
+	if count == 0 || count > MaxMissingBits {
+		return nil, fmt.Errorf("%w: bit count %d", ErrNakEncoding, count)
+	}
+	need := nakHeaderLen + (int(count)+7)/8
+	if len(payload) < need {
+		return nil, fmt.Errorf("%w: need %d bytes, have %d", ErrNakEncoding, need, len(payload))
+	}
+	var missing []uint32
+	for i := uint32(0); i < count; i++ {
+		if payload[nakHeaderLen+i/8]&(0x80>>(i%8)) != 0 {
+			missing = append(missing, base+i)
+		}
+	}
+	if len(missing) == 0 {
+		return nil, fmt.Errorf("%w: empty bitmap", ErrNakEncoding)
+	}
+	return missing, nil
+}
+
+// Transfer-request payload (TypeReq): the parameters both sides of a
+// transfer must agree on. It plays the role of the V kernel's IPC message
+// that precedes a MoveTo/MoveFrom — the exchange through which "the
+// recipient has sufficient buffers allocated to receive the data prior to
+// the transfer" (§2).
+//
+//	bytes     uint64  transfer length in bytes
+//	chunk     uint32  data-packet payload size
+//	strategy  uint8   retransmission strategy identifier (core.Strategy)
+//	protocol  uint8   protocol class identifier (core.Protocol)
+//	push      uint8   1 = sender-initiated (MoveTo), 0 = requester pulls (MoveFrom)
+//	window    uint32  multiblast window in packets (0 = single blast)
+//	trMicros  uint64  retransmission timeout Tr in microseconds
+
+// reqLen is the encoded TypeReq payload length.
+const reqLen = 27
+
+// Req describes a requested transfer.
+type Req struct {
+	Bytes    uint64
+	Chunk    uint32
+	Strategy uint8
+	Protocol uint8
+	Push     bool
+	Window   uint32
+	TrMicros uint64
+}
+
+// ErrReqEncoding reports a malformed request payload.
+var ErrReqEncoding = errors.New("wire: malformed request payload")
+
+// EncodeReq serialises the request parameters.
+func EncodeReq(r Req) []byte {
+	buf := make([]byte, reqLen)
+	binary.BigEndian.PutUint64(buf[0:8], r.Bytes)
+	binary.BigEndian.PutUint32(buf[8:12], r.Chunk)
+	buf[12] = r.Strategy
+	buf[13] = r.Protocol
+	if r.Push {
+		buf[14] = 1
+	}
+	binary.BigEndian.PutUint32(buf[15:19], r.Window)
+	binary.BigEndian.PutUint64(buf[19:27], r.TrMicros)
+	return buf
+}
+
+// DecodeReq parses request parameters.
+func DecodeReq(payload []byte) (Req, error) {
+	if len(payload) < reqLen {
+		return Req{}, fmt.Errorf("%w: %d bytes", ErrReqEncoding, len(payload))
+	}
+	return Req{
+		Bytes:    binary.BigEndian.Uint64(payload[0:8]),
+		Chunk:    binary.BigEndian.Uint32(payload[8:12]),
+		Strategy: payload[12],
+		Protocol: payload[13],
+		Push:     payload[14] == 1,
+		Window:   binary.BigEndian.Uint32(payload[15:19]),
+		TrMicros: binary.BigEndian.Uint64(payload[19:27]),
+	}, nil
+}

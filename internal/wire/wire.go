@@ -1,0 +1,263 @@
+// Package wire defines the packet format spoken by every protocol in this
+// repository and its binary codec.
+//
+// The paper's standalone experiments add no header beyond the Ethernet data
+// link header (§2.1.1); the V kernel adds a small interkernel header (§2.2).
+// This package plays the role of that interkernel header: a fixed 24-byte
+// header carrying the packet type, transfer demultiplexing id, sequence
+// number, total packet count, retransmission round, flags, a payload length
+// and an Internet checksum (the "overall software checksum" Spector suggests
+// for multi-packet transfers is provided separately by Checksum over the
+// whole transfer).
+//
+// Simulated runs elide payload bytes and set VirtualSize so that a data
+// packet occupies exactly params.DataPacketSize on the simulated wire and an
+// ack exactly params.AckPacketSize, reproducing the paper's arithmetic.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Type identifies the role of a packet.
+type Type uint8
+
+// Packet types.
+const (
+	// TypeData carries a chunk of the transfer.
+	TypeData Type = 1 + iota
+	// TypeAck is a positive acknowledgement. Seq holds the next sequence
+	// number the receiver expects (cumulative); Seq == Total acknowledges
+	// the whole transfer.
+	TypeAck
+	// TypeNak is a negative acknowledgement. For go-back-n it carries the
+	// first missing sequence number in Seq; for selective retransmission it
+	// additionally carries a bitmap of missing packets in the payload.
+	TypeNak
+	// TypeReq asks the peer to start a transfer (used by MoveFrom, where
+	// the data flows from the remote machine).
+	TypeReq
+)
+
+// String returns the conventional short name of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeData:
+		return "DATA"
+	case TypeAck:
+		return "ACK"
+	case TypeNak:
+		return "NAK"
+	case TypeReq:
+		return "REQ"
+	default:
+		return fmt.Sprintf("TYPE(%d)", uint8(t))
+	}
+}
+
+// Flag bits.
+const (
+	// FlagLast marks the final data packet of a transmission round; its
+	// arrival prompts the receiver to respond (§3.2.3: "the last packet is
+	// sent reliably").
+	FlagLast uint8 = 1 << iota
+	// FlagAllReceived is set on a TypeAck that acknowledges the entire
+	// transfer.
+	FlagAllReceived
+	// FlagDone is set on a best-effort TypeAck the *sender* emits after
+	// the final acknowledgement arrives: it releases the receiver from its
+	// post-completion linger immediately instead of waiting out the linger
+	// timeout (which remains the fallback when the FIN is lost). It is
+	// sent after the elapsed-time measurement closes, so it never affects
+	// the paper's numbers.
+	FlagDone
+)
+
+// Codec constants.
+const (
+	// Magic identifies blastlan packets on the wire.
+	Magic uint16 = 0xB1A5
+	// Version is the codec version.
+	Version uint8 = 1
+	// HeaderSize is the encoded header length in bytes.
+	HeaderSize = 24
+	// MaxPayload bounds a packet's payload so that frames stay within the
+	// paper's 1536-byte maximum Ethernet packet (§2.1.2).
+	MaxPayload = 1536 - HeaderSize
+)
+
+// Codec errors.
+var (
+	ErrShort    = errors.New("wire: buffer too short")
+	ErrMagic    = errors.New("wire: bad magic")
+	ErrVersion  = errors.New("wire: unsupported version")
+	ErrChecksum = errors.New("wire: checksum mismatch")
+	ErrPayload  = errors.New("wire: payload too large")
+	ErrType     = errors.New("wire: unknown packet type")
+)
+
+// Packet is the unit of exchange between protocol engines. It is used both
+// encoded (real sockets) and in-memory (simulation).
+type Packet struct {
+	Type    Type
+	Flags   uint8
+	Attempt uint8  // retransmission round, for diagnostics (saturates at 255)
+	Trans   uint32 // transfer id, for demultiplexing
+	Seq     uint32 // sequence number / cumulative ack / first missing
+	Total   uint32 // number of data packets in the transfer
+
+	// Payload is the chunk bytes (TypeData), the missing-packet bitmap
+	// (selective TypeNak) or the transfer request parameters (TypeReq).
+	Payload []byte
+
+	// VirtualSize, when non-zero, is the size in bytes this packet occupies
+	// on a *simulated* wire. It is never encoded. Simulation runs elide
+	// payload bytes and carry sizes here instead so that the paper's packet
+	// sizes are reproduced exactly.
+	VirtualSize int
+
+	// SimMissing carries the decoded selective-NAK missing list for
+	// simulated packets whose payload bytes are elided. Never encoded.
+	SimMissing []uint32
+}
+
+// WireSize returns the number of bytes the packet occupies on the wire:
+// VirtualSize if set, otherwise the encoded size.
+func (p *Packet) WireSize() int {
+	if p.VirtualSize > 0 {
+		return p.VirtualSize
+	}
+	return HeaderSize + len(p.Payload)
+}
+
+// IsLast reports whether the packet closes a transmission round.
+func (p *Packet) IsLast() bool { return p.Flags&FlagLast != 0 }
+
+// String renders a compact human-readable form used in traces and logs.
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s t%d seq=%d/%d a%d f%02x %dB",
+		p.Type, p.Trans, p.Seq, p.Total, p.Attempt, p.Flags, p.WireSize())
+}
+
+// Clone returns a deep copy of the packet. Simulated links deliver clones so
+// that a retransmitting sender can safely reuse its buffers, mirroring the
+// copy semantics of a real interface.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	if p.Payload != nil {
+		q.Payload = make([]byte, len(p.Payload))
+		copy(q.Payload, p.Payload)
+	}
+	if p.SimMissing != nil {
+		q.SimMissing = make([]uint32, len(p.SimMissing))
+		copy(q.SimMissing, p.SimMissing)
+	}
+	return &q
+}
+
+// Encode appends the encoded packet to dst and returns the result.
+func (p *Packet) Encode(dst []byte) ([]byte, error) {
+	if len(p.Payload) > MaxPayload {
+		return dst, fmt.Errorf("%w: %d > %d", ErrPayload, len(p.Payload), MaxPayload)
+	}
+	off := len(dst)
+	dst = append(dst, make([]byte, HeaderSize)...)
+	h := dst[off:]
+	binary.BigEndian.PutUint16(h[0:2], Magic)
+	h[2] = Version
+	h[3] = uint8(p.Type)
+	h[4] = p.Flags
+	h[5] = p.Attempt
+	binary.BigEndian.PutUint32(h[6:10], p.Trans)
+	binary.BigEndian.PutUint32(h[10:14], p.Seq)
+	binary.BigEndian.PutUint32(h[14:18], p.Total)
+	binary.BigEndian.PutUint16(h[18:20], uint16(len(p.Payload)))
+	// h[20:22] checksum, filled below; h[22:24] reserved (zero).
+	dst = append(dst, p.Payload...)
+	sum := Checksum(dst[off:])
+	binary.BigEndian.PutUint16(dst[off+20:off+22], sum)
+	return dst, nil
+}
+
+// Decode parses one packet from buf, which must contain exactly one encoded
+// packet (datagram semantics). The returned packet aliases buf's payload
+// bytes; callers that retain the packet beyond the life of buf must Clone it.
+func Decode(buf []byte) (*Packet, error) {
+	if len(buf) < HeaderSize {
+		return nil, fmt.Errorf("%w: %d < %d", ErrShort, len(buf), HeaderSize)
+	}
+	if binary.BigEndian.Uint16(buf[0:2]) != Magic {
+		return nil, ErrMagic
+	}
+	if buf[2] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrVersion, buf[2])
+	}
+	t := Type(buf[3])
+	if t < TypeData || t > TypeReq {
+		return nil, fmt.Errorf("%w: %d", ErrType, buf[3])
+	}
+	plen := int(binary.BigEndian.Uint16(buf[18:20]))
+	if len(buf) < HeaderSize+plen {
+		return nil, fmt.Errorf("%w: need %d payload bytes, have %d", ErrShort, plen, len(buf)-HeaderSize)
+	}
+	// Verify the checksum with the checksum field zeroed.
+	want := binary.BigEndian.Uint16(buf[20:22])
+	if got := checksumZeroed(buf[:HeaderSize+plen], 20); got != want {
+		return nil, fmt.Errorf("%w: got %04x want %04x", ErrChecksum, got, want)
+	}
+	p := &Packet{
+		Type:    t,
+		Flags:   buf[4],
+		Attempt: buf[5],
+		Trans:   binary.BigEndian.Uint32(buf[6:10]),
+		Seq:     binary.BigEndian.Uint32(buf[10:14]),
+		Total:   binary.BigEndian.Uint32(buf[14:18]),
+	}
+	if plen > 0 {
+		p.Payload = buf[HeaderSize : HeaderSize+plen]
+	}
+	return p, nil
+}
+
+// Checksum computes the 16-bit one's-complement Internet checksum (RFC 1071)
+// of b. A buffer whose checksum field already holds the Checksum of the rest
+// verifies by recomputation in Decode.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for len(b) >= 2 {
+		sum += uint32(b[0])<<8 | uint32(b[1])
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// checksumZeroed computes Checksum of b treating the 2 bytes at off as zero.
+func checksumZeroed(b []byte, off int) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		hi, lo := b[i], b[i+1]
+		if i == off {
+			hi, lo = 0, 0
+		}
+		sum += uint32(hi)<<8 | uint32(lo)
+	}
+	if len(b)%2 == 1 {
+		hi := b[len(b)-1]
+		if len(b)-1 == off {
+			hi = 0
+		}
+		sum += uint32(hi) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
