@@ -17,6 +17,7 @@ import (
 	"blastlan/internal/experiments"
 	"blastlan/internal/mc"
 	"blastlan/internal/params"
+	"blastlan/internal/sim"
 	"blastlan/internal/simrun"
 	"blastlan/internal/wire"
 )
@@ -109,13 +110,16 @@ func BenchmarkMonteCarloTrial(b *testing.B) {
 	}
 }
 
-// BenchmarkWireEncodeDecode times the packet codec round trip.
+// BenchmarkWireEncodeDecode times the packet codec round trip on reused
+// buffers: Encode into a capacity-sufficient buffer and DecodeInto a reused
+// Packet perform no allocation at all.
 func BenchmarkWireEncodeDecode(b *testing.B) {
 	pkt := &wire.Packet{
 		Type: wire.TypeData, Trans: 7, Seq: 41, Total: 64,
 		Payload: make([]byte, 1000),
 	}
 	buf := make([]byte, 0, 1100)
+	var dec wire.Packet
 	b.ReportAllocs()
 	b.SetBytes(int64(wire.HeaderSize + len(pkt.Payload)))
 	for i := 0; i < b.N; i++ {
@@ -123,8 +127,51 @@ func BenchmarkWireEncodeDecode(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := wire.Decode(out); err != nil {
+		if err := wire.DecodeInto(&dec, out); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatedBlastReusedKernel is BenchmarkSimulatedBlast64KB with
+// the kernel (and its event/waiter pools) reused across transfers, the way
+// the parallel sampler drives trials.
+func BenchmarkSimulatedBlastReusedKernel(b *testing.B) {
+	m := params.Standalone3Com()
+	cfg := core.Config{
+		TransferID:     1,
+		Bytes:          64 << 10,
+		Protocol:       core.Blast,
+		Strategy:       core.GoBackN,
+		RetransTimeout: 500 * time.Millisecond,
+	}
+	k := sim.NewKernel()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := simrun.TransferOn(k, cfg, simrun.Options{Cost: m})
+		if err != nil || res.Failed() {
+			b.Fatal(err, res.SendErr)
+		}
+	}
+}
+
+// BenchmarkSampler32Lossy times a 32-trial parallel sample of a lossy 64 KB
+// blast — the unit of work every stochastic figure point is built from.
+func BenchmarkSampler32Lossy(b *testing.B) {
+	m := params.VKernel()
+	cfg := core.Config{
+		TransferID:     1,
+		Bytes:          64 << 10,
+		Protocol:       core.Blast,
+		Strategy:       core.GoBackN,
+		RetransTimeout: blastlan.TimeBlast(m, 64),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st, err := simrun.Sample(cfg, simrun.Options{Cost: m,
+			Loss: params.LossModel{PNet: 0.01}, Seed: int64(i)}, 32)
+		if err != nil || st.Failures > 0 {
+			b.Fatalf("sample: %v (%d failures)", err, st.Failures)
 		}
 	}
 }

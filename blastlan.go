@@ -104,12 +104,21 @@ type (
 	SimOptions = simrun.Options
 	// SimResult bundles both sides of a simulated transfer.
 	SimResult = simrun.Result
+	// SampleStats aggregates a batch of independent seeded transfers.
+	SampleStats = simrun.Stats
 )
 
 // Simulate runs one complete transfer over the discrete-event simulator and
 // returns both sides' results.
 func Simulate(cfg Config, opt SimOptions) (SimResult, error) {
 	return simrun.Transfer(cfg, opt)
+}
+
+// SimulateSample runs n independent transfers (trial i seeded opt.Seed+i)
+// fanned across all processors and merges the results; the output is
+// bit-identical to a sequential run of the same trials.
+func SimulateSample(cfg Config, opt SimOptions, n int) (SampleStats, error) {
+	return simrun.Sample(cfg, opt, n)
 }
 
 // Analytic closed forms (§2.1.3, §3.1–3.2).

@@ -1,0 +1,3 @@
+module blastlan
+
+go 1.24

@@ -7,7 +7,6 @@ import (
 	"blastlan/internal/core"
 	"blastlan/internal/params"
 	"blastlan/internal/simrun"
-	"blastlan/internal/stats"
 )
 
 func init() {
@@ -59,9 +58,8 @@ func runAdaptive(opt Options) (*Result, error) {
 			cfg.TransferID = 1
 			cfg.Bytes = 64 * 1024
 			cfg.AdaptiveTr = v.adaptive
-			var acc stats.Durations
 			acc, failures, err := desSample(cfg, simrun.Options{Cost: m,
-				Loss: params.LossModel{PNet: pn}, Seed: opt.Seed}, trials)
+				Loss: params.LossModel{PNet: pn}, Seed: opt.Seed}, trials, opt.Workers)
 			if err != nil {
 				return nil, err
 			}

@@ -10,8 +10,10 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"blastlan/internal/core"
@@ -26,6 +28,11 @@ type Options struct {
 	// Quick reduces trial counts by roughly an order of magnitude so the
 	// full suite runs in seconds (tests and smoke runs).
 	Quick bool
+	// Workers bounds the DES sampling and per-point parallelism: 0 means
+	// GOMAXPROCS, 1 forces the sequential path. Results are bit-identical
+	// at every setting — trials are seeded per index and merged in index
+	// order, and each figure point writes only its own row.
+	Workers int
 }
 
 // Result is a rendered experiment outcome.
@@ -176,24 +183,50 @@ func ratio(a, b time.Duration) string {
 	return fmt.Sprintf("%.2f", float64(a)/float64(b))
 }
 
-// desSample runs n independent DES transfers, varying the seed, and
-// accumulates the sender elapsed times. Failed trials are counted, not
-// accumulated.
-func desSample(cfg core.Config, opt simrun.Options, n int) (acc stats.Durations, failures int, err error) {
-	for i := 0; i < n; i++ {
-		o := opt
-		o.Seed = opt.Seed + int64(i)
-		res, terr := simrun.Transfer(cfg, o)
-		if terr != nil {
-			return acc, failures, terr
-		}
-		if res.Failed() {
-			failures++
-			continue
-		}
-		acc.Add(res.Send.Elapsed)
+// desSample runs n independent DES transfers through the parallel sampler,
+// varying the seed per trial, and accumulates the sender elapsed times.
+// Failed trials are counted, not accumulated. Output is identical at any
+// worker count.
+func desSample(cfg core.Config, opt simrun.Options, n, workers int) (acc stats.Durations, failures int, err error) {
+	st, err := simrun.SampleWorkers(cfg, opt, n, workers)
+	return st.Elapsed, st.Failures, err
+}
+
+// forEachPoint evaluates n independent figure/table points, fanning them
+// across workers (0 = GOMAXPROCS). Each point must write only its own
+// output slot, so the rendered artifact is identical regardless of
+// parallelism. The first error by point index is returned.
+func forEachPoint(workers, n int, point func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	return acc, failures, nil
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = point(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < n; i += workers {
+					errs[i] = point(i)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // one runs a single deterministic (error-free) DES transfer and returns the

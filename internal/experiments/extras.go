@@ -57,7 +57,10 @@ func runUtil(opt Options) (*Result, error) {
 		Paper:  "u(64) ≈ 38%",
 		Header: []string{"N", "u single-buf", "B (ms)", "B dbl (ms)", "dbl speedup", "3-buf gain"},
 	}
-	for _, n := range []int{1, 4, 16, 64, 256} {
+	ns := []int{1, 4, 16, 64, 256}
+	res.Rows = make([][]string, len(ns))
+	err := forEachPoint(opt.Workers, len(ns), func(i int) error {
+		n := ns[i]
 		b := analytic.TimeBlast(m, n)
 		dbl := analytic.TimeBlastDouble(md, n)
 		// A third buffer: simulate with TxBuffers=3 and compare.
@@ -66,21 +69,25 @@ func runUtil(opt Options) (*Result, error) {
 		cfg := table1Config(n*1024, core.BlastAsync)
 		dbl2, err := one(cfg, simrun.Options{Cost: md})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		tri, err := one(cfg, simrun.Options{Cost: m3})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		gain := "none"
 		if tri < dbl2 {
 			gain = ms(dbl2 - tri)
 		}
-		res.Rows = append(res.Rows, []string{
+		res.Rows[i] = []string{
 			fmt.Sprint(n),
 			fmt.Sprintf("%.1f%%", 100*analytic.Utilization(m, n)),
 			ms(b), ms(dbl), ratio(b, dbl), gain,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	res.Notes = append(res.Notes,
 		"\"3-buf gain\" compares simulated double- vs triple-buffered interfaces: zero everywhere, confirming §2.1.3's claim that a third transmission buffer provides no further improvement while C and T are constant",
@@ -95,27 +102,34 @@ func runAblationDMA(opt Options) (*Result, error) {
 		Paper:  "copy time dominates; DMA boards that copy with a slow on-board CPU make things worse, not better",
 		Header: []string{"hardware", "C (ms)", "T (ms)", "C/T", "SAW (ms)", "B (ms)", "SAW/B", "B util"},
 	}
-	for _, m := range []params.CostModel{
+	models := []params.CostModel{
 		params.Standalone3Com(),
 		params.ExcelanDMA(),
 		params.VKernel(),
 		params.ModernGigabit(),
-	} {
+	}
+	res.Rows = make([][]string, len(models))
+	err := forEachPoint(opt.Workers, len(models), func(i int) error {
+		m := models[i]
 		saw, err := one(table1Config(64*1024, core.StopAndWait), simrun.Options{Cost: m})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		b, err := one(table1Config(64*1024, core.Blast), simrun.Options{Cost: m})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, []string{
+		res.Rows[i] = []string{
 			m.Name,
 			ms(m.C()), ms(m.T()),
 			fmt.Sprintf("%.2f", float64(m.C())/float64(m.T())),
 			ms(saw), ms(b), ratio(saw, b),
 			pct(analytic.Utilization(m, 64)),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	res.Notes = append(res.Notes,
 		"the Excelan-style row models §2.1.3's observation that the board's 8088 copies ≈2.5× slower than the 68000 host: every protocol slows down and blast's relative advantage grows",
@@ -145,12 +159,12 @@ func runAblationBurst(opt Options) (*Result, error) {
 		Header: []string{"loss process", "mean (ms)", "σ (ms)", "max (ms)", "failures"},
 	}
 	bern, fail1, err := desSample(cfg, simrun.Options{Cost: m,
-		Loss: params.LossModel{PNet: meanLoss}, Seed: opt.Seed}, trials)
+		Loss: params.LossModel{PNet: meanLoss}, Seed: opt.Seed}, trials, opt.Workers)
 	if err != nil {
 		return nil, err
 	}
 	burst, fail2, err := desSample(cfg, simrun.Options{Cost: m,
-		Loss: params.LossModel{Burst: ge}, Seed: opt.Seed}, trials)
+		Loss: params.LossModel{Burst: ge}, Seed: opt.Seed}, trials, opt.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -178,7 +192,10 @@ func runMultiblast(opt Options) (*Result, error) {
 		Paper:  "multiple blasts bound each retransmission's cost; the single giant blast pays the most per error",
 		Header: []string{"window (pkts)", "error-free (ms)", "mean (ms)", "σ (ms)", "retransmitted pkts/run"},
 	}
-	for _, w := range workload.MultiblastWindows() {
+	windows := workload.MultiblastWindows()
+	res.Rows = make([][]string, len(windows))
+	err := forEachPoint(opt.Workers, len(windows), func(i int) error {
+		w := windows[i]
 		cfg := core.Config{
 			TransferID:     1,
 			Bytes:          dump.Bytes,
@@ -189,30 +206,27 @@ func runMultiblast(opt Options) (*Result, error) {
 		}
 		clean, err := one(cfg, simrun.Options{Cost: m})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		var acc stats.Durations
-		var retrans int
-		for i := 0; i < trials; i++ {
-			r, err := simrun.Transfer(cfg, simrun.Options{Cost: m,
-				Loss: params.LossModel{PNet: pn}, Seed: opt.Seed + int64(i)})
-			if err != nil {
-				return nil, err
-			}
-			if r.Failed() {
-				continue
-			}
-			acc.Add(r.Send.Elapsed)
-			retrans += r.Send.Retransmits
+		// The sampler already fans the per-point trials across workers;
+		// points above it mostly parallelise the error-free baselines.
+		st, err := simrun.SampleWorkers(cfg, simrun.Options{Cost: m,
+			Loss: params.LossModel{PNet: pn}, Seed: opt.Seed}, trials, opt.Workers)
+		if err != nil {
+			return err
 		}
 		name := fmt.Sprint(w)
 		if w == 0 {
 			name = "single blast"
 		}
-		res.Rows = append(res.Rows, []string{
-			name, ms(clean), ms(acc.Mean()), ms(acc.StdDev()),
-			fmt.Sprintf("%.1f", float64(retrans)/float64(trials)),
-		})
+		res.Rows[i] = []string{
+			name, ms(clean), ms(st.Elapsed.Mean()), ms(st.Elapsed.StdDev()),
+			fmt.Sprintf("%.1f", float64(st.Retransmits)/float64(trials)),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	res.Notes = append(res.Notes,
 		"smaller windows retransmit less per error (go-back-n never crosses a window boundary) at the cost of one extra ack exchange per window in the error-free time")

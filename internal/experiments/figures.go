@@ -83,32 +83,39 @@ func runFigure4(opt Options) (*Result, error) {
 		Paper:  "Figure 4 curves",
 		Header: []string{"N", "SAW", "SW", "B", "B-dblbuf", "SAW model", "SW model", "B model", "dbl model"},
 	}
-	for _, tr := range workload.FigureSizes() {
+	sizes := workload.FigureSizes()
+	res.Rows = make([][]string, len(sizes))
+	err := forEachPoint(opt.Workers, len(sizes), func(i int) error {
+		tr := sizes[i]
 		n := tr.Packets()
 		saw, err := one(table1Config(tr.Bytes, core.StopAndWait), simrun.Options{Cost: m})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sw, err := one(table1Config(tr.Bytes, core.SlidingWindow), simrun.Options{Cost: m})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		b, err := one(table1Config(tr.Bytes, core.Blast), simrun.Options{Cost: m})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dbl, err := one(table1Config(tr.Bytes, core.BlastAsync), simrun.Options{Cost: md})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, []string{
+		res.Rows[i] = []string{
 			fmt.Sprint(n),
 			ms(saw), ms(sw), ms(b), ms(dbl),
 			ms(analytic.TimeStopAndWait(m, n)),
 			ms(analytic.TimeSlidingWindow(m, n)),
 			ms(analytic.TimeBlast(m, n)),
 			ms(analytic.TimeBlastDouble(md, n)),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -143,24 +150,31 @@ func runFigure5(opt Options) (*Result, error) {
 			"SAW Tr=10·T0(1)", "mc", "SAW Tr=100·T0(1)",
 			"B Tr=T0(D)", "mc", "B Tr=10·T0(D)"},
 	}
-	for _, pn := range workload.LossLadder(1e-6, 1e-1) {
+	ladder := workload.LossLadder(1e-6, 1e-1)
+	res.Rows = make([][]string, len(ladder))
+	err := forEachPoint(opt.Workers, len(ladder), func(i int) error {
+		pn := ladder[i]
 		trials := figure5Trials(pn, opt.Quick)
 		sawMC, err := mc.StopAndWait(mc.Params{Cost: m, D: d, PN: pn, Tr: 10 * t01, Trials: trials, Seed: opt.Seed})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		blastMC, err := mc.Blast(mc.Params{Cost: m, D: d, PN: pn, Tr: t0d,
 			Strategy: core.FullNoNak, Trials: trials, Seed: opt.Seed})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, []string{
+		res.Rows[i] = []string{
 			fmt.Sprintf("%.0e", pn),
 			ms(analytic.ExpectedTimeStopAndWait(t01, 10*t01, d, pn)), ms(sawMC.Mean),
 			ms(analytic.ExpectedTimeStopAndWait(t01, 100*t01, d, pn)),
 			ms(analytic.ExpectedTimeBlast(t0d, t0d, d, pn)), ms(blastMC.Mean),
 			ms(analytic.ExpectedTimeBlast(t0d, 10*t0d, d, pn)),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	res.Notes = append(res.Notes,
 		"analytic columns are §3.1's closed forms; mc columns are strategy-level Monte Carlo (which additionally models receiver-side packet accumulation across attempts, so it sits at or slightly below the closed form at high pn)",
@@ -182,7 +196,10 @@ func runFigure6(opt Options) (*Result, error) {
 			"R2 NAK mc", "R2 model",
 			"R3 go-back-n mc", "R4 selective mc"},
 	}
-	for _, pn := range workload.LossLadder(1e-5, 1e-1) {
+	ladder := workload.LossLadder(1e-5, 1e-1)
+	res.Rows = make([][]string, len(ladder))
+	err := forEachPoint(opt.Workers, len(ladder), func(i int) error {
+		pn := ladder[i]
 		trials := figure5Trials(pn, opt.Quick)
 		row := []string{fmt.Sprintf("%.0e", pn)}
 		var mcSigma []time.Duration
@@ -190,7 +207,7 @@ func runFigure6(opt Options) (*Result, error) {
 			est, err := mc.Blast(mc.Params{Cost: m, D: d, PN: pn, Tr: t0d,
 				Strategy: s, Trials: trials, Seed: opt.Seed})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			mcSigma = append(mcSigma, est.StdDev)
 		}
@@ -203,7 +220,11 @@ func runFigure6(opt Options) (*Result, error) {
 			ms(mcSigma[2]),
 			ms(mcSigma[3]),
 		)
-		res.Rows = append(res.Rows, row)
+		res.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	res.Notes = append(res.Notes,
 		"R3/R4 have no closed form — the paper, like us, evaluates them by simulation (§3.2.3)",

@@ -53,27 +53,34 @@ func runTable1(opt Options) (*Result, error) {
 		Paper:  "SAW ≈ 2× blast; blast < sliding window < stop-and-wait",
 		Header: []string{"size", "pkts", "SAW sim", "SAW model", "SW sim", "SW model", "B sim", "B model", "SAW/B"},
 	}
-	for _, tr := range workload.PageReadSizes() {
+	sizes := workload.PageReadSizes()
+	res.Rows = make([][]string, len(sizes))
+	err := forEachPoint(opt.Workers, len(sizes), func(i int) error {
+		tr := sizes[i]
 		n := tr.Packets()
 		saw, err := one(table1Config(tr.Bytes, core.StopAndWait), simrun.Options{Cost: m})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sw, err := one(table1Config(tr.Bytes, core.SlidingWindow), simrun.Options{Cost: m})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		b, err := one(table1Config(tr.Bytes, core.Blast), simrun.Options{Cost: m})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, []string{
+		res.Rows[i] = []string{
 			tr.Name, fmt.Sprint(n),
 			ms(saw), ms(analytic.TimeStopAndWait(m, n)),
 			ms(sw), ms(analytic.TimeSlidingWindow(m, n)),
 			ms(b), ms(analytic.TimeBlast(m, n)),
 			ratio(saw, b),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	res.Notes = append(res.Notes,
 		"sim = discrete-event simulation of the busy-wait standalone programs; model = §2.1.3 closed forms (which ignore the 2·τ propagation round trip)")
@@ -138,14 +145,17 @@ func runTable3(opt Options) (*Result, error) {
 		Header: []string{"size", "pkts", "SAW MoveTo", "SW MoveTo", "B MoveTo", "B model", "SAW/B"},
 	}
 	m := params.VKernel()
-	for _, tr := range workload.PageReadSizes() {
+	sizes := workload.PageReadSizes()
+	res.Rows = make([][]string, len(sizes))
+	err := forEachPoint(opt.Workers, len(sizes), func(i int) error {
+		tr := sizes[i]
 		n := tr.Packets()
 		row := []string{tr.Name, fmt.Sprint(n)}
 		var byProto []time.Duration
 		for _, proto := range []core.Protocol{core.StopAndWait, core.SlidingWindow, core.Blast} {
 			c, err := vkernel.NewCluster(vkernel.Options{Cost: m, Seed: opt.Seed})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			src := c.A.CreateProcess(tr.Bytes, false)
 			dst := c.B.CreateProcess(tr.Bytes, true)
@@ -153,13 +163,17 @@ func runTable3(opt Options) (*Result, error) {
 				Protocol: proto, Strategy: core.GoBackN,
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			byProto = append(byProto, mv.Elapsed)
 			row = append(row, ms(mv.Elapsed))
 		}
 		row = append(row, ms(analytic.TimeBlast(m, n)), ratio(byProto[0], byProto[2]))
-		res.Rows = append(res.Rows, row)
+		res.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	res.Notes = append(res.Notes,
 		"the paper's Table 3 has no sliding-window column (\"measurements not available at the time of writing\"); ours confirms the standalone ordering held at kernel level",

@@ -110,8 +110,14 @@ func Blast(p Params) (Estimate, error) {
 	if err != nil {
 		return Estimate{}, err
 	}
-	return parallelTrials(p, func(rng *rand.Rand) (time.Duration, bool) {
-		return blastTrial(p, newSegments(p), rng)
+	seg := newSegments(p)
+	return parallelTrials(p, func() trialFunc {
+		// One scratch per worker: the trial loop reuses its received-set and
+		// round-sequence buffers instead of reallocating them per trial.
+		sc := &blastScratch{got: make([]bool, p.D)}
+		return func(rng *rand.Rand) (time.Duration, bool) {
+			return blastTrial(p, seg, rng, sc)
+		}
 	})
 }
 
@@ -122,8 +128,11 @@ func StopAndWait(p Params) (Estimate, error) {
 	if err != nil {
 		return Estimate{}, err
 	}
-	return parallelTrials(p, func(rng *rand.Rand) (time.Duration, bool) {
-		return sawTrial(p, newSegments(p), rng)
+	seg := newSegments(p)
+	return parallelTrials(p, func() trialFunc {
+		return func(rng *rand.Rand) (time.Duration, bool) {
+			return sawTrial(p, seg, rng)
+		}
 	})
 }
 
@@ -154,19 +163,31 @@ func sawTrial(p Params, seg segments, rng *rand.Rand) (time.Duration, bool) {
 	return t, true
 }
 
+// blastScratch holds the per-worker buffers one blast trial needs; reusing
+// it across the worker's trials keeps the 10⁵–10⁶-trial loops allocation-free.
+type blastScratch struct {
+	got  []bool
+	seqs []int // suffix round sequences ([resendFrom, d))
+	sel  []int // selective round sequences, rebuilt per NAK
+}
+
 // blastTrial samples one blast transfer under p.Strategy.
-func blastTrial(p Params, seg segments, rng *rand.Rand) (time.Duration, bool) {
+func blastTrial(p Params, seg segments, rng *rand.Rand, sc *blastScratch) (time.Duration, bool) {
 	var t time.Duration
 	d := p.D
-	got := make([]bool, d)
+	if cap(sc.got) < d {
+		sc.got = make([]bool, d)
+	}
+	got := sc.got[:d]
+	clear(got)
 	count := 0
 	firstMissing := 0
 	rounds := 0
 
-	// pending is the set to (re)transmit this round; nil means "all of
-	// [from, d)" to avoid materialising the common suffix case.
+	// The set to (re)transmit this round is either the suffix [resendFrom, d)
+	// or, once a Selective NAK arrived, the explicit missing list in sc.sel.
 	resendFrom := 0
-	var selective []int // used by Selective after the first NAK
+	useSel := false
 
 	for {
 		rounds++
@@ -177,13 +198,14 @@ func blastTrial(p Params, seg segments, rng *rand.Rand) (time.Duration, bool) {
 		// Transmit this round's pending set; every packet but the round's
 		// final one is unreliable.
 		var roundSeqs []int
-		if selective != nil {
-			roundSeqs = selective
+		if useSel {
+			roundSeqs = sc.sel
 		} else {
-			roundSeqs = make([]int, 0, d-resendFrom)
+			sc.seqs = sc.seqs[:0]
 			for s := resendFrom; s < d; s++ {
-				roundSeqs = append(roundSeqs, s)
+				sc.seqs = append(sc.seqs, s)
 			}
+			roundSeqs = sc.seqs
 		}
 		for _, s := range roundSeqs[:len(roundSeqs)-1] {
 			t += seg.cycle
@@ -239,25 +261,32 @@ func blastTrial(p Params, seg segments, rng *rand.Rand) (time.Duration, bool) {
 			// NAK in hand: shape the next round.
 			switch p.Strategy {
 			case core.FullNak:
-				resendFrom, selective = 0, nil
+				resendFrom, useSel = 0, false
 			case core.GoBackN:
-				resendFrom, selective = firstMissing, nil
+				resendFrom, useSel = firstMissing, false
 			case core.Selective:
-				selective = selective[:0]
+				sc.sel = sc.sel[:0]
 				for s := firstMissing; s < d; s++ {
 					if !got[s] {
-						selective = append(selective, s)
+						sc.sel = append(sc.sel, s)
 					}
 				}
+				useSel = true
 			}
 			break
 		}
 	}
 }
 
+// trialFunc samples one transfer.
+type trialFunc func(*rand.Rand) (time.Duration, bool)
+
 // parallelTrials fans trials across workers with per-trial seeding, so the
-// estimate is deterministic regardless of GOMAXPROCS.
-func parallelTrials(p Params, trial func(*rand.Rand) (time.Duration, bool)) (Estimate, error) {
+// estimate is deterministic regardless of scheduling. newTrial builds one
+// trial closure per worker, giving each worker private scratch buffers.
+// Each worker owns a single RNG re-seeded per trial — trial i always draws
+// from Seed+i, with the rand.New source allocation hoisted out of the loop.
+func parallelTrials(p Params, newTrial func() trialFunc) (Estimate, error) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > p.Trials {
 		workers = p.Trials
@@ -275,8 +304,10 @@ func parallelTrials(p Params, trial func(*rand.Rand) (time.Duration, bool)) (Est
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			trial := newTrial()
+			rng := rand.New(rand.NewSource(0))
 			for i := w; i < p.Trials; i += workers {
-				rng := rand.New(rand.NewSource(p.Seed + int64(i)))
+				rng.Seed(p.Seed + int64(i))
 				elapsed, ok := trial(rng)
 				if !ok {
 					parts[w].failures++

@@ -160,12 +160,10 @@ func (n *Network) AddLoadGenerator(src, dst *Station, offeredLoad float64, frame
 			seq++
 			src.Counters.TxPackets++
 			src.Counters.TxBytes += int64(frameBytes)
-			n.enqueueTx(&txJob{
-				from:     src,
-				to:       dst,
-				pkt:      &wire.Packet{Type: wire.TypeData, Trans: backgroundTransferID, Seq: seq, VirtualSize: frameBytes},
-				detached: true,
-			})
+			job := n.getJob(src, dst,
+				&wire.Packet{Type: wire.TypeData, Trans: backgroundTransferID, Seq: seq, VirtualSize: frameBytes})
+			job.detached = true
+			n.enqueueTx(job)
 			next()
 		})
 	}

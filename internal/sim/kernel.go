@@ -10,6 +10,12 @@
 // at a time and waits for it to block again before advancing the clock, so
 // a given seed always produces an identical execution. Events at equal
 // times fire in schedule order.
+//
+// The kernel is built for cheap mass replay: event records live on a
+// per-kernel free list, the Sleep/Wait/handoff hot path schedules typed
+// resume events instead of allocating closures, and Reset rewinds a kernel
+// to time zero so one kernel (with its warmed pools and handoff channel)
+// can serve thousands of trials.
 package sim
 
 import (
@@ -26,6 +32,9 @@ type Kernel struct {
 	yielded chan struct{}
 	live    int // non-daemon processes that have not finished
 	failure error
+
+	freeEvents  []*event
+	freeWaiters []*svwaiter
 }
 
 // NewKernel returns an empty kernel at time zero.
@@ -36,39 +45,143 @@ func NewKernel() *Kernel {
 // Now returns the current virtual time.
 func (k *Kernel) Now() time.Duration { return k.now }
 
-// event is a scheduled callback. fire runs in kernel context.
+// Reset rewinds the kernel to time zero with an empty event heap so it can
+// run another simulation, keeping its handoff channel and its event and
+// waiter pools warm. Pending events are discarded into the pool.
+//
+// The previous run must have quiesced: every spawned process has returned
+// (Run completed without daemons still blocked). A process left blocked at
+// Reset time is orphaned — its goroutine parks forever, since the events
+// that would resume it are discarded.
+func (k *Kernel) Reset() {
+	for k.events.len() > 0 {
+		k.recycle(k.events.pop())
+	}
+	k.now = 0
+	k.seq = 0
+	k.live = 0
+	k.failure = nil
+}
+
+// eventKind discriminates the typed events the kernel dispatches without a
+// closure allocation. evFunc remains the general case for cold paths.
+type eventKind uint8
+
+const (
+	// evFunc runs an arbitrary callback.
+	evFunc eventKind = iota
+	// evResume hands control to a blocked process (Sleep, Broadcast).
+	evResume
+	// evWaitTimeout expires a Signal wait.
+	evWaitTimeout
+	// evTxDone marks a FIFO-medium transmission leaving the wire.
+	evTxDone
+	// evDeliver delivers a transmitted packet after propagation.
+	evDeliver
+)
+
+// event is a scheduled occurrence. Events are pooled: gen increments on
+// every recycle so stale Timer handles cannot cancel an unrelated reuse.
 type event struct {
 	at        time.Duration
 	seq       uint64
-	fire      func()
+	gen       uint32
+	kind      eventKind
 	cancelled bool
+	timedOut  bool
+
+	fire   func()    // evFunc
+	proc   *Proc     // evResume
+	waiter *svwaiter // evWaitTimeout
+	job    *txJob    // evTxDone, evDeliver
 }
 
-// Timer is a handle for a scheduled event that may be cancelled.
-type Timer struct{ ev *event }
+// Timer is a handle for a scheduled event that may be cancelled. The zero
+// Timer is valid and cancels nothing.
+type Timer struct {
+	ev  *event
+	gen uint32
+}
 
-// Cancel prevents the event from firing. Safe to call multiple times and
-// after the event has fired.
-func (t *Timer) Cancel() {
-	if t != nil && t.ev != nil {
+// Cancel prevents the event from firing. Safe to call multiple times, after
+// the event has fired, and on the zero Timer.
+func (t Timer) Cancel() {
+	if t.ev != nil && t.ev.gen == t.gen {
 		t.ev.cancelled = true
+	}
+}
+
+// newEvent takes an event record from the pool (or allocates one), stamps it
+// with the schedule ordering keys and pushes it on the heap. at is clamped
+// to now.
+func (k *Kernel) newEvent(at time.Duration, kind eventKind) *event {
+	var ev *event
+	if n := len(k.freeEvents); n > 0 {
+		ev = k.freeEvents[n-1]
+		k.freeEvents[n-1] = nil
+		k.freeEvents = k.freeEvents[:n-1]
+	} else {
+		ev = &event{}
+	}
+	if at < k.now {
+		at = k.now
+	}
+	ev.at = at
+	ev.seq = k.seq
+	ev.kind = kind
+	k.seq++
+	k.events.push(ev)
+	return ev
+}
+
+// recycle clears a fired or discarded event and returns it to the pool,
+// invalidating outstanding Timer handles via the generation counter.
+func (k *Kernel) recycle(ev *event) {
+	ev.gen++
+	ev.cancelled = false
+	ev.timedOut = false
+	ev.fire = nil
+	ev.proc = nil
+	ev.waiter = nil
+	ev.job = nil
+	k.freeEvents = append(k.freeEvents, ev)
+}
+
+// dispatch fires one event in kernel context.
+func (k *Kernel) dispatch(ev *event) {
+	switch ev.kind {
+	case evFunc:
+		ev.fire()
+	case evResume:
+		k.handoff(ev.proc, wake{timedOut: ev.timedOut})
+	case evWaitTimeout:
+		w := ev.waiter
+		if w.woken {
+			return
+		}
+		w.woken = true
+		w.sig.remove(w)
+		k.handoff(w.p, wake{timedOut: true})
+	case evTxDone:
+		ev.job.from.net.txDone(ev.job)
+	case evDeliver:
+		job := ev.job
+		n := job.from.net
+		n.deliver(job.to, job.pkt)
+		n.putJob(job)
 	}
 }
 
 // Schedule registers fire to run at absolute virtual time at (clamped to
 // now). It may be called from process context or from event callbacks.
-func (k *Kernel) Schedule(at time.Duration, fire func()) *Timer {
-	if at < k.now {
-		at = k.now
-	}
-	ev := &event{at: at, seq: k.seq, fire: fire}
-	k.seq++
-	k.events.push(ev)
-	return &Timer{ev: ev}
+func (k *Kernel) Schedule(at time.Duration, fire func()) Timer {
+	ev := k.newEvent(at, evFunc)
+	ev.fire = fire
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // After registers fire to run d from now.
-func (k *Kernel) After(d time.Duration, fire func()) *Timer {
+func (k *Kernel) After(d time.Duration, fire func()) Timer {
 	return k.Schedule(k.now+d, fire)
 }
 
@@ -79,10 +192,12 @@ func (k *Kernel) Run() error {
 	for k.events.len() > 0 && k.failure == nil {
 		ev := k.events.pop()
 		if ev.cancelled {
+			k.recycle(ev)
 			continue
 		}
 		k.now = ev.at
-		ev.fire()
+		k.dispatch(ev)
+		k.recycle(ev)
 	}
 	if k.failure != nil {
 		return k.failure
@@ -105,10 +220,12 @@ func (k *Kernel) Step() (bool, error) {
 		}
 		ev := k.events.pop()
 		if ev.cancelled {
+			k.recycle(ev)
 			continue
 		}
 		k.now = ev.at
-		ev.fire()
+		k.dispatch(ev)
+		k.recycle(ev)
 		return true, k.failure
 	}
 	return false, k.failure
@@ -188,13 +305,15 @@ func (p *Proc) yield() wake {
 }
 
 // Sleep advances the process by d of busy virtual time (modelling CPU work
-// or waiting); other processes run meanwhile.
+// or waiting); other processes run meanwhile. The resume is a pooled typed
+// event: sleeping allocates nothing in steady state.
 func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
 	k := p.k
-	k.Schedule(k.now+d, func() { k.handoff(p, wake{}) })
+	ev := k.newEvent(k.now+d, evResume)
+	ev.proc = p
 	p.yield()
 }
 
@@ -207,26 +326,50 @@ type Signal struct {
 
 type svwaiter struct {
 	p     *Proc
+	sig   *Signal
 	woken bool
-	timer *Timer
+	timer Timer
+}
+
+// getWaiter takes a waiter record from the pool.
+func (k *Kernel) getWaiter() *svwaiter {
+	if n := len(k.freeWaiters); n > 0 {
+		w := k.freeWaiters[n-1]
+		k.freeWaiters[n-1] = nil
+		k.freeWaiters = k.freeWaiters[:n-1]
+		return w
+	}
+	return &svwaiter{}
+}
+
+// putWaiter clears a finished waiter and returns it to the pool. Safe once
+// the wait has resolved: by then its timeout event has fired or been
+// cancelled, so no live event references it (a cancelled event still in the
+// heap is discarded without touching its waiter).
+func (k *Kernel) putWaiter(w *svwaiter) {
+	w.p = nil
+	w.sig = nil
+	w.woken = false
+	w.timer = Timer{}
+	k.freeWaiters = append(k.freeWaiters, w)
 }
 
 // Wait blocks the process until the signal is broadcast or timeout elapses
 // (timeout < 0 waits forever). It reports whether the wait timed out.
 func (p *Proc) Wait(s *Signal, timeout time.Duration) (timedOut bool) {
-	w := &svwaiter{p: p}
+	k := p.k
+	w := k.getWaiter()
+	w.p = p
+	w.sig = s
 	s.waiters = append(s.waiters, w)
 	if timeout >= 0 {
-		w.timer = p.k.Schedule(p.k.now+timeout, func() {
-			if w.woken {
-				return
-			}
-			w.woken = true
-			s.remove(w)
-			p.k.handoff(p, wake{timedOut: true})
-		})
+		ev := k.newEvent(k.now+timeout, evWaitTimeout)
+		ev.waiter = w
+		w.timer = Timer{ev: ev, gen: ev.gen}
 	}
-	return p.yield().timedOut
+	timedOut = p.yield().timedOut
+	k.putWaiter(w)
+	return timedOut
 }
 
 // WaitCond blocks until cond() holds, rechecking on every broadcast of s.
@@ -253,13 +396,13 @@ func (p *Proc) WaitCond(s *Signal, deadline time.Duration, cond func() bool) boo
 // are unaffected. Wakeups are scheduled at the current time in FIFO order.
 func (s *Signal) Broadcast(k *Kernel) {
 	for _, w := range s.waiters {
-		w := w
 		if w.woken {
 			continue
 		}
 		w.woken = true
 		w.timer.Cancel()
-		k.Schedule(k.now, func() { k.handoff(w.p, wake{}) })
+		ev := k.newEvent(k.now, evResume)
+		ev.proc = w.p
 	}
 	s.waiters = s.waiters[:0]
 }

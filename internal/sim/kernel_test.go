@@ -96,7 +96,7 @@ func TestTimerCancel(t *testing.T) {
 	tm := k.After(time.Millisecond, func() { fired = true })
 	tm.Cancel()
 	tm.Cancel() // idempotent
-	(*Timer)(nil).Cancel()
+	(Timer{}).Cancel() // zero Timer is a no-op
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}

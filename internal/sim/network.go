@@ -63,6 +63,9 @@ type Network struct {
 	mediumBusy bool
 	mediumQ    []*txJob
 
+	// freeJobs pools txJob records recycled after FIFO-medium delivery.
+	freeJobs []*txJob
+
 	geBad bool // Gilbert–Elliott loss-process state
 }
 
@@ -111,18 +114,63 @@ type Station struct {
 // receiver.
 func (s *Station) SetSink() { s.sink = true }
 
-// txJob tracks one packet through the transmit path.
+// txJob tracks one packet through the transmit path. Jobs recycle through
+// Network.freeJobs; getJob clears stale fields so a sender still reading
+// done at delivery time (same-timestamp resume) observes the final value.
 type txJob struct {
-	from *Station
-	to   *Station
-	pkt  *wire.Packet
-	done bool
-	sig  Signal
+	from    *Station
+	to      *Station
+	pkt     *wire.Packet
+	done    bool
+	sig     Signal
+	txStart time.Duration
 	// attempts counts CSMA/CD collisions suffered by this frame.
 	attempts int
 	// detached jobs (background traffic) own no transmit buffer and no
 	// waiting process.
 	detached bool
+}
+
+// getJob takes a job record from the pool (or allocates one) and binds it to
+// a transmission.
+func (n *Network) getJob(from, to *Station, pkt *wire.Packet) *txJob {
+	var job *txJob
+	if l := len(n.freeJobs); l > 0 {
+		job = n.freeJobs[l-1]
+		n.freeJobs[l-1] = nil
+		n.freeJobs = n.freeJobs[:l-1]
+		job.done = false
+		job.txStart = 0
+		job.attempts = 0
+		job.detached = false
+		job.sig.waiters = job.sig.waiters[:0]
+	} else {
+		job = &txJob{}
+	}
+	job.from, job.to, job.pkt = from, to, pkt
+	return job
+}
+
+// putJob returns a delivered job to the pool. Stale fields are cleared in
+// getJob, not here: the sender's resume can fire at the same timestamp as
+// the delivery, and it must still read done == true.
+func (n *Network) putJob(job *txJob) {
+	job.pkt = nil
+	n.freeJobs = append(n.freeJobs, job)
+}
+
+// cloneForWire returns the packet object handed to the medium. Packets
+// carrying real payload bytes are deep-copied, mirroring a real interface's
+// copy semantics (a retransmitting sender may reuse its buffers).
+// Payload-elided simulated packets are immutable by construction — protocol
+// engines build a fresh Packet per transmission and never mutate one after
+// handing it to Send — so they are delivered by reference, sharing the
+// read-only SimMissing list instead of deep-cloning every packet.
+func cloneForWire(p *wire.Packet) *wire.Packet {
+	if p.VirtualSize > 0 && len(p.Payload) == 0 {
+		return p
+	}
+	return p.Clone()
 }
 
 // AddStation attaches a new station to the network.
@@ -161,7 +209,9 @@ func typeLabel(p *wire.Packet) string {
 // called from process context.
 func (s *Station) Send(p *Proc, to *Station, pkt *wire.Packet) {
 	job := s.beginSend(p, to, pkt)
-	p.WaitCond(&job.sig, -1, func() bool { return job.done })
+	for !job.done {
+		p.Wait(&job.sig, -1)
+	}
 }
 
 // SendAsync copies the packet into a free interface buffer and returns as
@@ -175,7 +225,9 @@ func (s *Station) SendAsync(p *Proc, to *Station, pkt *wire.Packet) {
 // Drain blocks until all of the station's transmit buffers are idle,
 // ensuring previously issued SendAsync transmissions have left the wire.
 func (s *Station) Drain(p *Proc) {
-	p.WaitCond(&s.txSig, -1, func() bool { return s.txFree == s.net.Cost.TxBuffers })
+	for s.txFree != s.net.Cost.TxBuffers {
+		p.Wait(&s.txSig, -1)
+	}
 }
 
 func (s *Station) beginSend(p *Proc, to *Station, pkt *wire.Packet) *txJob {
@@ -183,17 +235,21 @@ func (s *Station) beginSend(p *Proc, to *Station, pkt *wire.Packet) *txJob {
 		panic(fmt.Sprintf("sim: station %s: invalid send destination", s.Name))
 	}
 	k := s.net.K
-	// Acquire a transmit buffer.
-	p.WaitCond(&s.txSig, -1, func() bool { return s.txFree > 0 })
+	// Acquire a transmit buffer (inline wait loop: no closure per send).
+	for s.txFree <= 0 {
+		p.Wait(&s.txSig, -1)
+	}
 	s.txFree--
 	// Copy the packet into the interface: CPU time on this station.
 	size := pkt.WireSize()
 	start := k.Now()
 	p.Sleep(s.net.Cost.CopyTime(size))
-	s.net.span(s.Name, LaneCPU, "in:"+typeLabel(pkt), start, k.Now())
+	if s.net.Trace != nil {
+		s.net.span(s.Name, LaneCPU, "in:"+typeLabel(pkt), start, k.Now())
+	}
 	s.Counters.TxPackets++
 	s.Counters.TxBytes += int64(size)
-	job := &txJob{from: s, to: to, pkt: pkt.Clone()}
+	job := s.net.getJob(s, to, cloneForWire(pkt))
 	s.net.enqueueTx(job)
 	return job
 }
@@ -212,29 +268,37 @@ func (n *Network) enqueueTx(job *txJob) {
 	n.startTx(job)
 }
 
+// startTx seizes the medium and schedules the end of the frame as a typed
+// pooled event — the FIFO transmit path allocates nothing in steady state.
 func (n *Network) startTx(job *txJob) {
 	n.mediumBusy = true
 	k := n.K
-	size := job.pkt.WireSize()
-	wireTime := n.Cost.WireTime(size)
-	start := k.Now()
-	k.After(wireTime, func() {
-		n.span("net", LaneWire, fmt.Sprintf("%s %d", typeLabel(job.pkt), job.pkt.Seq), start, k.Now())
-		n.mediumBusy = false
-		// Propagation: the frame is fully received τ after the last bit
-		// leaves the sender.
-		pkt := job.pkt
-		to := job.to
-		k.After(n.Cost.Propagation, func() { n.deliver(to, pkt) })
-		// Free the sender's buffer and wake anyone waiting on it.
-		n.finishTx(job)
-		// Medium is free: start the next queued transmission, FIFO.
-		if len(n.mediumQ) > 0 {
-			next := n.mediumQ[0]
-			n.mediumQ = append(n.mediumQ[:0], n.mediumQ[1:]...)
-			n.startTx(next)
-		}
-	})
+	job.txStart = k.Now()
+	ev := k.newEvent(k.now+n.Cost.WireTime(job.pkt.WireSize()), evTxDone)
+	ev.job = job
+}
+
+// txDone fires when the frame's last bit leaves the wire: it frees the
+// medium, schedules delivery one propagation delay later, releases the
+// sender's buffer and starts the next queued transmission.
+func (n *Network) txDone(job *txJob) {
+	k := n.K
+	if n.Trace != nil {
+		n.span("net", LaneWire, fmt.Sprintf("%s %d", typeLabel(job.pkt), job.pkt.Seq), job.txStart, k.Now())
+	}
+	n.mediumBusy = false
+	// Propagation: the frame is fully received τ after the last bit
+	// leaves the sender.
+	ev := k.newEvent(k.now+n.Cost.Propagation, evDeliver)
+	ev.job = job
+	// Free the sender's buffer and wake anyone waiting on it.
+	n.finishTx(job)
+	// Medium is free: start the next queued transmission, FIFO.
+	if len(n.mediumQ) > 0 {
+		next := n.mediumQ[0]
+		n.mediumQ = append(n.mediumQ[:0], n.mediumQ[1:]...)
+		n.startTx(next)
+	}
 }
 
 // deliver applies the loss model and enqueues the packet in the receiver.
@@ -298,14 +362,25 @@ func (s *Station) Recv(p *Proc, timeout time.Duration) (*wire.Packet, error) {
 	if timeout >= 0 {
 		deadline = k.Now() + timeout
 	}
-	if !p.WaitCond(&s.rxSig, deadline, func() bool { return len(s.rxq) > 0 }) {
-		return nil, os.ErrDeadlineExceeded
+	for len(s.rxq) == 0 {
+		wait := time.Duration(-1)
+		if deadline >= 0 {
+			wait = deadline - k.Now()
+			if wait < 0 {
+				return nil, os.ErrDeadlineExceeded
+			}
+		}
+		if p.Wait(&s.rxSig, wait) && len(s.rxq) == 0 {
+			return nil, os.ErrDeadlineExceeded
+		}
 	}
 	pkt := s.rxq[0]
 	size := pkt.WireSize()
 	start := k.Now()
 	p.Sleep(s.net.Cost.CopyTime(size))
-	s.net.span(s.Name, LaneCPU, "out:"+typeLabel(pkt), start, k.Now())
+	if s.net.Trace != nil {
+		s.net.span(s.Name, LaneCPU, "out:"+typeLabel(pkt), start, k.Now())
+	}
 	// The buffer is occupied until the copy completes.
 	s.rxq = append(s.rxq[:0], s.rxq[1:]...)
 	s.Counters.RxPackets++

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestKernelReset reuses one kernel across runs: pending (including
+// cancelled) events are discarded, the clock rewinds, and a second
+// simulation executes exactly like one on a fresh kernel.
+func TestKernelReset(t *testing.T) {
+	k := NewKernel()
+	var fired int
+	k.After(time.Millisecond, func() { fired++ })
+	stale := k.After(time.Hour, func() { t.Error("discarded event fired") })
+	k.After(2*time.Millisecond, func() {
+		// leave one cancelled and one pending event behind
+	})
+	_ = stale
+	// Abandon the run midway: fire only the first event.
+	if more, err := k.Step(); !more || err != nil {
+		t.Fatalf("step: more=%v err=%v", more, err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+
+	k.Reset()
+	if k.Now() != 0 {
+		t.Fatalf("Now after Reset = %v, want 0", k.Now())
+	}
+
+	// A full process run on the reused kernel behaves like a fresh one.
+	var woke time.Duration
+	k.Go("sleeper", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		woke = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 5*time.Millisecond {
+		t.Fatalf("woke at %v, want 5ms", woke)
+	}
+}
+
+// TestTimerCancelAfterRecycle checks the generation guard: a Timer whose
+// event has fired and been recycled must not cancel the event record's next
+// incarnation.
+func TestTimerCancelAfterRecycle(t *testing.T) {
+	k := NewKernel()
+	var stale Timer
+	secondFired := false
+	stale = k.After(time.Millisecond, func() {})
+	k.After(2*time.Millisecond, func() {
+		// The first event has fired and its record is back in the pool; the
+		// next schedule reuses it.
+		tm := k.After(time.Millisecond, func() { secondFired = true })
+		if tm.ev != stale.ev {
+			// Pool handed out a different record; force the scenario by
+			// cancelling anyway — the guard must still be a no-op for the
+			// live event.
+			t.Logf("pool reuse not observed (got %p want %p)", tm.ev, stale.ev)
+		}
+		stale.Cancel()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !secondFired {
+		t.Fatal("stale Timer.Cancel killed a recycled event")
+	}
+}

@@ -1,0 +1,116 @@
+package simrun
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"blastlan/internal/core"
+	"blastlan/internal/sim"
+	"blastlan/internal/stats"
+)
+
+// Stats summarises a batch of independent seeded transfers: the experiment
+// harness regenerates every stochastic figure point from one of these.
+type Stats struct {
+	// Elapsed accumulates the sender elapsed time of every successful trial.
+	Elapsed stats.Durations
+	// Failures counts trials where either side abandoned the transfer
+	// (core.ErrGiveUp); failed trials contribute to no other field.
+	Failures int
+	// Retransmits and DataPackets total the sender-side packet counters of
+	// the successful trials.
+	Retransmits int64
+	DataPackets int64
+}
+
+// Sample runs n independent transfers of cfg, with trial i seeded
+// opt.Seed+i, fanned across GOMAXPROCS workers, and merges the results.
+// The output is bit-identical to a sequential run of the same trials: every
+// trial is deterministic given its seed, and the merge folds trials in index
+// order regardless of which worker ran them.
+func Sample(cfg core.Config, opt Options, n int) (Stats, error) {
+	return SampleWorkers(cfg, opt, n, 0)
+}
+
+// SampleWorkers is Sample with an explicit worker count (0 or negative
+// means GOMAXPROCS). Options carrying callbacks (Trace, DropFilter) are not
+// goroutine-safe and force a single worker.
+func SampleWorkers(cfg core.Config, opt Options, n, workers int) (Stats, error) {
+	var agg Stats
+	if n <= 0 {
+		return agg, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if opt.Trace != nil || opt.DropFilter != nil {
+		workers = 1
+	}
+
+	type trial struct {
+		elapsed     time.Duration
+		retransmits int
+		dataPackets int
+		failed      bool
+		err         error
+	}
+	trials := make([]trial, n)
+	worker := func(w int) {
+		// One kernel per worker, Reset between trials: pools stay warm.
+		k := sim.NewKernel()
+		for i := w; i < n; i += workers {
+			o := opt
+			o.Seed = opt.Seed + int64(i)
+			res, err := TransferOn(k, cfg, o)
+			if err != nil {
+				// A substrate error (deadlock, panic) can leave processes
+				// blocked, so the kernel no longer satisfies Reset's quiesce
+				// precondition — and the merge loop discards everything after
+				// the first error anyway. Stop this worker.
+				trials[i].err = err
+				return
+			}
+			if res.Failed() {
+				trials[i].failed = true
+				continue
+			}
+			trials[i].elapsed = res.Send.Elapsed
+			trials[i].retransmits = res.Send.Retransmits
+			trials[i].dataPackets = res.Send.DataPackets
+		}
+	}
+	if workers == 1 {
+		worker(0)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				worker(w)
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	// Merge strictly in trial-index order so the accumulated moments are
+	// identical no matter how the trials were scheduled.
+	for i := range trials {
+		t := &trials[i]
+		if t.err != nil {
+			return agg, t.err
+		}
+		if t.failed {
+			agg.Failures++
+			continue
+		}
+		agg.Elapsed.Add(t.elapsed)
+		agg.Retransmits += int64(t.retransmits)
+		agg.DataPackets += int64(t.dataPackets)
+	}
+	return agg, nil
+}

@@ -1,0 +1,132 @@
+package simrun
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"blastlan/internal/core"
+	"blastlan/internal/params"
+	"blastlan/internal/sim"
+)
+
+func sampleConfig() (core.Config, Options) {
+	cfg := core.Config{
+		TransferID:     1,
+		Bytes:          64 << 10,
+		Protocol:       core.Blast,
+		Strategy:       core.GoBackN,
+		RetransTimeout: 200 * time.Millisecond,
+	}
+	opt := Options{
+		Cost: params.VKernel(),
+		Loss: params.LossModel{PNet: 5e-3},
+		Seed: 42,
+	}
+	return cfg, opt
+}
+
+// TestSampleDeterministicAcrossGOMAXPROCS is the tentpole's contract: the
+// parallel sampler must produce bit-identical stats no matter how many
+// workers (or processors) execute the trials.
+func TestSampleDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	cfg, opt := sampleConfig()
+	const n = 48
+
+	prev := runtime.GOMAXPROCS(1)
+	seq, err := Sample(cfg, opt, n)
+	runtime.GOMAXPROCS(8)
+	par, parErr := Sample(cfg, opt, n)
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parErr != nil {
+		t.Fatal(parErr)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("sampler output depends on GOMAXPROCS:\n 1: %+v\n 8: %+v", seq, par)
+	}
+}
+
+// TestSampleWorkersMatchSequential pins the explicit-worker path to the
+// sequential one across several worker counts, including workers > trials.
+func TestSampleWorkersMatchSequential(t *testing.T) {
+	cfg, opt := sampleConfig()
+	const n = 24
+	want, err := SampleWorkers(cfg, opt, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Elapsed.N() == 0 {
+		t.Fatal("sequential sample produced no successful trials")
+	}
+	for _, workers := range []int{2, 3, 7, 64} {
+		got, err := SampleWorkers(cfg, opt, n, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d diverged:\nwant %+v\ngot  %+v", workers, want, got)
+		}
+	}
+}
+
+// TestSampleMatchesSequentialTransfers checks the sampler against hand-rolled
+// sequential Transfer calls with the same per-trial seeds — the pre-sampler
+// desSample loop.
+func TestSampleMatchesSequentialTransfers(t *testing.T) {
+	cfg, opt := sampleConfig()
+	const n = 16
+	st, err := Sample(cfg, opt, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantMean time.Duration
+	var count int64
+	for i := 0; i < n; i++ {
+		o := opt
+		o.Seed = opt.Seed + int64(i)
+		res, err := Transfer(cfg, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed() {
+			continue
+		}
+		wantMean += res.Send.Elapsed
+		count++
+	}
+	if st.Elapsed.N() != count {
+		t.Fatalf("sampler saw %d successes, sequential loop %d", st.Elapsed.N(), count)
+	}
+	if count > 0 {
+		want := time.Duration(int64(wantMean) / count)
+		if got := st.Elapsed.Mean(); got < want-time.Microsecond || got > want+time.Microsecond {
+			t.Fatalf("mean mismatch: sampler %v, sequential %v", got, want)
+		}
+	}
+}
+
+// TestTransferOnReuse drives many trials through one kernel and checks each
+// matches a fresh-kernel run, exercising Reset and the event/job pools.
+func TestTransferOnReuse(t *testing.T) {
+	cfg, opt := sampleConfig()
+	k := sim.NewKernel()
+	for i := 0; i < 8; i++ {
+		o := opt
+		o.Seed = opt.Seed + int64(i)
+		reused, err := TransferOn(k, cfg, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := Transfer(cfg, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(reused, fresh) {
+			t.Fatalf("trial %d: reused kernel diverged from fresh kernel:\nreused %+v\nfresh  %+v", i, reused, fresh)
+		}
+	}
+}

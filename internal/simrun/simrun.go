@@ -59,8 +59,16 @@ type Options struct {
 // The returned error reports substrate-level failures (deadlock, panic,
 // invalid models); protocol-level give-ups are reported in Result.
 func Transfer(cfg core.Config, opt Options) (Result, error) {
+	return TransferOn(sim.NewKernel(), cfg, opt)
+}
+
+// TransferOn runs the transfer on a caller-provided kernel, which is Reset
+// first. Batch drivers (Sample) reuse one kernel per worker across thousands
+// of trials so its event and waiter pools stay warm instead of being rebuilt
+// per transfer.
+func TransferOn(k *sim.Kernel, cfg core.Config, opt Options) (Result, error) {
 	var res Result
-	k := sim.NewKernel()
+	k.Reset()
 	n, err := sim.NewNetwork(k, opt.Cost, opt.Loss, opt.Seed)
 	if err != nil {
 		return res, err

@@ -157,13 +157,20 @@ func (p *Packet) Clone() *Packet {
 	return &q
 }
 
-// Encode appends the encoded packet to dst and returns the result.
+// Encode appends the encoded packet to dst and returns the result. When dst
+// has sufficient capacity the encode performs no allocation, so a reused
+// buffer (buf[:0]) makes the round trip allocation-free.
 func (p *Packet) Encode(dst []byte) ([]byte, error) {
 	if len(p.Payload) > MaxPayload {
 		return dst, fmt.Errorf("%w: %d > %d", ErrPayload, len(p.Payload), MaxPayload)
 	}
 	off := len(dst)
-	dst = append(dst, make([]byte, HeaderSize)...)
+	need := HeaderSize + len(p.Payload)
+	if cap(dst)-off >= need {
+		dst = dst[:off+need]
+	} else {
+		dst = append(dst, make([]byte, need)...)
+	}
 	h := dst[off:]
 	binary.BigEndian.PutUint16(h[0:2], Magic)
 	h[2] = Version
@@ -174,40 +181,43 @@ func (p *Packet) Encode(dst []byte) ([]byte, error) {
 	binary.BigEndian.PutUint32(h[10:14], p.Seq)
 	binary.BigEndian.PutUint32(h[14:18], p.Total)
 	binary.BigEndian.PutUint16(h[18:20], uint16(len(p.Payload)))
-	// h[20:22] checksum, filled below; h[22:24] reserved (zero).
-	dst = append(dst, p.Payload...)
+	// h[20:22] checksum, filled below; h[22:24] reserved (zero). Cleared
+	// explicitly: a reused buffer carries stale bytes.
+	h[20], h[21], h[22], h[23] = 0, 0, 0, 0
+	copy(h[HeaderSize:], p.Payload)
 	sum := Checksum(dst[off:])
-	binary.BigEndian.PutUint16(dst[off+20:off+22], sum)
+	binary.BigEndian.PutUint16(h[20:22], sum)
 	return dst, nil
 }
 
-// Decode parses one packet from buf, which must contain exactly one encoded
-// packet (datagram semantics). The returned packet aliases buf's payload
-// bytes; callers that retain the packet beyond the life of buf must Clone it.
-func Decode(buf []byte) (*Packet, error) {
+// DecodeInto parses one packet from buf into p, overwriting every field. The
+// payload aliases buf; callers that retain the packet beyond the life of buf
+// must Clone it. DecodeInto performs no allocation, so protocol receive
+// loops can reuse one Packet value per connection.
+func DecodeInto(p *Packet, buf []byte) error {
 	if len(buf) < HeaderSize {
-		return nil, fmt.Errorf("%w: %d < %d", ErrShort, len(buf), HeaderSize)
+		return fmt.Errorf("%w: %d < %d", ErrShort, len(buf), HeaderSize)
 	}
 	if binary.BigEndian.Uint16(buf[0:2]) != Magic {
-		return nil, ErrMagic
+		return ErrMagic
 	}
 	if buf[2] != Version {
-		return nil, fmt.Errorf("%w: %d", ErrVersion, buf[2])
+		return fmt.Errorf("%w: %d", ErrVersion, buf[2])
 	}
 	t := Type(buf[3])
 	if t < TypeData || t > TypeReq {
-		return nil, fmt.Errorf("%w: %d", ErrType, buf[3])
+		return fmt.Errorf("%w: %d", ErrType, buf[3])
 	}
 	plen := int(binary.BigEndian.Uint16(buf[18:20]))
 	if len(buf) < HeaderSize+plen {
-		return nil, fmt.Errorf("%w: need %d payload bytes, have %d", ErrShort, plen, len(buf)-HeaderSize)
+		return fmt.Errorf("%w: need %d payload bytes, have %d", ErrShort, plen, len(buf)-HeaderSize)
 	}
 	// Verify the checksum with the checksum field zeroed.
 	want := binary.BigEndian.Uint16(buf[20:22])
 	if got := checksumZeroed(buf[:HeaderSize+plen], 20); got != want {
-		return nil, fmt.Errorf("%w: got %04x want %04x", ErrChecksum, got, want)
+		return fmt.Errorf("%w: got %04x want %04x", ErrChecksum, got, want)
 	}
-	p := &Packet{
+	*p = Packet{
 		Type:    t,
 		Flags:   buf[4],
 		Attempt: buf[5],
@@ -218,6 +228,17 @@ func Decode(buf []byte) (*Packet, error) {
 	if plen > 0 {
 		p.Payload = buf[HeaderSize : HeaderSize+plen]
 	}
+	return nil
+}
+
+// Decode parses one packet from buf, which must contain exactly one encoded
+// packet (datagram semantics). The returned packet aliases buf's payload
+// bytes; callers that retain the packet beyond the life of buf must Clone it.
+func Decode(buf []byte) (*Packet, error) {
+	p := new(Packet)
+	if err := DecodeInto(p, buf); err != nil {
+		return nil, err
+	}
 	return p, nil
 }
 
@@ -225,39 +246,48 @@ func Decode(buf []byte) (*Packet, error) {
 // of b. A buffer whose checksum field already holds the Checksum of the rest
 // verifies by recomputation in Decode.
 func Checksum(b []byte) uint16 {
-	var sum uint32
+	return ^fold16(sumWords(b))
+}
+
+// sumWords accumulates b as big-endian 16-bit words (a trailing odd byte is
+// padded with zero), unrolled four words per iteration. The uint64
+// accumulator cannot overflow for any buffer shorter than 2^48 bytes, so
+// folding is deferred to the very end.
+func sumWords(b []byte) uint64 {
+	var sum uint64
+	for len(b) >= 8 {
+		sum += uint64(binary.BigEndian.Uint16(b)) +
+			uint64(binary.BigEndian.Uint16(b[2:])) +
+			uint64(binary.BigEndian.Uint16(b[4:])) +
+			uint64(binary.BigEndian.Uint16(b[6:]))
+		b = b[8:]
+	}
 	for len(b) >= 2 {
-		sum += uint32(b[0])<<8 | uint32(b[1])
+		sum += uint64(binary.BigEndian.Uint16(b))
 		b = b[2:]
 	}
 	if len(b) == 1 {
-		sum += uint32(b[0]) << 8
+		sum += uint64(b[0]) << 8
 	}
-	for sum>>16 != 0 {
-		sum = sum&0xffff + sum>>16
-	}
-	return ^uint16(sum)
+	return sum
 }
 
-// checksumZeroed computes Checksum of b treating the 2 bytes at off as zero.
-func checksumZeroed(b []byte, off int) uint16 {
-	var sum uint32
-	for i := 0; i+1 < len(b); i += 2 {
-		hi, lo := b[i], b[i+1]
-		if i == off {
-			hi, lo = 0, 0
-		}
-		sum += uint32(hi)<<8 | uint32(lo)
-	}
-	if len(b)%2 == 1 {
-		hi := b[len(b)-1]
-		if len(b)-1 == off {
-			hi = 0
-		}
-		sum += uint32(hi) << 8
-	}
+// fold16 reduces a deferred one's-complement sum to 16 bits.
+func fold16(sum uint64) uint16 {
 	for sum>>16 != 0 {
 		sum = sum&0xffff + sum>>16
 	}
-	return ^uint16(sum)
+	return uint16(sum)
+}
+
+// checksumZeroed computes Checksum of b treating the 2 bytes at off as zero:
+// one unrolled pass sums the whole buffer, then the checksum word is
+// subtracted from the running total. off must be even and word-aligned with
+// off+2 <= len(b) (the header checksum field always is), so the word at off
+// is one of the addends and the subtraction is exact — the accumulator holds
+// the full unfolded sum.
+func checksumZeroed(b []byte, off int) uint16 {
+	sum := sumWords(b)
+	sum -= uint64(binary.BigEndian.Uint16(b[off:]))
+	return ^fold16(sum)
 }
