@@ -64,7 +64,7 @@ const (
 	Selective = core.Selective
 )
 
-// Cost and loss models.
+// Cost, loss and hostile-network models.
 type (
 	// CostModel holds the per-packet cost constants (C, Ca, T, Ta, τ).
 	CostModel = params.CostModel
@@ -72,6 +72,13 @@ type (
 	LossModel = params.LossModel
 	// GilbertElliott is the two-state burst-loss chain.
 	GilbertElliott = params.GilbertElliott
+	// Adversary is the full hostile-network model: loss plus seeded
+	// reordering, duplication, bit corruption, jitter and scripted
+	// per-packet mangling. One definition runs on the simulator, the V
+	// kernel and real UDP endpoints.
+	Adversary = params.Adversary
+	// Mangle is the adversary's per-packet verdict.
+	Mangle = params.Mangle
 )
 
 // Hardware presets.
@@ -106,6 +113,12 @@ type (
 	SimResult = simrun.Result
 	// SampleStats aggregates a batch of independent seeded transfers.
 	SampleStats = simrun.Stats
+	// Scenario is a declarative hostile-network experiment runnable on all
+	// three substrates (RunSim, RunVKernel, RunUDP, Sample).
+	Scenario = simrun.Scenario
+	// ScenarioOutcome is the substrate-independent projection of one
+	// scenario run, used by the cross-substrate conformance suite.
+	ScenarioOutcome = simrun.Outcome
 )
 
 // Simulate runs one complete transfer over the discrete-event simulator and

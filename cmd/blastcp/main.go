@@ -67,10 +67,10 @@ func main() {
 	defer e.Close()
 	e.PacketGap = *gap
 	if *lossTx > 0 {
-		e.DropTx = udplan.SeededDrop(*lossTx, 1)
+		e.MangleTx = udplan.SeededDrop(*lossTx, 1)
 	}
 	if *lossRx > 0 {
-		e.DropRx = udplan.SeededDrop(*lossRx, 2)
+		e.MangleRx = udplan.SeededDrop(*lossRx, 2)
 	}
 
 	cfg := core.Config{

@@ -5,6 +5,7 @@
 //
 //	lanbench                      # run everything, in parallel
 //	lanbench -experiment table1   # one artifact
+//	lanbench -experiment ablation-adversary  # hostile-network ablation
 //	lanbench -list                # enumerate artifacts
 //	lanbench -quick               # reduced Monte-Carlo budgets
 //	lanbench -parallel=false      # sequential sampling (bit-identical output)

@@ -1,5 +1,6 @@
 // Command lansim runs one simulated transfer and reports both sides,
-// optionally rendering the Figure 3-style activity timeline.
+// optionally rendering the Figure 3-style activity timeline or sweeping a
+// hostile-network adversary over all four blast strategies.
 //
 // Examples:
 //
@@ -7,6 +8,8 @@
 //	lansim -bytes 3072 -proto saw -timeline
 //	lansim -bytes 65536 -proto blast -loss 0.01 -seed 7
 //	lansim -cost vkernel -bytes 65536 -proto blast -window 16
+//	lansim -bytes 65536 -reorder 0.05 -reorder-depth 3 -corrupt 0.02
+//	lansim -adversary -cost vkernel -bytes 65536 -trials 200
 package main
 
 import (
@@ -15,7 +18,9 @@ import (
 	"os"
 	"time"
 
+	"blastlan/internal/analytic"
 	"blastlan/internal/core"
+	"blastlan/internal/experiments"
 	"blastlan/internal/params"
 	"blastlan/internal/simrun"
 	"blastlan/internal/trace"
@@ -65,6 +70,14 @@ func main() {
 		seed      = flag.Int64("seed", 1, "loss-process seed")
 		timeline  = flag.Bool("timeline", false, "render the activity timeline (Figure 3 style)")
 		width     = flag.Int("width", 96, "timeline width in characters")
+
+		reorder   = flag.Float64("reorder", 0, "adversary: reorder probability per packet")
+		depth     = flag.Int("reorder-depth", 2, "adversary: packets that overtake a held one")
+		dup       = flag.Float64("dup", 0, "adversary: duplication probability per packet")
+		corrupt   = flag.Float64("corrupt", 0, "adversary: single-bit corruption probability per packet")
+		jitter    = flag.Duration("jitter", 0, "adversary: max extra delay per packet")
+		advSweep  = flag.Bool("adversary", false, "sweep adversary intensity over all four blast strategies and chart throughput")
+		advTrials = flag.Int("trials", 100, "trials per point in the -adversary sweep")
 	)
 	flag.Parse()
 
@@ -87,6 +100,25 @@ func main() {
 		cost = params.DoubleBuffered(cost)
 	}
 
+	if *advSweep {
+		if *reorder != 0 || *dup != 0 || *corrupt != 0 || *jitter != 0 || *loss != 0 || *timeline {
+			fmt.Fprintln(os.Stderr, "lansim: -adversary sweeps its own intensity grid; -reorder/-dup/-corrupt/-jitter/-loss/-timeline are ignored in sweep mode")
+		}
+		if err := adversarySweep(cost, *bytesN, *chunk, *advTrials, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	adv := params.Adversary{
+		ReorderProb:   *reorder,
+		ReorderDepth:  *depth,
+		DuplicateProb: *dup,
+		CorruptProb:   *corrupt,
+		JitterMax:     *jitter,
+	}
+
 	n := (*bytesN + *chunk - 1) / *chunk
 	timeout := *tr
 	if timeout == 0 {
@@ -104,9 +136,10 @@ func main() {
 
 	var rec trace.Recorder
 	opt := simrun.Options{
-		Cost: cost,
-		Loss: params.LossModel{PNet: *loss, PIface: *ifaceLoss},
-		Seed: *seed,
+		Cost:      cost,
+		Loss:      params.LossModel{PNet: *loss, PIface: *ifaceLoss},
+		Adversary: adv,
+		Seed:      *seed,
 	}
 	if *timeline {
 		opt.Trace = rec.Add
@@ -131,13 +164,74 @@ func main() {
 		res.Send.Timeouts, res.Send.AcksReceived, res.Send.NaksReceived)
 	fmt.Printf("receiver : %d data pkts (%d dups), %d acks, %d naks sent\n",
 		res.Recv.DataPackets, res.Recv.Duplicates, res.Recv.AcksSent, res.Recv.NaksSent)
-	fmt.Printf("drops    : wire=%d iface=%d overrun=%d\n",
+	fmt.Printf("drops    : wire=%d iface=%d corrupt=%d overrun=%d\n",
 		res.DstCounters.WireDrops+res.SrcCounters.WireDrops,
 		res.DstCounters.IfaceDrops+res.SrcCounters.IfaceDrops,
+		res.DstCounters.CorruptDrops+res.SrcCounters.CorruptDrops,
 		res.DstCounters.Overruns+res.SrcCounters.Overruns)
+	if adv.Active() {
+		fmt.Printf("adversary: drops=%d corrupts=%d dups=%d holds=%d (flushed %d) delays=%d\n",
+			res.Adv.Drops+res.Adv.IfaceDrops, res.Adv.Corrupts, res.Adv.Dups,
+			res.Adv.Holds, res.Adv.Flushes, res.Adv.Delays)
+	}
 
 	if *timeline {
 		fmt.Println()
 		fmt.Print(rec.Render(*width))
 	}
+}
+
+// adversarySweep charts throughput against reorder/corruption intensity for
+// all four blast retransmission strategies: each cell is a seeded Scenario
+// sampled through the parallel engine, so the chart is reproducible.
+func adversarySweep(cost params.CostModel, bytesN, chunk, trials int, seed int64) error {
+	intensities := []float64{0, 0.005, 0.01, 0.02, 0.05, 0.1}
+	strats := []core.Strategy{core.FullNoNak, core.FullNak, core.GoBackN, core.Selective}
+	n := (bytesN + chunk - 1) / chunk
+	tr := 2 * analytic.TimeBlast(cost, n)
+
+	fmt.Printf("adversary sweep: %d bytes (%d pkts of %d) on %s, %d trials/cell, Tr=%v\n",
+		bytesN, n, chunk, cost.Name, trials, tr)
+	fmt.Printf("intensity x: reorder=x (depth 2), corrupt=x, duplicate=x/2, jitter<=0.5ms\n\n")
+	fmt.Printf("%-9s  %-22s  %-22s  %-22s  %-22s\n", "", "full-no-nak", "full-nak", "go-back-n", "selective")
+	fmt.Printf("%-9s  %-22s  %-22s  %-22s  %-22s\n", "intensity",
+		"mean ms (KB/s)", "mean ms (KB/s)", "mean ms (KB/s)", "mean ms (KB/s)")
+
+	for i, x := range intensities {
+		adv := experiments.AdversaryAt(x)
+		fmt.Printf("%-9s", fmt.Sprintf("%.1f%%", 100*x))
+		for _, s := range strats {
+			sc := simrun.Scenario{
+				Name:      fmt.Sprintf("sweep-%g-%s", x, s),
+				Cost:      cost,
+				Adversary: adv,
+				Config: core.Config{
+					TransferID:     1,
+					Bytes:          bytesN,
+					ChunkSize:      chunk,
+					Protocol:       core.Blast,
+					Strategy:       s,
+					RetransTimeout: tr,
+				},
+				Trials: trials,
+				Seed:   seed + int64(i)*1000,
+			}
+			st, err := sc.Sample(0)
+			if err != nil {
+				return err
+			}
+			mean := st.Elapsed.Mean()
+			cell := "all failed"
+			if st.Elapsed.N() > 0 {
+				kbs := float64(bytesN) / 1024 / mean.Seconds()
+				cell = fmt.Sprintf("%8.2f (%7.0f)", float64(mean)/float64(time.Millisecond), kbs)
+				if st.Failures > 0 {
+					cell += fmt.Sprintf(" %df", st.Failures)
+				}
+			}
+			fmt.Printf("  %-22s", cell)
+		}
+		fmt.Println()
+	}
+	return nil
 }

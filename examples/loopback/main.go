@@ -46,8 +46,8 @@ func main() {
 		}
 		defer e.Close()
 		if lossy {
-			e.DropTx = udplan.SeededDrop(0.05, 7)
-			e.DropRx = udplan.SeededDrop(0.05, 8)
+			e.MangleTx = udplan.SeededDrop(0.05, 7)
+			e.MangleRx = udplan.SeededDrop(0.05, 8)
 		}
 		res, err := blastlan.PushUDP(e, blastlan.Config{
 			TransferID:     uint32(time.Now().UnixNano()),

@@ -309,4 +309,6 @@ type RecvResult struct {
 	Data         []byte // reassembled payload (real mode only)
 	Checksum     uint16 // Internet checksum of Data (real mode only)
 	LingerEvents int    // retransmissions handled after completion
+	LingerAcks   int    // of AcksSent, those sent during the linger
+	LingerNaks   int    // of NaksSent, those sent during the linger
 }

@@ -176,8 +176,10 @@ func lingerReAck(env Env, c Config, res *RecvResult, respond func(*wire.Packet) 
 			}
 			if reply.Type == wire.TypeAck {
 				res.AcksSent++
+				res.LingerAcks++
 			} else {
 				res.NaksSent++
+				res.LingerNaks++
 			}
 		}
 	}

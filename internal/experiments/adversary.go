@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"blastlan/internal/analytic"
+	"blastlan/internal/core"
+	"blastlan/internal/params"
+	"blastlan/internal/simrun"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "ablation-adversary",
+		Title: "Hostile-network ablation: blast strategies vs reorder/duplication/corruption intensity",
+		Paper: "beyond the paper: §3 analyses loss only, but the same recovery machinery must survive reordering, duplication and corruption; NAK-driven strategies degrade gracefully while full-no-nak pays a full Tr per disturbance near the end of a blast",
+		Run:   runAblationAdversary,
+	})
+}
+
+// adversaryIntensities is the swept x-axis: each level scales the reorder
+// and corruption probabilities (duplication rides at half).
+var adversaryIntensities = []float64{0, 0.005, 0.02, 0.05}
+
+// AdversaryAt maps one hostility intensity x onto the adversary shape the
+// ablation (and lansim's -adversary sweep) charts: reordering and corruption
+// at x, duplication at x/2, mild jitter. One definition keeps the CLI sweep
+// and the archived table on the same axes.
+func AdversaryAt(x float64) params.Adversary {
+	if x == 0 {
+		return params.Adversary{}
+	}
+	return params.Adversary{
+		ReorderProb:   x,
+		ReorderDepth:  2,
+		DuplicateProb: x / 2,
+		CorruptProb:   x,
+		JitterMax:     500 * time.Microsecond,
+	}
+}
+
+// runAblationAdversary sweeps all four blast strategies over increasingly
+// hostile networks. Every cell is a seeded Scenario fanned through the
+// parallel sampling engine, so the table is bit-identical at any worker
+// count (-parallel on or off).
+func runAblationAdversary(opt Options) (*Result, error) {
+	m := params.VKernel()
+	trials := 200
+	if opt.Quick {
+		trials = 20
+	}
+	strategies := []core.Strategy{core.FullNoNak, core.FullNak, core.GoBackN, core.Selective}
+	res := &Result{
+		ID:    "ablation-adversary",
+		Title: fmt.Sprintf("64 KB blast under a hostile network (DES, %d trials/cell)", trials),
+		Paper: "reorder+corrupt+duplicate at intensity x; mean elapsed per strategy",
+		Header: []string{"intensity", "full-no-nak (ms)", "full-nak (ms)",
+			"go-back-n (ms)", "selective (ms)", "gbn retrans/run", "failures"},
+	}
+	res.Rows = make([][]string, len(adversaryIntensities))
+	err := forEachPoint(opt.Workers, len(adversaryIntensities), func(i int) error {
+		x := adversaryIntensities[i]
+		row := []string{fmt.Sprintf("%.1f%%", 100*x)}
+		var failures int
+		var gbnRetrans float64
+		for _, s := range strategies {
+			sc := simrun.Scenario{
+				Name:      fmt.Sprintf("adv-%g-%s", x, s),
+				Cost:      m,
+				Adversary: AdversaryAt(x),
+				Config: core.Config{
+					TransferID:     1,
+					Bytes:          64 * 1024,
+					Protocol:       core.Blast,
+					Strategy:       s,
+					RetransTimeout: analytic.TimeBlast(m, 64),
+				},
+				Trials: trials,
+				Seed:   opt.Seed + int64(i)*1000,
+			}
+			// The sampler below this point already fans the trials across
+			// workers; rows above it parallelise the intensity levels.
+			st, err := sc.Sample(opt.Workers)
+			if err != nil {
+				return err
+			}
+			row = append(row, ms(st.Elapsed.Mean()))
+			failures += st.Failures
+			if s == core.GoBackN {
+				gbnRetrans = float64(st.Retransmits) / float64(trials)
+			}
+		}
+		row = append(row, fmt.Sprintf("%.1f", gbnRetrans), fmt.Sprint(failures))
+		res.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Notes = append(res.Notes,
+		"intensity x sets ReorderProb = CorruptProb = x (depth 2), DuplicateProb = x/2, jitter ≤ 0.5 ms; corruption runs the real wire codec, so every flip is a checksum rejection",
+		"full-no-nak degrades worst: a disturbance near the blast's tail silences the receiver and costs a full Tr, while the NAK strategies recover at wire speed",
+		"duplicates and reordering alone are nearly free for blast — the receiver accepts out-of-order packets into the pre-allocated buffer and discards duplicates (§2's MoveTo contract)")
+	return res, nil
+}

@@ -32,8 +32,8 @@ func runQuick(t *testing.T, id string) *Result {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "figure3", "figure4",
 		"figure5", "figure6", "util", "ablation-dma", "ablation-burst",
-		"multiblast", "udp-loopback", "ext-load", "ext-pagesize", "ext-chunk",
-		"ext-adaptive"}
+		"ablation-adversary", "multiblast", "udp-loopback", "ext-load",
+		"ext-pagesize", "ext-chunk", "ext-adaptive"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
@@ -221,6 +221,36 @@ func TestAblationBurst(t *testing.T) {
 		if row[4] != "0" {
 			t.Errorf("failures: %v", row)
 		}
+	}
+}
+
+func TestAblationAdversary(t *testing.T) {
+	res := runQuick(t, "ablation-adversary")
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The clean row is the deterministic error-free blast: all four
+	// strategies coincide, and no run fails anywhere.
+	clean := res.Rows[0]
+	for col := 2; col <= 4; col++ {
+		if clean[col] != clean[1] {
+			t.Errorf("error-free strategies should coincide: %v", clean)
+		}
+	}
+	for _, row := range res.Rows {
+		if row[len(row)-1] != "0" {
+			t.Errorf("failures in %v", row)
+		}
+	}
+	// Hostility costs time: the harshest go-back-n mean exceeds the clean
+	// one, and full-no-nak (timeout recovery) degrades at least as badly as
+	// go-back-n (NAK recovery) on the harshest row.
+	harsh := res.Rows[len(res.Rows)-1]
+	if cellMS(t, harsh[3]) <= cellMS(t, clean[3]) {
+		t.Errorf("go-back-n should slow down under hostility: %v vs %v", harsh[3], clean[3])
+	}
+	if cellMS(t, harsh[1]) < cellMS(t, harsh[3]) {
+		t.Errorf("full-no-nak %v should not beat go-back-n %v under hostility", harsh[1], harsh[3])
 	}
 }
 

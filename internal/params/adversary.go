@@ -1,0 +1,243 @@
+// Adversary generalises LossModel into a full hostile-network model.
+//
+// The paper evaluates its protocols only under packet loss (§3), but a real
+// LAN also reorders, duplicates, corrupts and delays datagrams — the recovery
+// machinery of internal/core (duplicate suppression, out-of-order blast
+// reassembly, checksum rejection) exists precisely for those events. The
+// Adversary describes them substrate-independently: the simulator, the V
+// kernel and the real-UDP endpoint all consult the same seeded decision
+// engine, so one scenario definition runs on all three substrates.
+package params
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"blastlan/internal/wire"
+)
+
+// Mangle is the adversary's verdict on one packet crossing the network.
+// The zero value passes the packet through untouched. Substrates implement
+// the mechanics (the simulator with virtual-time events, the UDP endpoint
+// with held datagrams); the decision itself is substrate-independent.
+type Mangle struct {
+	// Drop loses the packet on the wire (the paper's network errors).
+	Drop bool
+	// IfaceDrop loses the packet in the receiving interface (the paper's
+	// interface errors). Substrates without a modelled interface treat it
+	// as Drop.
+	IfaceDrop bool
+
+	// Corrupt flips one bit of the encoded frame. The receive path runs the
+	// real wire codec, so the packet survives only if the flip evades the
+	// checksum and every structural check — with the strict datagram codec
+	// a single-bit flip never does, and the packet counts as a corruption
+	// drop instead. Corrupt is terminal like the drops: Judge clears
+	// Duplicate, Hold and Delay on a corrupt verdict, so a mangled frame is
+	// never also duplicated or reordered (the substrates would otherwise
+	// disagree about what happens to a frame that no receiver accepts).
+	Corrupt bool
+	// CorruptBit selects the flipped bit: bit CorruptBit mod (8·frame size)
+	// of the encoded frame. Meaningful only when Corrupt is set.
+	CorruptBit int64
+
+	// Duplicate delivers the packet twice.
+	Duplicate bool
+
+	// Hold withholds the packet until Hold later packets bound for the same
+	// receiver have overtaken it (reordering by depth). Substrates flush a
+	// held packet that nothing overtakes — the simulator after ReorderFlush
+	// of virtual time, the UDP endpoint when the sending side turns to
+	// listen — so a hold delays but never loses.
+	Hold int
+
+	// Delay adds extra latency before delivery (jitter). Held packets get
+	// no Delay — a hold already delays, and stacking jitter on top would
+	// time differently on every substrate.
+	//
+	// Substrate note: the simulator delays only the judged packet (a later
+	// event on the virtual clock), so successors can overtake it; the UDP
+	// endpoint sleeps inline, so jitter there is head-of-line latency and
+	// never reorders. Reordering experiments must use Hold, which behaves
+	// identically everywhere; Delay is a timing knob and timing is already
+	// excluded from cross-substrate conformance.
+	Delay time.Duration
+}
+
+// Adversary describes a hostile network: the LossModel's drop processes plus
+// seeded reordering, duplication, bit corruption and delay jitter, and an
+// optional scripted per-packet hook for precisely targeted scenarios.
+//
+// The zero Adversary is inactive (a perfectly polite network).
+type Adversary struct {
+	// Loss is drawn per packet exactly like the plain LossModel: PNet (or
+	// the Gilbert–Elliott chain) decides wire drops, PIface interface drops.
+	Loss LossModel
+
+	// ReorderProb is the per-packet probability of being held back so that
+	// ReorderDepth subsequent packets to the same receiver overtake it.
+	// ReorderDepth defaults to 1 when ReorderProb is set.
+	ReorderProb  float64
+	ReorderDepth int
+	// ReorderFlush bounds how long a held packet waits for traffic to
+	// overtake it before being delivered anyway (liveness: the victim may
+	// stop transmitting precisely because the held packet is missing).
+	// Zero means DefaultReorderFlush.
+	ReorderFlush time.Duration
+
+	// DuplicateProb is the per-packet probability of a duplicate delivery.
+	DuplicateProb float64
+
+	// CorruptProb is the per-packet probability of a single-bit corruption
+	// of the encoded frame (see Mangle.Corrupt).
+	CorruptProb float64
+
+	// JitterMax adds a uniform extra delay in [0, JitterMax) per packet.
+	JitterMax time.Duration
+
+	// Script, when non-nil, is a scripted per-packet mangling hook consulted
+	// before the probabilistic knobs. It must be a pure function of the
+	// packet's fields (type, sequence, attempt, flags): scripts keyed on
+	// packet identity produce identical event sequences on every substrate,
+	// which is what the cross-substrate conformance suite asserts. A script
+	// verdict that drops the packet suppresses the probabilistic draws.
+	Script func(pkt *wire.Packet) Mangle
+}
+
+// DefaultReorderFlush is the fallback bound on how long a held packet waits
+// to be overtaken: long enough that back-to-back blast traffic reaches any
+// plausible depth first, short relative to retransmission timeouts.
+const DefaultReorderFlush = 20 * time.Millisecond
+
+// Active reports whether the adversary does anything at all.
+func (a Adversary) Active() bool {
+	return a.Loss != (LossModel{}) || a.ReorderProb > 0 || a.DuplicateProb > 0 ||
+		a.CorruptProb > 0 || a.JitterMax > 0 || a.Script != nil
+}
+
+// Validate reports whether the adversary is usable.
+func (a Adversary) Validate() error {
+	if err := a.Loss.Validate(); err != nil {
+		return err
+	}
+	for _, p := range []float64{a.ReorderProb, a.DuplicateProb, a.CorruptProb} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("params: adversary probabilities must be in [0,1]")
+		}
+	}
+	if a.ReorderDepth < 0 {
+		return fmt.Errorf("params: adversary reorder depth must be non-negative")
+	}
+	if a.JitterMax < 0 || a.ReorderFlush < 0 {
+		return fmt.Errorf("params: adversary delays must be non-negative")
+	}
+	return nil
+}
+
+// depth returns the effective reorder depth.
+func (a Adversary) depth() int {
+	if a.ReorderDepth < 1 {
+		return 1
+	}
+	return a.ReorderDepth
+}
+
+// FlushAfter returns the effective reorder-flush bound.
+func (a Adversary) FlushAfter() time.Duration {
+	if a.ReorderFlush > 0 {
+		return a.ReorderFlush
+	}
+	return DefaultReorderFlush
+}
+
+// AdversaryState is one substrate's instantiation of an Adversary: the seeded
+// random stream plus the Gilbert–Elliott chain state. Each simulated network
+// or endpoint owns its own state; two substrates given the same seed draw
+// identical decision sequences for identical packet streams.
+type AdversaryState struct {
+	adv   Adversary
+	rng   *rand.Rand
+	geBad bool
+}
+
+// NewState builds the seeded decision engine. The seed is mixed (splitmix
+// constants) so an adversary sharing a caller's base seed does not mirror the
+// caller's other random streams draw for draw.
+func (a Adversary) NewState(seed int64) *AdversaryState {
+	mixed := seed*-7046029254386353131 + -1442695040888963407
+	return &AdversaryState{adv: a, rng: rand.New(rand.NewSource(mixed))}
+}
+
+// Mangler returns the state's Judge as a standalone hook, for substrates that
+// take mangle functions (udplan's MangleTx/MangleRx). Install the same hook
+// on both directions of one endpoint to mirror the simulator's network-level
+// adversary, which sees every packet once.
+func (a Adversary) Mangler(seed int64) func(*wire.Packet) Mangle {
+	return a.NewState(seed).Judge
+}
+
+// Judge draws the adversary's verdict for one packet. The script (if any) is
+// consulted first; the probabilistic knobs then draw in a fixed order — wire
+// loss, interface loss, corruption, duplication, reordering, jitter — with a
+// drop or corruption short-circuiting the remaining draws. Only configured
+// knobs consume randomness, so the decision stream is a deterministic
+// function of the seed and the packet sequence.
+func (s *AdversaryState) Judge(pkt *wire.Packet) Mangle {
+	var m Mangle
+	if s.adv.Script != nil {
+		m = s.adv.Script(pkt)
+		if m.Drop || m.IfaceDrop {
+			return m
+		}
+		if m.Corrupt {
+			// Terminal (see Mangle.Corrupt): normalise so every substrate
+			// treats a mangled frame identically.
+			m.Duplicate, m.Hold, m.Delay = false, 0, 0
+			return m
+		}
+	}
+	if s.adv.Loss.DrawWireLoss(s.rng, &s.geBad) {
+		m.Drop = true
+		return m
+	}
+	if p := s.adv.Loss.PIface; p > 0 && s.rng.Float64() < p {
+		m.IfaceDrop = true
+		return m
+	}
+	if p := s.adv.CorruptProb; p > 0 && s.rng.Float64() < p {
+		m.Corrupt = true
+		m.CorruptBit = s.rng.Int63()
+		m.Duplicate, m.Hold, m.Delay = false, 0, 0
+		return m
+	}
+	if p := s.adv.DuplicateProb; p > 0 && s.rng.Float64() < p {
+		m.Duplicate = true
+	}
+	if p := s.adv.ReorderProb; p > 0 && s.rng.Float64() < p && m.Hold == 0 {
+		m.Hold = s.adv.depth()
+	}
+	if j := s.adv.JitterMax; j > 0 {
+		if d := time.Duration(s.rng.Int63n(int64(j))); m.Hold == 0 {
+			m.Delay += d
+		}
+	}
+	return m
+}
+
+// FlipBit flips bit (bit mod 8·len(frame)) of the encoded frame in place and
+// returns the byte and mask it touched. Substrates share it so a scripted
+// CorruptBit lands on the same wire bit everywhere.
+func FlipBit(frame []byte, bit int64) (idx int, mask byte) {
+	n := int64(len(frame)) * 8
+	if n == 0 {
+		return 0, 0
+	}
+	b := bit % n
+	if b < 0 {
+		b += n
+	}
+	idx, mask = int(b/8), byte(1)<<uint(b%8)
+	frame[idx] ^= mask
+	return idx, mask
+}

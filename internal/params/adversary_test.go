@@ -1,0 +1,200 @@
+package params
+
+import (
+	"testing"
+	"time"
+
+	"blastlan/internal/wire"
+)
+
+func TestAdversaryActiveAndValidate(t *testing.T) {
+	var zero Adversary
+	if zero.Active() {
+		t.Error("zero adversary must be inactive")
+	}
+	if err := zero.Validate(); err != nil {
+		t.Error(err)
+	}
+	active := []Adversary{
+		{Loss: LossModel{PNet: 0.1}},
+		{ReorderProb: 0.1},
+		{DuplicateProb: 0.1},
+		{CorruptProb: 0.1},
+		{JitterMax: time.Millisecond},
+		{Script: func(*wire.Packet) Mangle { return Mangle{} }},
+	}
+	for i, a := range active {
+		if !a.Active() {
+			t.Errorf("case %d should be active", i)
+		}
+		if err := a.Validate(); err != nil {
+			t.Errorf("case %d: %v", i, err)
+		}
+	}
+	bad := []Adversary{
+		{ReorderProb: 1.5},
+		{DuplicateProb: -0.1},
+		{CorruptProb: 2},
+		{ReorderDepth: -1},
+		{JitterMax: -time.Second},
+		{ReorderFlush: -time.Second},
+		{Loss: LossModel{PNet: 3}},
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("bad case %d should not validate", i)
+		}
+	}
+}
+
+// Same seed, same packet stream → identical verdict sequence; different
+// seeds diverge. This is the determinism contract the Workers=1 vs Workers=8
+// sampler regression rests on.
+func TestAdversaryStateDeterministic(t *testing.T) {
+	adv := Adversary{
+		Loss:          LossModel{PNet: 0.05, PIface: 0.02},
+		ReorderProb:   0.1,
+		ReorderDepth:  3,
+		DuplicateProb: 0.1,
+		CorruptProb:   0.1,
+		JitterMax:     time.Millisecond,
+	}
+	stream := func(seed int64) []Mangle {
+		st := adv.NewState(seed)
+		out := make([]Mangle, 0, 256)
+		for i := 0; i < 256; i++ {
+			pkt := &wire.Packet{Type: wire.TypeData, Seq: uint32(i), Total: 256}
+			out = append(out, st.Judge(pkt))
+		}
+		return out
+	}
+	a, b := stream(7), stream(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("verdict %d differs under the same seed: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := stream(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical verdict streams")
+	}
+}
+
+// Every configured knob must actually fire over a long enough stream, and
+// holds must carry the configured depth.
+func TestAdversaryStateCoverage(t *testing.T) {
+	adv := Adversary{
+		Loss:          LossModel{PNet: 0.05, PIface: 0.05},
+		ReorderProb:   0.1,
+		ReorderDepth:  2,
+		DuplicateProb: 0.1,
+		CorruptProb:   0.1,
+		JitterMax:     time.Millisecond,
+	}
+	st := adv.NewState(1)
+	var drops, iface, corrupt, dups, holds, jitters int
+	for i := 0; i < 4096; i++ {
+		m := st.Judge(&wire.Packet{Type: wire.TypeData, Seq: uint32(i)})
+		switch {
+		case m.Drop:
+			drops++
+		case m.IfaceDrop:
+			iface++
+		default:
+			if m.Corrupt {
+				corrupt++
+			}
+			if m.Duplicate {
+				dups++
+			}
+			if m.Hold != 0 {
+				if m.Hold != 2 {
+					t.Fatalf("hold depth %d, want 2", m.Hold)
+				}
+				holds++
+			}
+			if m.Delay > 0 {
+				if m.Delay >= time.Millisecond {
+					t.Fatalf("jitter %v out of range", m.Delay)
+				}
+				jitters++
+			}
+		}
+	}
+	for name, n := range map[string]int{"drops": drops, "iface": iface,
+		"corrupt": corrupt, "dups": dups, "holds": holds, "jitters": jitters} {
+		if n == 0 {
+			t.Errorf("%s never fired over 4096 packets", name)
+		}
+	}
+}
+
+// A script verdict takes precedence and a scripted drop suppresses the
+// probabilistic draws entirely (no randomness consumed).
+func TestAdversaryScriptShortCircuits(t *testing.T) {
+	adv := Adversary{
+		CorruptProb: 1, // would corrupt every packet
+		Script: func(p *wire.Packet) Mangle {
+			if p.Seq == 3 {
+				return Mangle{Drop: true}
+			}
+			return Mangle{}
+		},
+	}
+	st := adv.NewState(1)
+	if m := st.Judge(&wire.Packet{Type: wire.TypeData, Seq: 3}); !m.Drop || m.Corrupt {
+		t.Errorf("scripted drop overridden: %+v", m)
+	}
+	if m := st.Judge(&wire.Packet{Type: wire.TypeData, Seq: 4}); !m.Corrupt {
+		t.Errorf("probabilistic knobs should still apply to unscripted packets: %+v", m)
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	buf := make([]byte, 4)
+	idx, mask := FlipBit(buf, 9) // bit 9 = byte 1, bit 1
+	if idx != 1 || mask != 0x02 || buf[1] != 0x02 {
+		t.Errorf("FlipBit(9): idx=%d mask=%02x buf=%v", idx, mask, buf)
+	}
+	FlipBit(buf, 9) // flipping twice restores
+	if buf[1] != 0 {
+		t.Error("double flip must restore the frame")
+	}
+	// Out-of-range and negative bits wrap instead of panicking.
+	FlipBit(buf, 32+9)
+	if buf[1] != 0x02 {
+		t.Error("bit index must wrap modulo frame size")
+	}
+	FlipBit(buf, -1)
+	if buf[3]&0x80 == 0 {
+		t.Error("negative bit index must wrap to the top bit")
+	}
+	if idx, mask := FlipBit(nil, 3); idx != 0 || mask != 0 {
+		t.Error("empty frame must be a no-op")
+	}
+}
+
+func TestAdversaryFlushAfterDefault(t *testing.T) {
+	var a Adversary
+	if a.FlushAfter() != DefaultReorderFlush {
+		t.Error("zero ReorderFlush must default")
+	}
+	a.ReorderFlush = time.Second
+	if a.FlushAfter() != time.Second {
+		t.Error("explicit ReorderFlush ignored")
+	}
+	if a.depth() != 1 {
+		t.Error("depth must default to 1")
+	}
+	a.ReorderDepth = 5
+	if a.depth() != 5 {
+		t.Error("explicit depth ignored")
+	}
+}

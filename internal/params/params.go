@@ -19,6 +19,7 @@ package params
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 )
 
@@ -241,6 +242,32 @@ func (g GilbertElliott) MeanLoss() float64 {
 	}
 	piBad := g.PGoodToBad / den
 	return (1-piBad)*g.PGood + piBad*g.PBad
+}
+
+// DrawWireLoss draws one wire-loss decision from the model: it advances the
+// Gilbert–Elliott chain one packet (geBad is the caller-held chain state)
+// and draws from the new state's loss probability, or draws Bernoulli(PNet)
+// when no burst process is configured. The simulated network and the
+// adversary both consume this single implementation, each with its own rng
+// and chain state.
+func (l LossModel) DrawWireLoss(rng *rand.Rand, geBad *bool) bool {
+	if g := l.Burst; g != nil {
+		if *geBad {
+			if rng.Float64() < g.PBadToGood {
+				*geBad = false
+			}
+		} else {
+			if rng.Float64() < g.PGoodToBad {
+				*geBad = true
+			}
+		}
+		p := g.PGood
+		if *geBad {
+			p = g.PBad
+		}
+		return rng.Float64() < p
+	}
+	return l.PNet > 0 && rng.Float64() < l.PNet
 }
 
 // Validate reports whether the loss model is usable.

@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"blastlan/internal/params"
+	"blastlan/internal/wire"
+)
+
+// newAdvNet builds a lossless two-station network with the given adversary.
+func newAdvNet(t *testing.T, adv params.Adversary, seed int64) (*Kernel, *Network, *Station, *Station) {
+	t.Helper()
+	k, n, src, dst := newTestNet(t, params.Standalone3Com(), params.NoLoss(), seed)
+	if err := n.SetAdversary(adv, seed); err != nil {
+		t.Fatal(err)
+	}
+	return k, n, src, dst
+}
+
+func TestSetAdversaryValidates(t *testing.T) {
+	_, n, _, _ := newTestNet(t, params.Standalone3Com(), params.NoLoss(), 1)
+	if err := n.SetAdversary(params.Adversary{CorruptProb: 2}, 1); err == nil {
+		t.Error("invalid adversary accepted")
+	}
+	if err := n.SetAdversary(params.Adversary{}, 1); err != nil || n.adv != nil {
+		t.Error("inactive adversary should uninstall")
+	}
+}
+
+// A scripted hold of depth 2 must deliver the held packet after exactly two
+// later packets have overtaken it.
+func TestAdversaryScriptedReorder(t *testing.T) {
+	adv := params.Adversary{Script: func(p *wire.Packet) params.Mangle {
+		if p.Type == wire.TypeData && p.Seq == 0 {
+			return params.Mangle{Hold: 2}
+		}
+		return params.Mangle{}
+	}}
+	k, n, src, dst := newAdvNet(t, adv, 1)
+	var order []uint32
+	k.Go("sender", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			src.Send(p, dst, dataPkt(uint32(i)))
+		}
+	})
+	k.Go("receiver", func(p *Proc) {
+		for {
+			pkt, err := dst.Recv(p, 200*time.Millisecond)
+			if err != nil {
+				return
+			}
+			order = append(order, pkt.Seq)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{1, 2, 0, 3}
+	if len(order) != len(want) {
+		t.Fatalf("received %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("received %v, want %v", order, want)
+		}
+	}
+	if n.Adv.Holds != 1 || n.Adv.Flushes != 0 {
+		t.Errorf("adv counters: %+v", n.Adv)
+	}
+}
+
+// A held packet that nothing overtakes must be released by the flush bound,
+// not lost.
+func TestAdversaryHoldFlushes(t *testing.T) {
+	adv := params.Adversary{
+		ReorderFlush: 10 * time.Millisecond,
+		Script: func(p *wire.Packet) params.Mangle {
+			return params.Mangle{Hold: 5}
+		},
+	}
+	k, n, src, dst := newAdvNet(t, adv, 1)
+	var arrival time.Duration
+	k.Go("sender", func(p *Proc) { src.Send(p, dst, dataPkt(0)) })
+	k.Go("receiver", func(p *Proc) {
+		if _, err := dst.Recv(p, 500*time.Millisecond); err != nil {
+			t.Error(err)
+			return
+		}
+		arrival = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Adv.Flushes != 1 {
+		t.Errorf("Flushes = %d, want 1", n.Adv.Flushes)
+	}
+	// Held at C+T+τ, flushed 10 ms later, plus the receiver's copy-out C.
+	cost := params.Standalone3Com()
+	want := cost.C() + cost.T() + cost.Propagation + 10*time.Millisecond + cost.C()
+	if arrival != want {
+		t.Errorf("arrival at %v, want %v", arrival, want)
+	}
+}
+
+// Scripted duplication delivers the packet twice; the clone of a
+// payload-carrying packet must not alias the original.
+func TestAdversaryScriptedDuplicate(t *testing.T) {
+	adv := params.Adversary{Script: func(p *wire.Packet) params.Mangle {
+		return params.Mangle{Duplicate: p.Type == wire.TypeData}
+	}}
+	k, n, src, dst := newAdvNet(t, adv, 1)
+	var got []*wire.Packet
+	k.Go("sender", func(p *Proc) {
+		src.Send(p, dst, &wire.Packet{Type: wire.TypeData, Seq: 7, Total: 1,
+			Payload: []byte{1, 2, 3}, VirtualSize: params.DataPacketSize})
+	})
+	k.Go("receiver", func(p *Proc) {
+		for {
+			pkt, err := dst.Recv(p, 100*time.Millisecond)
+			if err != nil {
+				return
+			}
+			got = append(got, pkt)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("received %d packets, want 2", len(got))
+	}
+	if got[0] == got[1] || &got[0].Payload[0] == &got[1].Payload[0] {
+		t.Error("payload-carrying duplicate must be a deep clone")
+	}
+	if n.Adv.Dups != 1 || n.Adv.DataDups != 1 {
+		t.Errorf("adv counters: %+v", n.Adv)
+	}
+}
+
+// Corruption of a payload-carrying packet goes through the real wire codec:
+// a single-bit flip must be rejected by the checksum (or a structural check)
+// and counted as a corruption drop.
+func TestAdversaryCorruptionFiresChecksum(t *testing.T) {
+	for bit := int64(0); bit < 64; bit += 7 {
+		b := bit
+		adv := params.Adversary{Script: func(p *wire.Packet) params.Mangle {
+			return params.Mangle{Corrupt: true, CorruptBit: b}
+		}}
+		k, n, src, dst := newAdvNet(t, adv, 1)
+		k.Go("sender", func(p *Proc) {
+			src.Send(p, dst, &wire.Packet{Type: wire.TypeData, Seq: 1, Total: 2,
+				Payload: []byte("some payload bytes")})
+		})
+		k.Go("receiver", func(p *Proc) {
+			if _, err := dst.Recv(p, 50*time.Millisecond); err == nil {
+				t.Errorf("bit %d: corrupted packet delivered", b)
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if dst.Counters.CorruptDrops != 1 || n.Adv.Corrupts != 1 || n.Adv.Passed != 0 {
+			t.Errorf("bit %d: corrupt drop not counted: %+v %+v", b, dst.Counters, n.Adv)
+		}
+	}
+}
+
+// Payload-elided packets have no frame to mangle: corruption models the
+// checksum rejecting them directly.
+func TestAdversaryCorruptionElided(t *testing.T) {
+	adv := params.Adversary{Script: func(p *wire.Packet) params.Mangle {
+		return params.Mangle{Corrupt: true}
+	}}
+	k, n, src, dst := newAdvNet(t, adv, 1)
+	k.Go("sender", func(p *Proc) { src.Send(p, dst, dataPkt(0)) })
+	k.Go("receiver", func(p *Proc) {
+		if _, err := dst.Recv(p, 50*time.Millisecond); err == nil {
+			t.Error("corrupted elided packet delivered")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Counters.CorruptDrops != 1 || n.Adv.Corrupts != 1 {
+		t.Errorf("counters: %+v %+v", dst.Counters, n.Adv)
+	}
+}
+
+// Jitter delays delivery without loss, and the delay is bounded by JitterMax.
+func TestAdversaryJitterDelaysDelivery(t *testing.T) {
+	adv := params.Adversary{JitterMax: 2 * time.Millisecond}
+	k, n, src, dst := newAdvNet(t, adv, 3)
+	const pkts = 16
+	var arrivals int
+	k.Go("sender", func(p *Proc) {
+		for i := 0; i < pkts; i++ {
+			src.Send(p, dst, dataPkt(uint32(i)))
+			p.Sleep(3 * time.Millisecond) // spaced out: no overruns
+		}
+	})
+	k.Go("receiver", func(p *Proc) {
+		for {
+			if _, err := dst.Recv(p, 50*time.Millisecond); err != nil {
+				return
+			}
+			arrivals++
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if arrivals != pkts {
+		t.Errorf("arrivals = %d, want %d (jitter must not lose packets)", arrivals, pkts)
+	}
+	if n.Adv.Delays != pkts {
+		t.Errorf("Delays = %d, want %d", n.Adv.Delays, pkts)
+	}
+}
+
+// Adversary draws must be reproducible for a fixed seed, and the adversary
+// RNG must not mirror the loss-model RNG given the same base seed.
+func TestAdversaryDeterminismAndSeedMixing(t *testing.T) {
+	adv := params.Adversary{Loss: params.LossModel{PNet: 0.2}, DuplicateProb: 0.2}
+	run := func(seed int64) (AdvCounters, Counters) {
+		k, n, src, dst := newAdvNet(t, adv, seed)
+		k.Go("sender", func(p *Proc) {
+			for i := 0; i < 64; i++ {
+				src.Send(p, dst, dataPkt(uint32(i)))
+			}
+		})
+		k.Go("receiver", func(p *Proc) {
+			for {
+				if _, err := dst.Recv(p, 50*time.Millisecond); err != nil {
+					return
+				}
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return n.Adv, dst.Counters
+	}
+	a1, c1 := run(42)
+	a2, c2 := run(42)
+	if a1 != a2 || c1 != c2 {
+		t.Fatalf("same seed diverged: %+v vs %+v", a1, a2)
+	}
+	if a1.Drops == 0 || a1.Dups == 0 {
+		t.Errorf("knobs never fired: %+v", a1)
+	}
+
+	// Same base seed for network loss and adversary: the two processes must
+	// not be draw-for-draw correlated (the mixing in NewState).
+	k, n, src, dst := newTestNet(t, params.Standalone3Com(), params.LossModel{PNet: 0.2}, 42)
+	if err := n.SetAdversary(params.Adversary{Loss: params.LossModel{PNet: 0.2}}, 42); err != nil {
+		t.Fatal(err)
+	}
+	k.Go("sender", func(p *Proc) {
+		for i := 0; i < 128; i++ {
+			src.Send(p, dst, dataPkt(uint32(i)))
+		}
+	})
+	k.Go("receiver", func(p *Proc) {
+		for {
+			if _, err := dst.Recv(p, 50*time.Millisecond); err != nil {
+				return
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// If the streams mirrored each other, every adversary survivor would
+	// face an identical draw in the network loss model and the network
+	// would drop none of its own (or all of them, depending on phase).
+	netDrops := dst.Counters.WireDrops - n.Adv.Drops
+	if netDrops == 0 {
+		t.Errorf("network loss dropped nothing after the adversary: correlated streams? %+v %+v", dst.Counters, n.Adv)
+	}
+}

@@ -95,7 +95,7 @@ func TestTimerCancel(t *testing.T) {
 	fired := false
 	tm := k.After(time.Millisecond, func() { fired = true })
 	tm.Cancel()
-	tm.Cancel() // idempotent
+	tm.Cancel()        // idempotent
 	(Timer{}).Cancel() // zero Timer is a no-op
 	if err := k.Run(); err != nil {
 		t.Fatal(err)

@@ -55,8 +55,12 @@ type Network struct {
 	Collisions          int64
 	ExcessiveCollisions int64
 
+	// Adv totals the events injected by an installed adversary.
+	Adv AdvCounters
+
 	rng      *rand.Rand
 	stations []*Station
+	adv      *netAdversary
 
 	// medium state: at most one frame on the wire at a time; contenders
 	// queue (FIFO order, or CSMA/CD contention set).
@@ -82,13 +86,28 @@ func NewNetwork(k *Kernel, cost params.CostModel, loss params.LossModel, seed in
 
 // Counters accumulates per-station totals for experiment reporting.
 type Counters struct {
-	TxPackets  int64
-	TxBytes    int64
-	RxPackets  int64
-	RxBytes    int64
-	WireDrops  int64 // lost on the medium (the paper's network errors)
-	IfaceDrops int64 // lost in the receiving interface (the paper's interface errors)
-	Overruns   int64 // arrived while all receive buffers were full
+	TxPackets    int64
+	TxBytes      int64
+	RxPackets    int64
+	RxBytes      int64
+	WireDrops    int64 // lost on the medium (the paper's network errors)
+	IfaceDrops   int64 // lost in the receiving interface (the paper's interface errors)
+	CorruptDrops int64 // mangled in flight and rejected by the wire checksum
+	Overruns     int64 // arrived while all receive buffers were full
+}
+
+// AdvCounters totals the events an installed adversary injected, for
+// consistency checks against the protocol-level results.
+type AdvCounters struct {
+	Drops      int64 // wire drops (adversary loss process or script)
+	IfaceDrops int64 // interface drops
+	Corrupts   int64 // frames bit-flipped (all were then rejected or passed)
+	Passed     int64 // corrupted frames that evaded every codec check
+	Dups       int64 // duplicate deliveries injected (all packet types)
+	DataDups   int64 // duplicate deliveries of TypeData packets
+	Holds      int64 // packets held back for reordering
+	Flushes    int64 // holds released by the flush bound, not by overtaking
+	Delays     int64 // packets given extra jitter delay
 }
 
 // Station is one host plus its network interface.
@@ -106,6 +125,10 @@ type Station struct {
 	txSig  Signal
 
 	sink bool
+
+	// advHeld is this receiver's reorder queue: packets the adversary is
+	// holding back until enough later arrivals have overtaken them.
+	advHeld []heldPkt
 }
 
 // SetSink marks the station as a traffic sink: delivered packets are
@@ -301,12 +324,168 @@ func (n *Network) txDone(job *txJob) {
 	}
 }
 
-// deliver applies the loss model and enqueues the packet in the receiver.
+// netAdversary is an installed hostile-network model: the seeded decision
+// engine plus the scratch buffers the corruption path encodes frames into.
+type netAdversary struct {
+	cfg     params.Adversary
+	st      *params.AdversaryState
+	scratch []byte
+}
+
+// heldPkt is one reordered packet waiting in a receiver's hold queue.
+type heldPkt struct {
+	pkt       *wire.Packet
+	remaining int   // overtaking deliveries still needed
+	timer     Timer // flush bound (liveness when traffic stops)
+}
+
+// SetAdversary installs a hostile-network model on the deliver path, seeded
+// independently of the loss-model RNG. It composes with the plain LossModel
+// given to NewNetwork (the adversary judges first; survivors still face the
+// network's own loss processes) and with DropFilter (consulted first of all).
+func (n *Network) SetAdversary(adv params.Adversary, seed int64) error {
+	if err := adv.Validate(); err != nil {
+		return err
+	}
+	if !adv.Active() {
+		n.adv = nil
+		return nil
+	}
+	n.adv = &netAdversary{cfg: adv, st: adv.NewState(seed)}
+	return nil
+}
+
+// deliver applies the drop filter and the adversary, then the loss model.
 func (n *Network) deliver(to *Station, pkt *wire.Packet) {
 	if n.DropFilter != nil && n.DropFilter(pkt, to) {
 		to.Counters.WireDrops++
 		return
 	}
+	if n.adv == nil {
+		n.deliverNow(to, pkt)
+		return
+	}
+	n.deliverAdversarial(to, pkt)
+}
+
+// deliverAdversarial runs one packet through the adversary: it first lets the
+// arrival overtake the receiver's held packets, then applies the verdict —
+// drop, corrupt, duplicate, hold, delay — and finally releases any holds the
+// arrival matured. Replayed deliveries (matured holds, duplicates, delayed
+// packets) bypass the adversary so a packet is judged exactly once.
+func (n *Network) deliverAdversarial(to *Station, pkt *wire.Packet) {
+	ready := to.advPass()
+	m := n.adv.st.Judge(pkt)
+	switch {
+	case m.Drop:
+		to.Counters.WireDrops++
+		n.Adv.Drops++
+	case m.IfaceDrop:
+		to.Counters.IfaceDrops++
+		n.Adv.IfaceDrops++
+	case m.Corrupt && n.corrupt(to, &pkt, m.CorruptBit):
+		// rejected by the wire codec; counted in corrupt
+	default:
+		if m.Hold > 0 {
+			n.Adv.Holds++
+			held := pkt
+			timer := n.K.After(n.adv.cfg.FlushAfter(), func() { n.flushHeld(to, held) })
+			to.advHeld = append(to.advHeld, heldPkt{pkt: pkt, remaining: m.Hold, timer: timer})
+		} else if m.Delay > 0 {
+			n.Adv.Delays++
+			delayed := pkt
+			n.K.After(m.Delay, func() { n.deliverNow(to, delayed) })
+		} else {
+			n.deliverNow(to, pkt)
+		}
+		if m.Duplicate {
+			n.Adv.Dups++
+			if pkt.Type == wire.TypeData {
+				n.Adv.DataDups++
+			}
+			dup := pkt
+			if len(pkt.Payload) > 0 {
+				dup = pkt.Clone()
+			}
+			n.deliverNow(to, dup)
+		}
+	}
+	for _, h := range ready {
+		h.timer.Cancel()
+		n.deliverNow(to, h.pkt)
+	}
+}
+
+// advPass records one arrival overtaking the station's held packets and
+// returns the holds that matured (to be delivered after the arrival).
+func (s *Station) advPass() []heldPkt {
+	if len(s.advHeld) == 0 {
+		return nil
+	}
+	var ready []heldPkt
+	keep := s.advHeld[:0]
+	for i := range s.advHeld {
+		h := s.advHeld[i]
+		h.remaining--
+		if h.remaining <= 0 {
+			ready = append(ready, h)
+		} else {
+			keep = append(keep, h)
+		}
+	}
+	s.advHeld = keep
+	return ready
+}
+
+// flushHeld releases a held packet whose flush bound expired before enough
+// traffic overtook it.
+func (n *Network) flushHeld(to *Station, pkt *wire.Packet) {
+	for i := range to.advHeld {
+		if to.advHeld[i].pkt == pkt {
+			to.advHeld = append(to.advHeld[:i], to.advHeld[i+1:]...)
+			n.Adv.Flushes++
+			n.deliverNow(to, pkt)
+			return
+		}
+	}
+}
+
+// corrupt flips the selected bit of the packet's encoded frame and runs the
+// real wire codec over the result: packets whose payload bytes are carried
+// are encoded, mangled and re-decoded, so the Internet checksum (and the
+// codec's structural checks) genuinely fire. Payload-elided simulated packets
+// have no frame to mangle; the checksum rejecting the flip is modelled
+// directly. It reports whether the packet was consumed (rejected); on the
+// (codec-evading) false path *pkt is replaced with what actually decoded.
+func (n *Network) corrupt(to *Station, pkt **wire.Packet, bit int64) bool {
+	n.Adv.Corrupts++
+	p := *pkt
+	if len(p.Payload) == 0 && p.VirtualSize > 0 {
+		to.Counters.CorruptDrops++
+		return true
+	}
+	buf, err := p.Encode(n.adv.scratch[:0])
+	n.adv.scratch = buf[:0]
+	if err != nil {
+		to.Counters.CorruptDrops++
+		return true
+	}
+	params.FlipBit(buf, bit)
+	var dec wire.Packet
+	if err := wire.DecodeInto(&dec, buf); err != nil {
+		to.Counters.CorruptDrops++
+		return true
+	}
+	// The flip evaded the checksum: deliver what the receiver would decode.
+	n.Adv.Passed++
+	q := dec.Clone()
+	q.VirtualSize = p.VirtualSize
+	*pkt = q
+	return false
+}
+
+// deliverNow applies the loss model and enqueues the packet in the receiver.
+func (n *Network) deliverNow(to *Station, pkt *wire.Packet) {
 	if n.wireLost() {
 		to.Counters.WireDrops++
 		return
@@ -330,25 +509,7 @@ func (n *Network) deliver(to *Station, pkt *wire.Packet) {
 
 // wireLost draws from the configured wire-loss process.
 func (n *Network) wireLost() bool {
-	if g := n.Loss.Burst; g != nil {
-		// Advance the Gilbert–Elliott chain one packet, then draw from the
-		// new state's loss probability.
-		if n.geBad {
-			if n.rng.Float64() < g.PBadToGood {
-				n.geBad = false
-			}
-		} else {
-			if n.rng.Float64() < g.PGoodToBad {
-				n.geBad = true
-			}
-		}
-		p := g.PGood
-		if n.geBad {
-			p = g.PBad
-		}
-		return n.rng.Float64() < p
-	}
-	return n.Loss.PNet > 0 && n.rng.Float64() < n.Loss.PNet
+	return n.Loss.DrawWireLoss(n.rng, &n.geBad)
 }
 
 // Recv blocks until a packet has been copied out of the interface and

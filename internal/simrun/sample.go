@@ -34,8 +34,9 @@ func Sample(cfg core.Config, opt Options, n int) (Stats, error) {
 }
 
 // SampleWorkers is Sample with an explicit worker count (0 or negative
-// means GOMAXPROCS). Options carrying callbacks (Trace, DropFilter) are not
-// goroutine-safe and force a single worker.
+// means GOMAXPROCS). Options carrying callbacks (Trace, DropFilter, an
+// Adversary script) are not goroutine-safe and force a single worker; the
+// Adversary's probabilistic knobs are per-trial state and parallelise fully.
 func SampleWorkers(cfg core.Config, opt Options, n, workers int) (Stats, error) {
 	var agg Stats
 	if n <= 0 {
@@ -47,7 +48,7 @@ func SampleWorkers(cfg core.Config, opt Options, n, workers int) (Stats, error) 
 	if workers > n {
 		workers = n
 	}
-	if opt.Trace != nil || opt.DropFilter != nil {
+	if opt.Trace != nil || opt.DropFilter != nil || opt.Adversary.Script != nil {
 		workers = 1
 	}
 

@@ -26,6 +26,8 @@ type Result struct {
 	// Counters are the final interface counters of the two stations.
 	SrcCounters sim.Counters
 	DstCounters sim.Counters
+	// Adv totals the events an Options.Adversary injected.
+	Adv sim.AdvCounters
 	// Collisions counts CSMA/CD collision events (MediumCSMACD only).
 	Collisions int64
 }
@@ -38,6 +40,13 @@ type Options struct {
 	Cost params.CostModel
 	Loss params.LossModel
 	Seed int64
+
+	// Adversary, when active, installs a hostile-network model on the
+	// deliver path (reordering, duplication, corruption, jitter, scripted
+	// mangling — see params.Adversary), seeded from Seed independently of
+	// the Loss process. It composes with Loss; scenario definitions usually
+	// put all loss in Adversary.Loss and leave Loss zero.
+	Adversary params.Adversary
 	// Trace, if non-nil, receives activity spans for timeline rendering.
 	Trace func(sim.Span)
 
@@ -72,6 +81,11 @@ func TransferOn(k *sim.Kernel, cfg core.Config, opt Options) (Result, error) {
 	n, err := sim.NewNetwork(k, opt.Cost, opt.Loss, opt.Seed)
 	if err != nil {
 		return res, err
+	}
+	if opt.Adversary.Active() {
+		if err := n.SetAdversary(opt.Adversary, opt.Seed); err != nil {
+			return res, err
+		}
 	}
 	n.Trace = opt.Trace
 	n.Medium = opt.Medium
@@ -116,6 +130,7 @@ func TransferOn(k *sim.Kernel, cfg core.Config, opt Options) (Result, error) {
 	}
 	res.SrcCounters = src.Counters
 	res.DstCounters = dst.Counters
+	res.Adv = n.Adv
 	res.Collisions = n.Collisions
 	return res, nil
 }

@@ -6,7 +6,9 @@
 // UDP gives exactly the substrate the paper's data-link-level experiments
 // assume: unreliable, unordered-but-practically-ordered datagram delivery
 // with no protocol machinery on top. All reliability comes from
-// internal/core. Loss can be injected deterministically on either side for
+// internal/core. Hostile network conditions — loss, reordering, duplication,
+// bit corruption, jitter — can be injected deterministically on either side
+// (MangleTx/MangleRx, or SetAdversary for a seeded params.Adversary) for
 // testing recovery paths on a lossless loopback.
 package udplan
 
@@ -19,6 +21,7 @@ import (
 	"time"
 
 	"blastlan/internal/core"
+	"blastlan/internal/params"
 	"blastlan/internal/wire"
 )
 
@@ -35,11 +38,26 @@ type Endpoint struct {
 	rbuf  [MaxDatagram]byte
 	wbuf  []byte
 
-	// DropTx and DropRx, when non-nil, drop matching packets before the
-	// socket write / after the socket read. They exist to exercise
-	// retransmission machinery deterministically on a lossless loopback.
-	DropTx func(*wire.Packet) bool
-	DropRx func(*wire.Packet) bool
+	// MangleTx and MangleRx, when non-nil, judge every packet before the
+	// socket write / after the socket read, and the endpoint implements the
+	// verdict: drops, single-bit corruption of the encoded datagram (the
+	// peer's checksum then rejects it — the real codec fires end to end),
+	// duplicate writes, reordering holds and jitter sleeps. They exist to
+	// exercise recovery machinery deterministically on a lossless loopback;
+	// SetAdversary installs a seeded params.Adversary on both directions.
+	//
+	// A held Tx datagram is released once Mangle.Hold later writes have
+	// overtaken it, or when the endpoint turns to listen (a blocking Recv;
+	// zero-timeout polls do not count) or closes — the moment a real
+	// interface's queue would drain. A held Rx packet is released after
+	// Hold later arrivals, or when a blocking read times out with the hold
+	// still pending (a late arrival instead of a deadline).
+	MangleTx func(*wire.Packet) params.Mangle
+	MangleRx func(*wire.Packet) params.Mangle
+
+	txHeld  []heldFrame
+	rxHeld  []heldFrame
+	rxReady []*wire.Packet
 
 	// LockPeer, when set, discards datagrams from other sources once a
 	// peer is known.
@@ -58,10 +76,32 @@ type Endpoint struct {
 	PacketGap time.Duration
 }
 
+// heldFrame is one packet the endpoint's adversary is holding back for
+// reordering: an encoded datagram on the transmit side, a decoded packet on
+// the receive side.
+type heldFrame struct {
+	data      []byte
+	pkt       *wire.Packet
+	remaining int
+}
+
 // NewEndpoint wraps an open socket. peer may be nil for servers; it is
 // learned from the first valid datagram.
 func NewEndpoint(conn net.PacketConn, peer net.Addr) *Endpoint {
 	return &Endpoint{conn: conn, peer: peer, start: time.Now()}
+}
+
+// SetAdversary installs one seeded hostile-network model on both directions
+// of the endpoint. Installing it on a single endpoint of a pair mirrors the
+// simulator's network-level adversary: that endpoint sees every packet of
+// the transfer exactly once.
+func (e *Endpoint) SetAdversary(adv params.Adversary, seed int64) error {
+	if err := adv.Validate(); err != nil {
+		return err
+	}
+	j := adv.Mangler(seed)
+	e.MangleTx, e.MangleRx = j, j
+	return nil
 }
 
 // Dial opens an ephemeral UDP socket talking to remote.
@@ -83,8 +123,11 @@ func Dial(remote string) (*Endpoint, error) {
 	return e, nil
 }
 
-// Close releases the underlying socket.
-func (e *Endpoint) Close() error { return e.conn.Close() }
+// Close flushes any held transmissions and releases the underlying socket.
+func (e *Endpoint) Close() error {
+	e.flushTx()
+	return e.conn.Close()
+}
 
 // LocalAddr returns the socket's address.
 func (e *Endpoint) LocalAddr() net.Addr { return e.conn.LocalAddr() }
@@ -102,35 +145,134 @@ func (e *Endpoint) Now() time.Duration { return time.Since(e.start) }
 // Compute is a no-op: real work takes real time.
 func (e *Endpoint) Compute(time.Duration) {}
 
-// Send encodes and transmits one packet to the peer.
+// Send encodes and transmits one packet to the peer, applying the MangleTx
+// verdict on the way out. PacketGap pacing applies to every data packet
+// regardless of the verdict — the sender spends the slot whether or not the
+// adversary lets the frame through.
 func (e *Endpoint) Send(p *wire.Packet) error {
+	err := e.sendMangled(p)
+	if err == nil && e.PacketGap > 0 && p.Type == wire.TypeData {
+		time.Sleep(e.PacketGap)
+	}
+	return err
+}
+
+func (e *Endpoint) sendMangled(p *wire.Packet) error {
 	if e.peer == nil {
 		return errors.New("udplan: no peer known")
 	}
-	if e.DropTx != nil && e.DropTx(p) {
-		return nil // injected loss: silently dropped, like a wire error
+	var m params.Mangle
+	if e.MangleTx != nil {
+		m = e.MangleTx(p)
+	}
+	// Every judged packet overtakes the held transmissions — including one
+	// that is itself dropped, corrupted or held — mirroring the simulator,
+	// where reaching the adversary is what counts as overtaking. Matured
+	// holds go on the wire after the current packet.
+	if m.Drop || m.IfaceDrop {
+		return e.passTx() // injected loss: silently dropped, like a wire error
 	}
 	buf, err := p.Encode(e.wbuf[:0])
 	if err != nil {
 		return err
 	}
 	e.wbuf = buf[:0]
+	if m.Corrupt {
+		// Mangle the real datagram: the peer's decode rejects it on the
+		// checksum, exactly as a line hit would play out.
+		params.FlipBit(buf, m.CorruptBit)
+	}
+	if m.Delay > 0 && m.Hold == 0 { // a hold already delays (see Mangle.Delay)
+		time.Sleep(m.Delay)
+	}
+	if m.Hold > 0 {
+		// A duplicate of a held packet still goes out now, overtaking its
+		// held twin, and — as on the simulator — ahead of any holds this
+		// arrival matures. The new hold must not overtake itself, so it is
+		// appended after passTx.
+		if m.Duplicate {
+			if _, err := e.conn.WriteTo(buf, e.peer); err != nil {
+				return err
+			}
+		}
+		if err := e.passTx(); err != nil {
+			return err
+		}
+		e.txHeld = append(e.txHeld, heldFrame{
+			data:      append([]byte(nil), buf...),
+			remaining: m.Hold,
+		})
+		return nil
+	}
 	if _, err := e.conn.WriteTo(buf, e.peer); err != nil {
 		return err
 	}
-	if e.PacketGap > 0 && p.Type == wire.TypeData {
-		time.Sleep(e.PacketGap)
+	if m.Duplicate {
+		if _, err := e.conn.WriteTo(buf, e.peer); err != nil {
+			return err
+		}
 	}
-	return nil
+	return e.passTx()
+}
+
+// passTx records one datagram overtaking the held transmissions and writes
+// out any whose reorder depth is now satisfied.
+func (e *Endpoint) passTx() error {
+	if len(e.txHeld) == 0 {
+		return nil
+	}
+	keep := e.txHeld[:0]
+	var firstErr error
+	for i := range e.txHeld {
+		h := e.txHeld[i]
+		h.remaining--
+		if h.remaining <= 0 {
+			if _, err := e.conn.WriteTo(h.data, e.peer); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			keep = append(keep, h)
+		}
+	}
+	e.txHeld = keep
+	return firstErr
+}
+
+// flushTx releases every held transmission, in hold order: the sender has
+// stopped transmitting (it is turning to listen, or closing), so a real
+// interface's queue would drain now.
+func (e *Endpoint) flushTx() error {
+	var firstErr error
+	for _, h := range e.txHeld {
+		if e.peer == nil {
+			break
+		}
+		if _, err := e.conn.WriteTo(h.data, e.peer); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	e.txHeld = e.txHeld[:0]
+	return firstErr
 }
 
 // SendAsync is Send: UDP writes do not wait for transmission anyway.
 func (e *Endpoint) SendAsync(p *wire.Packet) error { return e.Send(p) }
 
-// Recv returns the next valid packet. timeout < 0 waits forever. Malformed
-// datagrams and (with LockPeer) foreign sources are skipped. On expiry the
-// error satisfies errors.Is(err, os.ErrDeadlineExceeded).
+// Recv returns the next valid packet, applying the MangleRx verdict to every
+// arrival. timeout < 0 waits forever. Malformed datagrams and (with
+// LockPeer) foreign sources are skipped. On expiry the error satisfies
+// errors.Is(err, os.ErrDeadlineExceeded).
 func (e *Endpoint) Recv(timeout time.Duration) (*wire.Packet, error) {
+	// A blocking listen means the sender has turned to listen: its interface
+	// queue drains, releasing any transmissions held for reordering. A
+	// zero-timeout poll (sliding window draining acks between sends) is not
+	// a turn — holds keep waiting for overtaking traffic, as on the
+	// simulator.
+	if timeout != 0 {
+		if err := e.flushTx(); err != nil {
+			return nil, err
+		}
+	}
 	var deadline time.Time
 	if timeout >= 0 {
 		deadline = time.Now().Add(timeout)
@@ -139,8 +281,23 @@ func (e *Endpoint) Recv(timeout time.Duration) (*wire.Packet, error) {
 		return nil, err
 	}
 	for {
+		// Matured holds and injected duplicates deliver before the socket
+		// is read again.
+		if len(e.rxReady) > 0 {
+			return e.popReady(), nil
+		}
 		n, addr, err := e.conn.ReadFrom(e.rbuf[:])
 		if err != nil {
+			if timeout != 0 && len(e.rxHeld) > 0 && core.IsTimeout(err) {
+				// A blocking listen went quiet with packets still held:
+				// they arrive late instead of never (holds delay, they do
+				// not lose). Zero-timeout polls do not release holds.
+				for _, h := range e.rxHeld {
+					e.rxReady = append(e.rxReady, h.pkt)
+				}
+				e.rxHeld = e.rxHeld[:0]
+				return e.popReady(), nil
+			}
 			return nil, err
 		}
 		pkt, derr := wire.Decode(e.rbuf[:n])
@@ -155,19 +312,81 @@ func (e *Endpoint) Recv(timeout time.Duration) (*wire.Packet, error) {
 		} else if e.LockPeer && addr.String() != e.peer.String() {
 			continue
 		}
-		if e.DropRx != nil && e.DropRx(pkt) {
+		var m params.Mangle
+		if e.MangleRx != nil {
+			m = e.MangleRx(pkt)
+		}
+		// As on the transmit side, every judged arrival overtakes the held
+		// receptions, whatever its own verdict.
+		if m.Drop || m.IfaceDrop {
+			e.passRx()
 			continue
 		}
-		return pkt.Clone(), nil // rbuf is reused; detach
+		if m.Corrupt {
+			// Mangle the raw datagram and re-run the real codec: the flip
+			// must evade the checksum to survive.
+			params.FlipBit(e.rbuf[:n], m.CorruptBit)
+			mangled, derr := wire.Decode(e.rbuf[:n])
+			if derr != nil {
+				e.passRx()
+				continue
+			}
+			pkt = mangled
+		}
+		if m.Delay > 0 && m.Hold == 0 { // a hold already delays
+			time.Sleep(m.Delay)
+		}
+		out := pkt.Clone() // rbuf is reused; detach
+		if m.Duplicate {
+			e.rxReady = append(e.rxReady, out.Clone())
+		}
+		if m.Hold > 0 {
+			// Existing holds are overtaken first; the new hold must not
+			// overtake itself.
+			e.passRx()
+			e.rxHeld = append(e.rxHeld, heldFrame{pkt: out, remaining: m.Hold})
+			continue
+		}
+		e.passRx()
+		return out, nil
 	}
 }
 
-// SeededDrop returns a deterministic drop function losing packets with
+// popReady returns the oldest packet queued for delivery (matured holds and
+// injected duplicates).
+func (e *Endpoint) popReady() *wire.Packet {
+	pkt := e.rxReady[0]
+	e.rxReady = append(e.rxReady[:0], e.rxReady[1:]...)
+	return pkt
+}
+
+// passRx records one arrival overtaking the held receptions; matured holds
+// queue for delivery on the next Recv calls.
+func (e *Endpoint) passRx() {
+	if len(e.rxHeld) == 0 {
+		return
+	}
+	keep := e.rxHeld[:0]
+	for i := range e.rxHeld {
+		h := e.rxHeld[i]
+		h.remaining--
+		if h.remaining <= 0 {
+			e.rxReady = append(e.rxReady, h.pkt)
+		} else {
+			keep = append(keep, h)
+		}
+	}
+	e.rxHeld = keep
+}
+
+// SeededDrop returns a deterministic mangle hook losing packets with
 // probability p. Each returned function owns its generator, so install
 // separate instances for Tx and Rx.
-func SeededDrop(p float64, seed int64) func(*wire.Packet) bool {
+func SeededDrop(p float64, seed int64) func(*wire.Packet) params.Mangle {
 	rng := rand.New(rand.NewSource(seed))
-	return func(*wire.Packet) bool { return rng.Float64() < p }
+	return func(*wire.Packet) params.Mangle {
+		return params.Mangle{Drop: rng.Float64() < p}
+	}
 }
 
 // Push transfers cfg.Payload to the peer: announce, wait for the go-ahead,

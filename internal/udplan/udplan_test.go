@@ -151,8 +151,8 @@ func TestRecoveryUnderInjectedLoss(t *testing.T) {
 			t.Skipf("dial: %v", err)
 		}
 		// 5 % loss in both directions, deterministic.
-		e.DropTx = SeededDrop(0.05, int64(s)*2+1)
-		e.DropRx = SeededDrop(0.05, int64(s)*2+2)
+		e.MangleTx = SeededDrop(0.05, int64(s)*2+1)
+		e.MangleRx = SeededDrop(0.05, int64(s)*2+2)
 		if _, err := Push(e, loopCfg(uint32(s)+100, payload, core.Blast, s)); err != nil {
 			t.Fatalf("%v: %v", s, err)
 		}

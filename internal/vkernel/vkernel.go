@@ -98,6 +98,12 @@ type Options struct {
 	Cost params.CostModel
 	Loss params.LossModel
 	Seed int64
+	// Adversary, when active, installs a hostile-network model on the
+	// cluster's network (reordering, duplication, corruption, jitter and
+	// scripted mangling — see params.Adversary), seeded from Seed exactly
+	// like simrun's simulator runs so one scenario definition behaves
+	// identically on both substrates.
+	Adversary params.Adversary
 	// Trace receives simulator spans when set.
 	Trace func(sim.Span)
 }
@@ -112,6 +118,11 @@ func NewCluster(opts Options) (*Cluster, error) {
 	net, err := sim.NewNetwork(sk, opts.Cost, opts.Loss, opts.Seed)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Adversary.Active() {
+		if err := net.SetAdversary(opts.Adversary, opts.Seed); err != nil {
+			return nil, err
+		}
 	}
 	net.Trace = opts.Trace
 	c := &Cluster{Sim: sk, Net: net, opts: opts}
@@ -131,6 +142,13 @@ type MoveOptions struct {
 	Window int
 	// Chunk is the data packet size (defaults to params.DataPacketSize).
 	Chunk int
+	// MaxAttempts, Linger and ReceiverIdle bound the transfer exactly like
+	// the corresponding core.Config fields (zero means the core defaults).
+	// Cross-substrate scenarios set them so a MoveTo gives up, lingers and
+	// idles out identically to the same Config on every other substrate.
+	MaxAttempts  int
+	Linger       time.Duration
+	ReceiverIdle time.Duration
 }
 
 // MoveResult reports one completed move.
@@ -270,6 +288,9 @@ func (c *Cluster) transferConfig(payload []byte, opt MoveOptions) core.Config {
 		Strategy:       opt.Strategy,
 		RetransTimeout: tr,
 		Window:         opt.Window,
+		MaxAttempts:    opt.MaxAttempts,
+		Linger:         opt.Linger,
+		ReceiverIdle:   opt.ReceiverIdle,
 		Payload:        payload,
 	}
 }

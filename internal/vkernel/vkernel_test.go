@@ -9,6 +9,7 @@ import (
 
 	"blastlan/internal/core"
 	"blastlan/internal/params"
+	"blastlan/internal/sim"
 	"blastlan/internal/stats"
 )
 
@@ -242,5 +243,39 @@ func TestMoveToMultiblast(t *testing.T) {
 func TestClusterValidation(t *testing.T) {
 	if _, err := NewCluster(Options{Loss: params.LossModel{PNet: 3}}); err == nil {
 		t.Error("invalid loss model accepted")
+	}
+}
+
+// A MoveTo across a hostile network (reordering, duplication, corruption,
+// jitter) must still deliver the exact bytes: the paper's MoveTo contract is
+// unconditional, and the adversary exercises every recovery path of the
+// chosen strategy at kernel level.
+func TestMoveToUnderAdversary(t *testing.T) {
+	adv := params.Adversary{
+		Loss:          params.LossModel{PNet: 0.01},
+		ReorderProb:   0.05,
+		ReorderDepth:  2,
+		DuplicateProb: 0.04,
+		CorruptProb:   0.03,
+		JitterMax:     300 * time.Microsecond,
+	}
+	for _, s := range []core.Strategy{core.FullNoNak, core.GoBackN, core.Selective} {
+		c := newCluster(t, Options{Adversary: adv, Seed: int64(s) + 5})
+		src := c.A.CreateProcess(32*1024, false)
+		dst := c.B.CreateProcess(32*1024, true)
+		fill(src.Bytes(), int64(s))
+
+		res, err := c.MoveTo(src, 0, dst, 0, 32*1024, MoveOptions{
+			Protocol: core.Blast, Strategy: s,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !bytes.Equal(dst.Bytes(), src.Bytes()) {
+			t.Errorf("%v: destination corrupted under adversary", s)
+		}
+		if res.Recv.Duplicates == 0 && res.Send.Retransmits == 0 && c.Net.Adv == (sim.AdvCounters{}) {
+			t.Errorf("%v: adversary injected nothing; test is vacuous", s)
+		}
 	}
 }

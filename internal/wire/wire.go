@@ -91,6 +91,7 @@ const (
 // Codec errors.
 var (
 	ErrShort    = errors.New("wire: buffer too short")
+	ErrLength   = errors.New("wire: datagram length mismatch")
 	ErrMagic    = errors.New("wire: bad magic")
 	ErrVersion  = errors.New("wire: unsupported version")
 	ErrChecksum = errors.New("wire: checksum mismatch")
@@ -190,10 +191,12 @@ func (p *Packet) Encode(dst []byte) ([]byte, error) {
 	return dst, nil
 }
 
-// DecodeInto parses one packet from buf into p, overwriting every field. The
-// payload aliases buf; callers that retain the packet beyond the life of buf
-// must Clone it. DecodeInto performs no allocation, so protocol receive
-// loops can reuse one Packet value per connection.
+// DecodeInto parses one packet from buf into p, overwriting every field. buf
+// must contain exactly one encoded packet (datagram semantics; trailing
+// bytes are an ErrLength, see above). The payload aliases buf; callers that
+// retain the packet beyond the life of buf must Clone it. DecodeInto
+// performs no allocation, so protocol receive loops can reuse one Packet
+// value per connection.
 func DecodeInto(p *Packet, buf []byte) error {
 	if len(buf) < HeaderSize {
 		return fmt.Errorf("%w: %d < %d", ErrShort, len(buf), HeaderSize)
@@ -211,6 +214,14 @@ func DecodeInto(p *Packet, buf []byte) error {
 	plen := int(binary.BigEndian.Uint16(buf[18:20]))
 	if len(buf) < HeaderSize+plen {
 		return fmt.Errorf("%w: need %d payload bytes, have %d", ErrShort, plen, len(buf)-HeaderSize)
+	}
+	if len(buf) != HeaderSize+plen {
+		// Datagram semantics: the buffer is exactly one packet. Enforcing it
+		// closes the Internet checksum's blind spot — a corrupted length
+		// field that zero-truncates or zero-extends the summed region would
+		// otherwise slip through (RFC 1071 sums are invariant under zero
+		// padding).
+		return fmt.Errorf("%w: %d bytes for a %d-byte payload", ErrLength, len(buf), plen)
 	}
 	// Verify the checksum with the checksum field zeroed.
 	want := binary.BigEndian.Uint16(buf[20:22])

@@ -125,6 +125,16 @@ func TestDecodeErrors(t *testing.T) {
 			t.Errorf("got %v", err)
 		}
 	})
+	t.Run("trailing-junk", func(t *testing.T) {
+		// Datagram semantics: exactly one packet per buffer. Zero padding in
+		// particular must be rejected — the Internet checksum alone cannot
+		// see it (RFC 1071 sums are zero-padding invariant), which is how a
+		// corrupted length field would otherwise smuggle bytes in or out.
+		long := append(append([]byte(nil), good...), 0, 0)
+		if _, err := Decode(long); !errors.Is(err, ErrLength) {
+			t.Errorf("got %v", err)
+		}
+	})
 	t.Run("payload-too-large", func(t *testing.T) {
 		big := &Packet{Type: TypeData, Payload: make([]byte, MaxPayload+1)}
 		if _, err := big.Encode(nil); !errors.Is(err, ErrPayload) {
