@@ -5,6 +5,8 @@
 //	blastcp -to 127.0.0.1:7025 -pull 65536             # MoveFrom: pull n bytes
 //	blastcp -to 127.0.0.1:7025 -push f -proto saw      # compare protocols
 //	blastcp -to 127.0.0.1:7025 -pull 1048576 -window 64 -strategy selective
+//	blastcp -to 127.0.0.1:7025 -pull 67108864 -window 128 -batch 32  # batched syscalls
+//	blastcp -to 127.0.0.1:7025 -pull 1048576 -chunk 8000 -mtu 9000   # jumbo frames
 package main
 
 import (
@@ -43,6 +45,9 @@ func main() {
 		tr        = flag.Duration("tr", 200*time.Millisecond, "retransmission timeout")
 		id        = flag.Uint("id", 1, "transfer id")
 		gap       = flag.Duration("gap", 0, "pace data packets with this inter-packet gap")
+		batch     = flag.Int("batch", 32, "syscall batch size (sendmmsg/recvmmsg frame rings; 1 = single-syscall)")
+		mtu       = flag.Int("mtu", 0, "max datagram size for jumbo chunks (0: default 2048)")
+		sockbuf   = flag.Int("sockbuf", 4<<20, "kernel socket buffer size (large windows overflow the default)")
 		lossTx    = flag.Float64("drop-tx", 0, "inject outbound loss (testing)")
 		lossRx    = flag.Float64("drop-rx", 0, "inject inbound loss (testing)")
 	)
@@ -66,6 +71,15 @@ func main() {
 	}
 	defer e.Close()
 	e.PacketGap = *gap
+	if *mtu > 0 {
+		if err := e.SetMTU(*mtu); err != nil {
+			log.Fatalf("blastcp: %v", err)
+		}
+	}
+	if *sockbuf > 0 {
+		e.SetSocketBuffers(*sockbuf)
+	}
+	e.SetBatch(*batch)
 	if *lossTx > 0 {
 		e.MangleTx = udplan.SeededDrop(*lossTx, 1)
 	}
@@ -104,6 +118,9 @@ func main() {
 	}
 
 	cfg.Bytes = *pullBytes
+	// Stream the pull: chunks are checksummed incrementally and discarded,
+	// so pulling 1 GB costs no 1 GB buffer on this side either.
+	cfg.Sink = func(off int, b []byte) {}
 	res, err := udplan.Pull(e, cfg)
 	if err != nil {
 		log.Fatalf("blastcp: pull: %v", err)

@@ -2,21 +2,27 @@
 // pull requests over UDP using the paper's protocols.
 //
 //	blastd -listen 127.0.0.1:7025 -out /tmp/received
+//	blastd -concurrency 64 -batch 32            # sharded, sendmmsg-batched
 //
-// Pushed transfers are written to numbered files under -out (or verified
-// and discarded when -out is empty). Pull requests are served deterministic
-// pseudo-random data of the requested size, so blastcp can verify the
-// transfer checksum end to end.
+// The daemon is concurrent by default: datagrams are demultiplexed by peer
+// address into per-session goroutines (up to -concurrency at once), and the
+// hot path batches syscalls with sendmmsg/recvmmsg frame rings (-batch).
+//
+// Pushed transfers stream to numbered files under -out, or are verified
+// against their incremental checksum and discarded when -out is empty.
+// Pull requests are served deterministic pseudo-random data generated chunk
+// by chunk — a 1 GB pull never allocates a 1 GB buffer — with a running
+// whole-transfer checksum logged so blastcp can verify end to end.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 	"net"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"blastlan/internal/core"
 	"blastlan/internal/udplan"
@@ -25,9 +31,13 @@ import (
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:7025", "UDP address to listen on")
-		outDir   = flag.String("out", "", "directory for pushed transfers (empty: verify and discard)")
-		maxBytes = flag.Int("max-bytes", 256<<20, "reject transfers larger than this")
+		listen      = flag.String("listen", "127.0.0.1:7025", "UDP address to listen on")
+		outDir      = flag.String("out", "", "directory for pushed transfers (empty: verify and discard)")
+		maxBytes    = flag.Int("max-bytes", 1<<30, "reject transfers larger than this")
+		concurrency = flag.Int("concurrency", 8, "session cap: concurrent transfers served at once (1 = serial)")
+		batch       = flag.Int("batch", 32, "syscall batch size for sendmmsg/recvmmsg frame rings (1 = single-syscall)")
+		mtu         = flag.Int("mtu", 0, "max datagram size for jumbo-frame chunks (0: default 2048)")
+		sockbuf     = flag.Int("sockbuf", 4<<20, "kernel socket buffer size (large windows overflow the default)")
 	)
 	flag.Parse()
 
@@ -36,34 +46,92 @@ func main() {
 		log.Fatalf("blastd: %v", err)
 	}
 	defer conn.Close()
-	log.Printf("blastd: serving on %s", conn.LocalAddr())
+	if *sockbuf > 0 {
+		udplan.SetConnBuffers(conn, *sockbuf)
+	}
+	log.Printf("blastd: serving on %s (concurrency %d, batch %d)",
+		conn.LocalAddr(), *concurrency, *batch)
 
-	count := 0
 	srv := udplan.NewServer(conn)
-	srv.Data = func(r wire.Req) ([]byte, bool) {
+	srv.Concurrency = *concurrency
+	srv.Batch = *batch
+	srv.MTU = *mtu
+	srv.Logf = log.Printf
+	// Per-peer rate log: one line per completed transfer.
+	srv.Done = func(ts udplan.TransferStats) {
+		verb := "served pull to"
+		if ts.Push {
+			verb = "received push from"
+		}
+		log.Printf("blastd: %s %v: %d bytes in %v (%.2f MB/s), %d packets (%d retransmitted)",
+			verb, ts.Peer, ts.Bytes, ts.Elapsed, ts.MBps(), ts.Packets, ts.Retransmits)
+	}
+
+	// Pulls stream from a seeded chunk generator: deterministic per request
+	// size, so retransmissions regenerate identical bytes and the client
+	// can verify the checksum without the daemon ever buffering the
+	// transfer. The running whole-transfer checksum is logged the first
+	// time the stream completes in order.
+	srv.Source = func(r wire.Req) (core.ChunkSource, bool) {
+		if r.Bytes == 0 || r.Chunk == 0 {
+			return nil, false // degenerate request: the generator needs both
+		}
 		if int(r.Bytes) > *maxBytes {
 			log.Printf("blastd: rejecting %d-byte pull (limit %d)", r.Bytes, *maxBytes)
 			return nil, false
 		}
-		payload := make([]byte, r.Bytes)
-		rand.New(rand.NewSource(int64(r.Bytes))).Read(payload)
-		log.Printf("blastd: serving %d-byte pull, checksum %04x",
-			r.Bytes, core.TransferChecksum(payload))
-		return payload, true
+		src := core.SeededSource(int64(r.Bytes), int(r.Bytes), int(r.Chunk))
+		var acc wire.SumAcc
+		next, total := 0, int(r.Bytes+uint64(r.Chunk)-1)/int(r.Chunk)
+		return func(seq int, dst []byte) []byte {
+			b := src(seq, dst)
+			if seq == next { // fold each chunk into the running checksum once
+				acc.AddAt(seq*int(r.Chunk), b)
+				if next++; next == total {
+					log.Printf("blastd: streaming %d-byte pull, checksum %04x", r.Bytes, acc.Sum16())
+				}
+			}
+			return b
+		}, true
 	}
-	srv.Sink = func(r wire.Req, data []byte) {
-		count++
-		sum := core.TransferChecksum(data)
+
+	// Pushes stream straight to disk (or into the incremental checksum):
+	// no transfer-sized buffer on the receive side either.
+	var pushes atomic.Int64
+	srv.SinkStream = func(r wire.Req) (core.ChunkSink, func(core.RecvResult), bool) {
+		if int(r.Bytes) > *maxBytes {
+			log.Printf("blastd: rejecting %d-byte push (limit %d)", r.Bytes, *maxBytes)
+			return nil, nil, false
+		}
+		n := pushes.Add(1)
 		if *outDir == "" {
-			log.Printf("blastd: received %d bytes (push #%d), checksum %04x", len(data), count, sum)
-			return
+			return func(int, []byte) {}, func(res core.RecvResult) {
+				log.Printf("blastd: verified %d bytes (push #%d), checksum %04x",
+					res.Bytes, n, res.Checksum)
+			}, true
 		}
-		name := filepath.Join(*outDir, fmt.Sprintf("transfer-%04d.bin", count))
-		if err := os.WriteFile(name, data, 0o644); err != nil {
-			log.Printf("blastd: writing %s: %v", name, err)
-			return
+		name := filepath.Join(*outDir, fmt.Sprintf("transfer-%04d.bin", n))
+		f, err := os.Create(name)
+		if err != nil {
+			log.Printf("blastd: creating %s: %v", name, err)
+			return nil, nil, false
 		}
-		log.Printf("blastd: wrote %s (%d bytes, checksum %04x)", name, len(data), sum)
+		return func(off int, b []byte) {
+				if _, err := f.WriteAt(b, int64(off)); err != nil {
+					log.Printf("blastd: writing %s: %v", name, err)
+				}
+			}, func(res core.RecvResult) {
+				if err := f.Close(); err != nil {
+					log.Printf("blastd: closing %s: %v", name, err)
+				}
+				if !res.Completed {
+					// Aborted push: drop the partial file.
+					os.Remove(name)
+					log.Printf("blastd: discarded aborted push %s (%d bytes received)", name, res.Bytes)
+					return
+				}
+				log.Printf("blastd: wrote %s (%d bytes, checksum %04x)", name, res.Bytes, res.Checksum)
+			}, true
 	}
 
 	if err := srv.Run(); err != nil {

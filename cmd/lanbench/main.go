@@ -42,11 +42,21 @@ func main() {
 			"fan DES sampling and figure points across GOMAXPROCS workers (results are bit-identical either way; the Monte-Carlo estimator always uses GOMAXPROCS internally)")
 		benchjson = flag.String("benchjson", "",
 			"write a machine-readable micro-benchmark snapshot (ns/op, allocs/op) to this file and exit")
+		udp = flag.Bool("udp", false,
+			"run the loopback UDP datapath throughput suite (batched vs single-syscall vs pre-batching legacy) instead of the paper experiments; writes -benchjson when set")
 	)
 	flag.Parse()
 	if *format != "text" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
 		os.Exit(2)
+	}
+
+	if *udp {
+		if err := runUDPBench(*benchjson, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *benchjson != "" {
@@ -101,6 +111,7 @@ type benchEntry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	MBps        float64 `json:"mbps,omitempty"` // end-to-end throughput cases only
 }
 
 // benchSnapshot is the machine-readable perf record CI archives as
@@ -188,6 +199,11 @@ func writeBenchSnapshot(path string) error {
 		fmt.Printf("%-26s %12.1f ns/op %8d B/op %6d allocs/op\n",
 			c.name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
 	}
+	return writeSnapshot(snap, path)
+}
+
+// writeSnapshot serialises a benchmark snapshot to path.
+func writeSnapshot(snap benchSnapshot, path string) error {
 	out, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err

@@ -1,0 +1,195 @@
+package main
+
+// The -udp mode: loopback throughput benchmarks for the real-UDP datapath,
+// comparing the single-syscall path (batch=1), the sendmmsg/recvmmsg
+// batched path (batch=32), and a faithful emulation of the pre-batching
+// pipeline (serial server, whole payload materialised per pull, no
+// streaming) as the baseline. Results are archived as BENCH_3.json and the
+// EXPERIMENTS.md throughput table.
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"blastlan/internal/core"
+	"blastlan/internal/udplan"
+	"blastlan/internal/wire"
+)
+
+// udpPullCase is one loopback pull measurement.
+type udpPullCase struct {
+	name   string
+	bytes  int
+	batch  int // sendmmsg/recvmmsg ring size; 1 = single-syscall
+	window int
+	legacy bool // pre-PR pipeline: serial server, materialised payload, no streaming
+}
+
+const udpSocketBuf = 4 << 20 // sized so a full window survives skb truesize accounting
+
+// runUDPPull executes one measured pull and returns the elapsed wall time.
+func runUDPPull(c udpPullCase) (time.Duration, error) {
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	setSocketBufs(conn)
+	srv := udplan.NewServer(conn)
+	if c.legacy {
+		srv.Data = func(r wire.Req) ([]byte, bool) {
+			payload := make([]byte, r.Bytes)
+			rand.New(rand.NewSource(int64(r.Bytes))).Read(payload)
+			return payload, true
+		}
+	} else {
+		srv.Concurrency = 2
+		srv.Batch = c.batch
+		srv.Source = func(r wire.Req) (core.ChunkSource, bool) {
+			return core.SeededSource(int64(r.Bytes), int(r.Bytes), int(r.Chunk)), true
+		}
+	}
+	go srv.Run()
+
+	e, err := udplan.Dial(conn.LocalAddr().String())
+	if err != nil {
+		return 0, err
+	}
+	defer e.Close()
+	e.SetSocketBuffers(udpSocketBuf)
+	if !c.legacy {
+		e.SetBatch(c.batch)
+	}
+	cfg := core.Config{
+		TransferID:     1,
+		Bytes:          c.bytes,
+		ChunkSize:      1000,
+		Protocol:       core.Blast,
+		Strategy:       core.GoBackN,
+		Window:         c.window,
+		RetransTimeout: 250 * time.Millisecond,
+		MaxAttempts:    10000,
+		Linger:         50 * time.Millisecond,
+		ReceiverIdle:   10 * time.Second,
+	}
+	if !c.legacy {
+		cfg.Sink = func(int, []byte) {} // stream: checksum and discard
+	}
+	t0 := time.Now()
+	res, err := udplan.Pull(e, cfg)
+	elapsed := time.Since(t0)
+	if err != nil {
+		return elapsed, err
+	}
+	if res.Bytes != c.bytes {
+		return elapsed, fmt.Errorf("pull delivered %d of %d bytes", res.Bytes, c.bytes)
+	}
+	return elapsed, nil
+}
+
+// setSocketBufs raises the kernel socket buffers so a whole blast window
+// survives skb truesize accounting (see udplan.SetConnBuffers).
+func setSocketBufs(conn net.PacketConn) { udplan.SetConnBuffers(conn, udpSocketBuf) }
+
+// runUDPBench runs the loopback suite and writes BENCH-style JSON to path
+// (when non-empty), printing a human-readable table either way.
+func runUDPBench(path string, quick bool) error {
+	sizes := []int{1 << 20, 16 << 20, 64 << 20}
+	if quick {
+		sizes = []int{1 << 20, 4 << 20}
+	}
+	snap := benchSnapshot{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	fmt.Printf("%-28s %10s %12s\n", "case", "MB/s", "elapsed")
+	for _, size := range sizes {
+		mb := size >> 20
+		cases := []udpPullCase{
+			{fmt.Sprintf("udp_pull_%dmb_legacy", mb), size, 1, 128, true},
+			{fmt.Sprintf("udp_pull_%dmb_batch1", mb), size, 1, 128, false},
+			{fmt.Sprintf("udp_pull_%dmb_batch32", mb), size, 32, 128, false},
+		}
+		for _, c := range cases {
+			// Best of three: wall-clock loopback runs jitter with scheduler
+			// noise; the minimum is the repeatable hardware-bound figure.
+			best := time.Duration(0)
+			for i := 0; i < 3; i++ {
+				el, err := runUDPPull(c)
+				if err != nil {
+					return fmt.Errorf("%s: %w", c.name, err)
+				}
+				if best == 0 || el < best {
+					best = el
+				}
+			}
+			mbps := float64(c.bytes) / best.Seconds() / 1e6
+			fmt.Printf("%-28s %10.1f %12v\n", c.name, mbps, best.Round(time.Millisecond))
+			snap.Benchmarks = append(snap.Benchmarks, benchEntry{
+				Name:       c.name,
+				NsPerOp:    float64(best.Nanoseconds()),
+				BytesPerOp: int64(c.bytes),
+				MBps:       mbps,
+			})
+		}
+	}
+
+	// Steady-state send-loop allocation check: the exact per-packet work of
+	// a blast window body — fill the reused packet from the streaming
+	// source, encode into the frame ring, flush every batch — against a
+	// blackhole socket. Must be 0 allocs/op.
+	for _, batch := range []int{1, 32} {
+		r := testing.Benchmark(func(b *testing.B) { steadySendLoop(b, batch) })
+		name := fmt.Sprintf("udp_send_steady_batch%d", batch)
+		fmt.Printf("%-28s %10s %12v  %d allocs/op\n", name, "-",
+			(time.Duration(r.NsPerOp())).Round(time.Nanosecond), r.AllocsPerOp())
+		snap.Benchmarks = append(snap.Benchmarks, benchEntry{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	if path == "" {
+		return nil
+	}
+	return writeSnapshot(snap, path)
+}
+
+// steadySendLoop benchmarks one data packet through the batched send path:
+// source-generated payload, reused packet value, EncodeInto the frame ring,
+// sendmmsg flush amortised over the batch.
+func steadySendLoop(b *testing.B, batch int) {
+	sink, err := net.ListenPacket("udp", "127.0.0.1:0") // never read: blackhole
+	if err != nil {
+		b.Skip(err)
+	}
+	defer sink.Close()
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		b.Skip(err)
+	}
+	defer conn.Close()
+	e := udplan.NewEndpoint(conn, sink.LocalAddr())
+	e.SetBatch(batch)
+
+	const chunk = 1000
+	n := 1 << 20 / chunk
+	src := core.SeededSource(1, n*chunk, chunk)
+	scratch := make([]byte, chunk)
+	pkt := &wire.Packet{Type: wire.TypeData, Trans: 1, Total: uint32(n)}
+	b.ReportAllocs()
+	b.SetBytes(chunk)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq := i % n
+		pkt.Seq = uint32(seq)
+		pkt.Payload = src(seq, scratch)
+		if err := e.Send(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	e.FlushBatch()
+}

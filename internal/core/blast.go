@@ -25,12 +25,13 @@ func sendBlast(env Env, c Config, async bool) (SendResult, error) {
 		w = n
 	}
 	est := newRTO(c)
+	scratch := scratchPacket(env)
 	for base := 0; base < n; base += w {
 		end := base + w
 		if end > n {
 			end = n
 		}
-		if err := sendBlastWindow(env, c, &res, &est, base, end, n, async); err != nil {
+		if err := sendBlastWindow(env, c, &res, &est, scratch, base, end, n, async); err != nil {
 			res.Elapsed = env.Now() - start
 			return res, err
 		}
@@ -40,7 +41,9 @@ func sendBlast(env Env, c Config, async bool) (SendResult, error) {
 }
 
 // sendBlastWindow drives one blast of packets [base, end) to completion.
-func sendBlastWindow(env Env, c Config, res *SendResult, est *rto, base, end, total int, async bool) error {
+// scratch, when non-nil, is the transfer's reusable data packet (the
+// substrate consumes packets synchronously, see core.PacketReuser).
+func sendBlastWindow(env Env, c Config, res *SendResult, est *rto, scratch *wire.Packet, base, end, total int, async bool) error {
 	pending := make([]int, 0, end-base)
 	for seq := base; seq < end; seq++ {
 		pending = append(pending, seq)
@@ -53,9 +56,15 @@ func sendBlastWindow(env Env, c Config, res *SendResult, est *rto, base, end, to
 		// without acknowledgement; the final packet carries FlagLast to
 		// elicit the receiver's (positive or negative) response.
 		for _, seq := range pending[:len(pending)-1] {
-			if err := sendData(env, c, res, seq, total, round, false, async); err != nil {
+			if err := sendData(env, c, res, scratch, seq, total, round, false, async); err != nil {
 				return err
 			}
+		}
+		// Batched substrates may still hold queued frames; put the window on
+		// the wire before the reliable last packet, so the response timer it
+		// starts measures a fully transmitted blast.
+		if err := FlushBatch(env); err != nil {
+			return err
 		}
 		last := pending[len(pending)-1]
 
@@ -69,7 +78,7 @@ func sendBlastWindow(env Env, c Config, res *SendResult, est *rto, base, end, to
 			// The FlagLast packet is always sent synchronously so that Tr
 			// starts when it has actually left the interface. Its attempt
 			// number advances per retry so retries count as retransmissions.
-			if err := sendData(env, c, res, last, total, round+lastTries, true, false); err != nil {
+			if err := sendData(env, c, res, scratch, last, total, round+lastTries, true, false); err != nil {
 				return err
 			}
 			lastTries++
@@ -137,8 +146,14 @@ func sendBlastWindow(env Env, c Config, res *SendResult, est *rto, base, end, to
 }
 
 // sendData transmits one data packet, choosing sync or async semantics.
-func sendData(env Env, c Config, res *SendResult, seq, total, attempt int, last, async bool) error {
-	pkt := c.dataPacket(seq, total, attempt, last || seq == total-1)
+// scratch, when non-nil, is reused instead of allocating a fresh packet.
+func sendData(env Env, c Config, res *SendResult, scratch *wire.Packet, seq, total, attempt int, last, async bool) error {
+	var pkt *wire.Packet
+	if scratch != nil {
+		pkt = c.fillData(scratch, seq, total, attempt, last || seq == total-1)
+	} else {
+		pkt = c.dataPacket(seq, total, attempt, last || seq == total-1)
+	}
 	if last {
 		pkt.Flags |= wire.FlagLast
 	}

@@ -143,7 +143,39 @@ type Config struct {
 	// Payload, when non-nil, is the data to transfer (real substrates).
 	// When nil the transfer is simulated: packets carry sizes only.
 	Payload []byte
+
+	// Source, when non-nil, supplies packet payloads on demand instead of
+	// Payload, so a large transfer never needs a contiguous in-memory copy
+	// (a 1 GB pull is generated chunk by chunk). Mutually exclusive with
+	// Payload. Retransmissions call it again for the same seq, so it must
+	// be deterministic.
+	Source ChunkSource
+
+	// Sink, when non-nil, consumes delivered chunks instead of assembling
+	// RecvResult.Data: each distinct data packet is handed over exactly
+	// once, with its byte offset in the transfer. Blast receivers deliver
+	// out of order. RecvResult.Checksum is still reported (computed
+	// incrementally); RecvResult.Data stays nil.
+	Sink ChunkSink
+
+	// srcBuf is the reusable chunk scratch handed to Source; sized once in
+	// withDefaults so the steady-state send loop allocates nothing.
+	srcBuf []byte
 }
+
+// ChunkSource deterministically supplies the payload of data packet seq. It
+// may fill dst (a scratch of at least ChunkSize bytes, reused across calls)
+// and return a prefix of it, or return its own slice; the engine consumes
+// the bytes before the next call. The final packet's chunk is short.
+type ChunkSource func(seq int, dst []byte) []byte
+
+// ChunkSink consumes one delivered chunk at byte offset off of the
+// transfer. The slice is only valid during the call.
+type ChunkSink func(off int, chunk []byte)
+
+// realMode reports whether the transfer moves real bytes (as opposed to a
+// payload-elided simulation).
+func (c *Config) realMode() bool { return c.Payload != nil || c.Source != nil }
 
 // withDefaults returns a copy with defaults applied, or an error.
 func (c Config) withDefaults() (Config, error) {
@@ -181,9 +213,14 @@ func (c Config) withDefaults() (Config, error) {
 		return c, fmt.Errorf("%w: unknown strategy %d", ErrBadConfig, c.Strategy)
 	case c.Payload != nil && len(c.Payload) != c.Bytes:
 		return c, fmt.Errorf("%w: len(Payload)=%d but Bytes=%d", ErrBadConfig, len(c.Payload), c.Bytes)
+	case c.Payload != nil && c.Source != nil:
+		return c, fmt.Errorf("%w: Payload and Source are mutually exclusive", ErrBadConfig)
 	}
-	if c.Payload != nil && c.ChunkSize > wire.MaxPayload {
-		return c, fmt.Errorf("%w: ChunkSize %d exceeds wire.MaxPayload %d", ErrBadConfig, c.ChunkSize, wire.MaxPayload)
+	if c.realMode() && c.ChunkSize > wire.AbsMaxPayload {
+		return c, fmt.Errorf("%w: ChunkSize %d exceeds wire.AbsMaxPayload %d", ErrBadConfig, c.ChunkSize, wire.AbsMaxPayload)
+	}
+	if c.Source != nil {
+		c.srcBuf = make([]byte, c.ChunkSize)
 	}
 	return c, nil
 }
@@ -203,7 +240,15 @@ func (c Config) NumPackets() int {
 
 // dataPacket builds the data packet for sequence number seq.
 func (c *Config) dataPacket(seq, total int, attempt int, last bool) *wire.Packet {
-	p := &wire.Packet{
+	return c.fillData(new(wire.Packet), seq, total, attempt, last)
+}
+
+// fillData overwrites p with the data packet for sequence number seq and
+// returns it. Senders on substrates that consume packets synchronously
+// (core.PacketReuser) pass one scratch packet for the whole transfer, which
+// keeps the steady-state send loop allocation-free.
+func (c *Config) fillData(p *wire.Packet, seq, total int, attempt int, last bool) *wire.Packet {
+	*p = wire.Packet{
 		Type:  wire.TypeData,
 		Trans: c.TransferID,
 		Seq:   uint32(seq),
@@ -216,13 +261,16 @@ func (c *Config) dataPacket(seq, total int, attempt int, last bool) *wire.Packet
 	if last {
 		p.Flags |= wire.FlagLast
 	}
-	if c.Payload != nil {
+	switch {
+	case c.Payload != nil:
 		lo := seq * c.ChunkSize
 		hi := lo + c.ChunkSize
 		if hi > len(c.Payload) {
 			hi = len(c.Payload)
 		}
 		p.Payload = c.Payload[lo:hi]
+	case c.Source != nil:
+		p.Payload = c.Source(seq, c.srcBuf)
 	}
 	// On a simulated wire the packet occupies ChunkSize bytes (the final
 	// packet only its remainder) — the paper's convention, which counts
@@ -311,4 +359,10 @@ type RecvResult struct {
 	LingerEvents int    // retransmissions handled after completion
 	LingerAcks   int    // of AcksSent, those sent during the linger
 	LingerNaks   int    // of NaksSent, those sent during the linger
+
+	// sinkSum incrementally accumulates Checksum for Sink-mode transfers,
+	// where no contiguous Data buffer ever exists; usedSink records that
+	// the transfer streamed.
+	sinkSum  wire.SumAcc
+	usedSink bool
 }

@@ -43,7 +43,8 @@ func TestConfigValidation(t *testing.T) {
 		{Bytes: 1, MaxAttempts: -1},
 		{Bytes: 1, RetransTimeout: -time.Second},
 		{Bytes: 4, Payload: []byte{1, 2}}, // length mismatch
-		{Bytes: 5000, ChunkSize: 5000, Payload: make([]byte, 5000)}, // chunk > wire.MaxPayload
+		{Bytes: 70000, ChunkSize: 70000, Payload: make([]byte, 70000)},                        // chunk > wire.AbsMaxPayload
+		{Bytes: 8, Payload: make([]byte, 8), Source: func(int, []byte) []byte { return nil }}, // both sources
 	}
 	for i, c := range bad {
 		if _, err := c.withDefaults(); !errors.Is(err, ErrBadConfig) {

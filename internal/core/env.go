@@ -50,6 +50,46 @@ type Env interface {
 	Recv(timeout time.Duration) (*wire.Packet, error)
 }
 
+// BatchFlusher is optionally implemented by substrates that queue outbound
+// packets for batched transmission (e.g. a sendmmsg-backed UDP endpoint,
+// which amortises one syscall across a whole blast window). FlushBatch
+// writes every queued packet to the wire, in the order it was queued.
+// Substrates must also flush implicitly before blocking in Recv and on
+// close, so the explicit hook is a latency optimisation, never a
+// correctness requirement.
+type BatchFlusher interface {
+	FlushBatch() error
+}
+
+// FlushBatch flushes env's outbound batch queue if the substrate batches;
+// on all other substrates it is a no-op. The blast sender calls it once per
+// window, between the unreliable packets and the reliable last, so the
+// window is on the wire before the response timer starts.
+func FlushBatch(env Env) error {
+	if f, ok := env.(BatchFlusher); ok {
+		return f.FlushBatch()
+	}
+	return nil
+}
+
+// PacketReuser is optionally implemented by substrates whose Send and
+// SendAsync fully consume the packet — encoding or copying it — before
+// returning, so a sender may reuse one Packet value across data sends and
+// keep its steady-state loop allocation-free. The simulator delivers
+// payload-elided packets by reference and must NOT implement this.
+type PacketReuser interface {
+	PacketConsumedOnSend()
+}
+
+// scratchPacket returns a reusable packet for env's data sends, or nil when
+// the substrate retains references and every send needs a fresh packet.
+func scratchPacket(env Env) *wire.Packet {
+	if _, ok := env.(PacketReuser); ok {
+		return new(wire.Packet)
+	}
+	return nil
+}
+
 // IsTimeout reports whether err is a receive-deadline expiry.
 func IsTimeout(err error) bool { return errors.Is(err, os.ErrDeadlineExceeded) }
 

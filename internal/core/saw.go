@@ -122,13 +122,24 @@ func recvInOrder(env Env, c Config) (RecvResult, error) {
 	return res, nil
 }
 
-// deliverChunk accounts for (and in real mode stores) one new data packet.
+// deliverChunk accounts for (and in real mode stores or streams) one new
+// data packet. With Config.Sink set the chunk is handed to the sink and the
+// whole-transfer checksum accumulates incrementally — no transfer-sized
+// buffer ever exists.
 func deliverChunk(res *RecvResult, c Config, pkt *wire.Packet) {
 	if pkt.Payload != nil {
+		off := int(pkt.Seq) * c.ChunkSize
+		if c.Sink != nil {
+			res.usedSink = true
+			res.sinkSum.AddAt(off, pkt.Payload)
+			c.Sink(off, pkt.Payload)
+			res.Bytes += len(pkt.Payload)
+			return
+		}
 		if res.Data == nil {
 			res.Data = make([]byte, c.Bytes)
 		}
-		copy(res.Data[int(pkt.Seq)*c.ChunkSize:], pkt.Payload)
+		copy(res.Data[off:], pkt.Payload)
 		res.Bytes += len(pkt.Payload)
 		return
 	}
@@ -140,10 +151,15 @@ func deliverChunk(res *RecvResult, c Config, pkt *wire.Packet) {
 }
 
 // finishData computes the whole-transfer software checksum (the one Spector
-// suggests for multi-packet transfers, §4) once all chunks are assembled.
+// suggests for multi-packet transfers, §4) once all chunks are assembled —
+// or, for streamed (Sink) transfers, closes the incremental accumulator.
 func finishData(res *RecvResult) {
 	if res.Data != nil {
 		res.Checksum = wire.Checksum(res.Data)
+		return
+	}
+	if res.usedSink {
+		res.Checksum = res.sinkSum.Sum16()
 	}
 }
 

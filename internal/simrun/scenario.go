@@ -36,6 +36,11 @@ type Scenario struct {
 	// Seed seeds trial 0; trial i uses Seed+i. The single-shot runners use
 	// Seed directly.
 	Seed int64
+	// Batch, when > 1, runs RunUDP over the batched syscall datapath
+	// (sendmmsg/recvmmsg frame rings of this size) on both endpoints.
+	// Ignored by the virtual-time substrates. The conformance suite pins
+	// that every batch size produces identical protocol behaviour.
+	Batch int
 }
 
 // withDefaults fills the zero fields.
@@ -184,6 +189,10 @@ func (sc Scenario) RunUDP() (Outcome, error) {
 
 	ce := udplan.NewEndpoint(cs, ss.LocalAddr())
 	se := udplan.NewEndpoint(ss, cs.LocalAddr())
+	if sc.Batch > 1 {
+		ce.SetBatch(sc.Batch)
+		se.SetBatch(sc.Batch)
+	}
 	if err := ce.SetAdversary(sc.Adversary, sc.Seed); err != nil {
 		return Outcome{}, err
 	}

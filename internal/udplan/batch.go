@@ -1,0 +1,182 @@
+package udplan
+
+import (
+	"encoding/binary"
+	"net"
+	"syscall"
+
+	"blastlan/internal/wire"
+)
+
+// This file holds the platform-independent half of the batched datapath:
+// the reusable frame rings that amortise one syscall across a whole blast
+// window. The platform-specific sendmmsg/recvmmsg wrappers live in
+// mmsg_linux.go (with a no-op fallback in mmsg_fallback.go); when they are
+// unavailable the rings still form and flush as plain WriteTo loops, so
+// behaviour is identical everywhere and only the syscall count differs.
+
+// txBatch is a frame ring of pre-allocated MTU-sized slots. The sender
+// encodes each outbound packet directly into the next slot
+// (wire.EncodeInto — no allocation), and the ring flushes as one vectored
+// write when full or on demand.
+type txBatch struct {
+	frames [][]byte // fixed slots, each cap = MTU
+	lens   []int
+	queued int
+	flush  func(frames [][]byte, lens []int, n int) error
+}
+
+// newTxBatch builds a ring of n MTU-sized slots over one backing array.
+func newTxBatch(n, mtu int, flush func([][]byte, []int, int) error) *txBatch {
+	backing := make([]byte, n*mtu)
+	t := &txBatch{frames: make([][]byte, n), lens: make([]int, n), flush: flush}
+	for i := range t.frames {
+		t.frames[i] = backing[i*mtu : (i+1)*mtu]
+	}
+	return t
+}
+
+// slot returns the current free frame slot to encode into.
+func (t *txBatch) slot() []byte { return t.frames[t.queued] }
+
+// commit finalises the current slot with n encoded bytes; a full ring
+// flushes immediately.
+func (t *txBatch) commit(n int) error {
+	t.lens[t.queued] = n
+	t.queued++
+	if t.queued == len(t.frames) {
+		return t.Flush()
+	}
+	return nil
+}
+
+// enqueueCopy queues a copy of an already-encoded frame (an injected
+// duplicate, a matured reorder hold) behind whatever is queued.
+func (t *txBatch) enqueueCopy(b []byte) error {
+	if len(b) > len(t.slot()) {
+		// Defensive: cannot happen for frames this endpoint encoded, since
+		// slots are MTU-sized like the encode path.
+		return t.Flush()
+	}
+	n := copy(t.slot(), b)
+	return t.commit(n)
+}
+
+// Flush writes every queued frame, in order, and empties the ring.
+func (t *txBatch) Flush() error {
+	if t.queued == 0 {
+		return nil
+	}
+	n := t.queued
+	t.queued = 0
+	return t.flush(t.frames, t.lens, n)
+}
+
+// rxBatch is the receive ring recvmmsg drains into: raw datagrams plus the
+// raw source sockaddr of each, consumed FIFO by the endpoint's Recv loop.
+type rxBatch struct {
+	bufs        [][]byte
+	names       [][]byte
+	lens        []int
+	count, next int
+	recv        mmsgReceiver
+}
+
+func newRxBatch(n, mtu int) *rxBatch {
+	backing := make([]byte, n*mtu)
+	names := make([]byte, n*rawNameLen)
+	r := &rxBatch{bufs: make([][]byte, n), names: make([][]byte, n), lens: make([]int, n)}
+	for i := 0; i < n; i++ {
+		r.bufs[i] = backing[i*mtu : (i+1)*mtu]
+		r.names[i] = names[i*rawNameLen : (i+1)*rawNameLen]
+	}
+	return r
+}
+
+// pending reports whether drained datagrams are waiting.
+func (r *rxBatch) pending() bool { return r.next < r.count }
+
+// pop returns the next drained datagram and its raw source sockaddr. Both
+// slices are valid until the ring's next drain (which only happens after
+// every pending datagram has been popped).
+func (r *rxBatch) pop() (data, name []byte) {
+	i := r.next
+	r.next++
+	return r.bufs[i][:r.lens[i]], r.names[i]
+}
+
+// drain performs one non-blocking recvmmsg, filling the ring with whatever
+// the kernel already queued. A no-op when the platform lacks recvmmsg.
+func (r *rxBatch) drain(raw syscall.RawConn) {
+	if raw == nil {
+		return
+	}
+	if n, ok := recvBatch(raw, &r.recv, r.bufs, r.names, r.lens); ok {
+		r.count, r.next = n, 0
+	}
+}
+
+// flushFramesTo writes frames[0:n] to peer over conn, batched with one
+// sendmmsg where the platform supports it — the single implementation
+// behind every batched writer (Endpoint, server sessions).
+func flushFramesTo(raw syscall.RawConn, ms *mmsgSender, conn net.PacketConn, peer net.Addr, frames [][]byte, lens []int, n int) error {
+	if handled, err := sendBatch(raw, ms, peer, frames, lens, n); handled {
+		return err
+	}
+	var firstErr error
+	for i := 0; i < n; i++ {
+		if _, err := conn.WriteTo(frames[i][:lens[i]], peer); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// flushesImmediately reports whether a packet must not linger in the batch
+// ring: control traffic and the reliable last packet of a window keep
+// their single-packet latency.
+func flushesImmediately(p *wire.Packet) bool {
+	return p.Type != wire.TypeData || p.Flags&wire.FlagLast != 0
+}
+
+// rawConnOf extracts the raw connection for batched syscalls, when the
+// socket supports it.
+func rawConnOf(conn net.PacketConn) syscall.RawConn {
+	sc, ok := conn.(syscall.Conn)
+	if !ok {
+		return nil
+	}
+	raw, err := sc.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	return raw
+}
+
+// addrKeyLen is the canonical address key size: a 16-byte IP (IPv4 mapped
+// into IPv6 form) plus a big-endian port.
+const addrKeyLen = 18
+
+// addrKey returns the canonical comparison key for a peer address. Non-UDP
+// addresses fall back to their string form.
+func addrKey(a net.Addr) string {
+	ua, ok := a.(*net.UDPAddr)
+	if !ok {
+		return a.String()
+	}
+	var k [addrKeyLen]byte
+	keyFromUDP(&k, ua)
+	return string(k[:])
+}
+
+// keyFromUDP writes a UDP address's canonical key into dst without
+// allocating.
+func keyFromUDP(dst *[addrKeyLen]byte, ua *net.UDPAddr) {
+	ip := ua.IP.To16()
+	if ip == nil {
+		*dst = [addrKeyLen]byte{}
+		return
+	}
+	copy(dst[:16], ip)
+	binary.BigEndian.PutUint16(dst[16:], uint16(ua.Port))
+}

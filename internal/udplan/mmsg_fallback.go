@@ -1,0 +1,33 @@
+//go:build !linux || !(amd64 || arm64)
+
+package udplan
+
+// Portable no-op stand-ins for the Linux sendmmsg/recvmmsg fast path: the
+// batch rings still form and flush, but as plain WriteTo loops, and the
+// receive drain never fills — behaviour is identical, only the syscall
+// count differs.
+
+import (
+	"net"
+	"syscall"
+)
+
+// rawNameLen matches the Linux sockaddr_in6 slot size so ring geometry is
+// platform-independent.
+const rawNameLen = 28
+
+type mmsgSender struct{}
+
+type mmsgReceiver struct{}
+
+func sendBatch(syscall.RawConn, *mmsgSender, net.Addr, [][]byte, []int, int) (bool, error) {
+	return false, nil
+}
+
+func recvBatch(syscall.RawConn, *mmsgReceiver, [][]byte, [][]byte, []int) (int, bool) {
+	return 0, false
+}
+
+func keyFromRaw(*[addrKeyLen]byte, []byte) bool { return false }
+
+func rawToUDPAddr([]byte) *net.UDPAddr { return nil }

@@ -1,0 +1,225 @@
+//go:build linux && (amd64 || arm64)
+
+package udplan
+
+// Batched datagram syscalls for Linux: one sendmmsg flushes a whole frame
+// ring, one recvmmsg drains everything the kernel has queued. The stdlib
+// syscall package stops short of these (they are wrapped only in
+// golang.org/x/net), so the mmsghdr layout and syscall numbers are defined
+// here for the 64-bit architectures this project targets; every other
+// platform takes the portable WriteTo/ReadFrom fallback in
+// mmsg_fallback.go.
+
+import (
+	"net"
+	"syscall"
+	"unsafe"
+)
+
+// rawNameLen is the raw sockaddr slot size: big enough for sockaddr_in6.
+const rawNameLen = syscall.SizeofSockaddrInet6
+
+// mmsgHdr mirrors the kernel's struct mmsghdr on 64-bit Linux: a msghdr
+// plus the per-message transferred length, padded to 8 bytes.
+type mmsgHdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+// mmsgSender holds the reusable sendmmsg argument arrays of one batched
+// writer; the zero value is ready to use.
+type mmsgSender struct {
+	hdrs    []mmsgHdr
+	iovs    []syscall.Iovec
+	name    [rawNameLen]byte
+	nameLen uint32
+}
+
+// setName encodes the destination into the shared sockaddr every message
+// of the batch points at. Reports false for addresses this path cannot
+// target (the caller then falls back to WriteTo).
+func (s *mmsgSender) setName(ua *net.UDPAddr) bool {
+	if ua.Zone != "" {
+		return false // link-local zones need an interface lookup
+	}
+	if ip4 := ua.IP.To4(); ip4 != nil {
+		*(*uint16)(unsafe.Pointer(&s.name[0])) = syscall.AF_INET
+		s.name[2], s.name[3] = byte(ua.Port>>8), byte(ua.Port)
+		copy(s.name[4:8], ip4)
+		for i := 8; i < rawNameLen; i++ {
+			s.name[i] = 0
+		}
+		s.nameLen = syscall.SizeofSockaddrInet4
+		return true
+	}
+	if ip16 := ua.IP.To16(); ip16 != nil {
+		*(*uint16)(unsafe.Pointer(&s.name[0])) = syscall.AF_INET6
+		s.name[2], s.name[3] = byte(ua.Port>>8), byte(ua.Port)
+		s.name[4], s.name[5], s.name[6], s.name[7] = 0, 0, 0, 0 // flowinfo
+		copy(s.name[8:24], ip16)
+		s.name[24], s.name[25], s.name[26], s.name[27] = 0, 0, 0, 0 // scope
+		s.nameLen = syscall.SizeofSockaddrInet6
+		return true
+	}
+	return false
+}
+
+// mmsgReceiver holds the reusable recvmmsg argument arrays of one batched
+// reader; the zero value is ready to use.
+type mmsgReceiver struct {
+	hdrs []mmsgHdr
+	iovs []syscall.Iovec
+}
+
+// sendBatch transmits frames[0:n] to peer with as few sendmmsg calls as the
+// kernel allows (normally one). handled is false when the peer or socket
+// cannot take this path and the caller must fall back to WriteTo.
+func sendBatch(raw syscall.RawConn, s *mmsgSender, peer net.Addr, frames [][]byte, lens []int, n int) (handled bool, err error) {
+	if raw == nil || n == 0 {
+		return n == 0, nil
+	}
+	ua, ok := peer.(*net.UDPAddr)
+	if !ok || !s.setName(ua) {
+		return false, nil
+	}
+	if cap(s.hdrs) < n {
+		s.hdrs = make([]mmsgHdr, n)
+		s.iovs = make([]syscall.Iovec, n)
+	}
+	hdrs, iovs := s.hdrs[:n], s.iovs[:n]
+	for i := 0; i < n; i++ {
+		iovs[i].Base = &frames[i][0]
+		iovs[i].SetLen(lens[i])
+		hdrs[i] = mmsgHdr{}
+		hdrs[i].hdr.Name = &s.name[0]
+		hdrs[i].hdr.Namelen = s.nameLen
+		hdrs[i].hdr.Iov = &iovs[i]
+		hdrs[i].hdr.Iovlen = 1
+	}
+	for off := 0; off < n; {
+		var sent int
+		var serr error
+		werr := raw.Write(func(fd uintptr) bool {
+			r0, _, errno := syscall.Syscall6(sysSENDMMSG, fd,
+				uintptr(unsafe.Pointer(&hdrs[off])), uintptr(n-off), 0, 0, 0)
+			if errno == syscall.EAGAIN {
+				return false // wait for writability, then retry
+			}
+			if errno != 0 {
+				serr = errno
+			} else {
+				sent = int(r0)
+			}
+			return true
+		})
+		switch {
+		case werr != nil:
+			return true, werr
+		case serr != nil:
+			return true, serr
+		case sent <= 0:
+			return true, syscall.EIO // defensive: avoid a zero-progress spin
+		}
+		off += sent
+	}
+	return true, nil
+}
+
+// recvBatch performs one non-blocking recvmmsg into bufs, recording each
+// datagram's length and raw source sockaddr. It never waits: an empty
+// socket returns (0, true). ok is false when the platform path failed and
+// the caller should not trust the ring.
+func recvBatch(raw syscall.RawConn, r *mmsgReceiver, bufs, names [][]byte, lens []int) (got int, ok bool) {
+	if raw == nil {
+		return 0, false
+	}
+	n := len(bufs)
+	if cap(r.hdrs) < n {
+		r.hdrs = make([]mmsgHdr, n)
+		r.iovs = make([]syscall.Iovec, n)
+	}
+	hdrs, iovs := r.hdrs[:n], r.iovs[:n]
+	for i := 0; i < n; i++ {
+		iovs[i].Base = &bufs[i][0]
+		iovs[i].SetLen(len(bufs[i]))
+		hdrs[i] = mmsgHdr{}
+		hdrs[i].hdr.Name = &names[i][0]
+		hdrs[i].hdr.Namelen = rawNameLen
+		hdrs[i].hdr.Iov = &iovs[i]
+		hdrs[i].hdr.Iovlen = 1
+	}
+	rerr := raw.Read(func(fd uintptr) bool {
+		r0, _, errno := syscall.Syscall6(sysRECVMMSG, fd,
+			uintptr(unsafe.Pointer(&hdrs[0])), uintptr(n),
+			uintptr(syscall.MSG_DONTWAIT), 0, 0)
+		if errno != 0 {
+			got = 0 // EAGAIN (socket empty) or transient: drain nothing
+		} else {
+			got = int(r0)
+		}
+		return true // opportunistic: never block the drain
+	})
+	if rerr != nil {
+		return 0, false
+	}
+	for i := 0; i < got; i++ {
+		lens[i] = int(hdrs[i].n)
+	}
+	return got, true
+}
+
+// keyFromRaw writes the canonical address key of a raw sockaddr into dst
+// without allocating (IPv4 is mapped into IPv6 form, matching
+// keyFromUDP's net.IP.To16 normalisation).
+func keyFromRaw(dst *[addrKeyLen]byte, name []byte) bool {
+	if len(name) < 2 {
+		return false
+	}
+	switch *(*uint16)(unsafe.Pointer(&name[0])) {
+	case syscall.AF_INET:
+		if len(name) < syscall.SizeofSockaddrInet4 {
+			return false
+		}
+		for i := 0; i < 10; i++ {
+			dst[i] = 0
+		}
+		dst[10], dst[11] = 0xff, 0xff
+		copy(dst[12:16], name[4:8])
+		dst[16], dst[17] = name[2], name[3]
+		return true
+	case syscall.AF_INET6:
+		if len(name) < syscall.SizeofSockaddrInet6 {
+			return false
+		}
+		copy(dst[:16], name[8:24])
+		dst[16], dst[17] = name[2], name[3]
+		return true
+	}
+	return false
+}
+
+// rawToUDPAddr converts a raw sockaddr into a net.UDPAddr (copying the IP
+// bytes out of the reused name slot), or nil for unknown families.
+func rawToUDPAddr(name []byte) *net.UDPAddr {
+	if len(name) < 2 {
+		return nil
+	}
+	switch *(*uint16)(unsafe.Pointer(&name[0])) {
+	case syscall.AF_INET:
+		if len(name) < syscall.SizeofSockaddrInet4 {
+			return nil
+		}
+		ip := make(net.IP, 4)
+		copy(ip, name[4:8])
+		return &net.UDPAddr{IP: ip, Port: int(name[2])<<8 | int(name[3])}
+	case syscall.AF_INET6:
+		if len(name) < syscall.SizeofSockaddrInet6 {
+			return nil
+		}
+		ip := make(net.IP, 16)
+		copy(ip, name[8:24])
+		return &net.UDPAddr{IP: ip, Port: int(name[2])<<8 | int(name[3])}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+//go:build linux && (amd64 || arm64)
+
+package udplan
+
+import (
+	"net"
+	"testing"
+)
+
+// The raw fast path must actually take effect on this platform: sendBatch
+// reports handled (no silent WriteTo fallback), recvBatch drains queued
+// datagrams, and the raw-sockaddr demux key matches the net.UDPAddr key for
+// the same source — the invariant that keeps one client from becoming two
+// sessions.
+func TestMmsgFastPath(t *testing.T) {
+	a, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback: %v", err)
+	}
+	defer a.Close()
+	b, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback: %v", err)
+	}
+	defer b.Close()
+
+	ea := NewEndpoint(a, b.LocalAddr())
+	if ea.raw == nil {
+		t.Fatal("UDP socket exposed no raw conn")
+	}
+	frames := [][]byte{[]byte("first"), []byte("second"), []byte("third")}
+	lens := []int{5, 6, 5}
+	var ms mmsgSender
+	handled, err := sendBatch(ea.raw, &ms, ea.peer, frames, lens, 3)
+	if !handled {
+		t.Fatal("sendBatch fell back on linux")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	for i := range frames {
+		n, _, err := b.ReadFrom(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(buf[:n]) != string(frames[i][:lens[i]]) {
+			t.Fatalf("frame %d: got %q want %q", i, buf[:n], frames[i][:lens[i]])
+		}
+	}
+
+	// recvmmsg drain + raw-name demux key equivalence.
+	eb := NewEndpoint(b, a.LocalAddr())
+	for i := 0; i < 3; i++ {
+		if _, err := a.WriteTo([]byte{byte(i), 9, 9}, b.LocalAddr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := b.ReadFrom(buf); err != nil { // blocking read consumes one
+		t.Fatal(err)
+	}
+	rx := newRxBatch(4, 128)
+	rx.drain(eb.raw)
+	if rx.count != 2 {
+		t.Fatalf("drained %d datagrams, want 2", rx.count)
+	}
+	_, name := rx.pop()
+	var fromRaw, fromUDP [addrKeyLen]byte
+	if !keyFromRaw(&fromRaw, name) {
+		t.Fatal("keyFromRaw rejected a real sockaddr")
+	}
+	keyFromUDP(&fromUDP, a.LocalAddr().(*net.UDPAddr))
+	if fromRaw != fromUDP {
+		t.Fatalf("demux keys diverge:\nraw %x\nudp %x", fromRaw, fromUDP)
+	}
+	if ua := rawToUDPAddr(name); ua == nil || ua.Port != a.LocalAddr().(*net.UDPAddr).Port {
+		t.Fatalf("rawToUDPAddr = %v", ua)
+	}
+}

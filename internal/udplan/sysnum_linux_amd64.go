@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package udplan
+
+// sendmmsg/recvmmsg syscall numbers for linux/amd64 (the stdlib syscall
+// tables predate them).
+const (
+	sysSENDMMSG = 307
+	sysRECVMMSG = 299
+)

@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package udplan
+
+// sendmmsg/recvmmsg syscall numbers for linux/arm64.
+const (
+	sysSENDMMSG = 269
+	sysRECVMMSG = 243
+)

@@ -10,6 +10,15 @@
 // bit corruption, jitter — can be injected deterministically on either side
 // (MangleTx/MangleRx, or SetAdversary for a seeded params.Adversary) for
 // testing recovery paths on a lossless loopback.
+//
+// The hot path batches syscalls: with SetBatch, outbound data packets are
+// encoded into a reusable frame ring (wire.EncodeInto, no allocation) and
+// flushed with one sendmmsg per batch, and each blocking receive
+// opportunistically drains the socket with recvmmsg — cutting syscalls per
+// blast window from W to roughly ⌈W/batch⌉ on Linux, with a portable
+// single-datagram fallback elsewhere. Adversary semantics are preserved
+// bit-for-bit: every packet is judged before it enters the batch, in send
+// order, exactly as on the unbatched path.
 package udplan
 
 import (
@@ -17,7 +26,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
-	"sync"
+	"syscall"
 	"time"
 
 	"blastlan/internal/core"
@@ -25,18 +34,35 @@ import (
 	"blastlan/internal/wire"
 )
 
-// MaxDatagram bounds receive buffers; it comfortably exceeds the paper's
-// 1536-byte maximum packet (§2.1.2).
+// MaxDatagram is the default endpoint MTU; it comfortably exceeds the
+// paper's 1536-byte maximum packet (§2.1.2). SetMTU raises it for
+// jumbo-frame experiments.
 const MaxDatagram = 2048
+
+// MaxMTU bounds SetMTU: the largest UDP/IPv4 datagram.
+const MaxMTU = 65507
+
+// ErrMTU reports a transfer configuration whose packets cannot fit the
+// endpoint's datagram size.
+var ErrMTU = errors.New("udplan: packet exceeds endpoint MTU")
 
 // Endpoint adapts a packet socket to core.Env. It must be used from a
 // single goroutine, like every Env.
 type Endpoint struct {
-	conn  net.PacketConn
-	peer  net.Addr
-	start time.Time
-	rbuf  [MaxDatagram]byte
-	wbuf  []byte
+	conn    net.PacketConn
+	raw     syscall.RawConn // non-nil when the socket supports raw batched I/O
+	peer    net.Addr
+	peerKey string
+	start   time.Time
+	mtu     int
+	rbuf    []byte
+	wbuf    []byte
+	keybuf  [addrKeyLen]byte
+
+	// Batched I/O state (nil when batching is off, the default).
+	tx      *txBatch
+	rx      *rxBatch
+	msender mmsgSender
 
 	// MangleTx and MangleRx, when non-nil, judge every packet before the
 	// socket write / after the socket read, and the endpoint implements the
@@ -52,12 +78,18 @@ type Endpoint struct {
 	// interface's queue would drain. A held Rx packet is released after
 	// Hold later arrivals, or when a blocking read times out with the hold
 	// still pending (a late arrival instead of a deadline).
+	//
+	// On the batched path the verdict is judged before the frame enters the
+	// batch queue, in send order, so one seeded script produces identical
+	// protocol behaviour at every batch size.
 	MangleTx func(*wire.Packet) params.Mangle
 	MangleRx func(*wire.Packet) params.Mangle
 
-	txHeld  []heldFrame
-	rxHeld  []heldFrame
-	rxReady []*wire.Packet
+	txHeld      []heldFrame
+	rxHeld      []heldFrame
+	rxReady     []*wire.Packet
+	rxReadyHead int         // index-advancing ring head: pops are O(1), not a slice delete
+	rxPkt       wire.Packet // reusable decode target: one live packet per Env, per the Recv contract
 
 	// LockPeer, when set, discards datagrams from other sources once a
 	// peer is known.
@@ -88,7 +120,17 @@ type heldFrame struct {
 // NewEndpoint wraps an open socket. peer may be nil for servers; it is
 // learned from the first valid datagram.
 func NewEndpoint(conn net.PacketConn, peer net.Addr) *Endpoint {
-	return &Endpoint{conn: conn, peer: peer, start: time.Now()}
+	e := &Endpoint{
+		conn:  conn,
+		start: time.Now(),
+		mtu:   MaxDatagram,
+		rbuf:  make([]byte, MaxDatagram),
+	}
+	e.raw = rawConnOf(conn)
+	if peer != nil {
+		e.setPeer(peer)
+	}
+	return e
 }
 
 // SetAdversary installs one seeded hostile-network model on both directions
@@ -102,6 +144,94 @@ func (e *Endpoint) SetAdversary(adv params.Adversary, seed int64) error {
 	j := adv.Mangler(seed)
 	e.MangleTx, e.MangleRx = j, j
 	return nil
+}
+
+// SetMTU resizes the endpoint's maximum datagram (receive buffers and
+// batch frame slots) for jumbo-frame experiments. Call it before the
+// transfer starts. Without it, an oversized configuration would silently
+// truncate on receive — the reader's buffer clips the datagram and the
+// checksum rejects every packet, an undebuggable stall; ValidateConfig
+// turns that into a clear error instead.
+func (e *Endpoint) SetMTU(n int) error {
+	if n < wire.HeaderSize+1 || n > MaxMTU {
+		return fmt.Errorf("udplan: MTU %d out of range [%d, %d]", n, wire.HeaderSize+1, MaxMTU)
+	}
+	e.mtu = n
+	e.rbuf = make([]byte, n)
+	if e.tx != nil {
+		e.SetBatch(len(e.tx.frames)) // re-size the rings to the new MTU
+	}
+	return nil
+}
+
+// MTU returns the endpoint's maximum datagram size.
+func (e *Endpoint) MTU() int { return e.mtu }
+
+// SetConnBuffers raises the kernel send and receive buffers of a UDP
+// socket (no-op on sockets without buffer control). Large blast windows
+// need this: a ~1 KB datagram charges ~2-3 KB of skb truesize against
+// SO_RCVBUF, so the ~208 KB default silently drops the tail of any window
+// beyond ~90 packets — a Tr stall per window. Shared by endpoints,
+// daemons and the bench harness so the sizing rationale lives once.
+func SetConnBuffers(conn net.PacketConn, bytes int) {
+	if uc, ok := conn.(*net.UDPConn); ok {
+		uc.SetReadBuffer(bytes)
+		uc.SetWriteBuffer(bytes)
+	}
+}
+
+// SetSocketBuffers raises the kernel buffers of the endpoint's socket; see
+// SetConnBuffers.
+func (e *Endpoint) SetSocketBuffers(bytes int) { SetConnBuffers(e.conn, bytes) }
+
+// SetBatch enables batched syscall I/O: up to n outbound frames are queued
+// in a frame ring and flushed with a single sendmmsg (FlushBatch, a full
+// ring, a blocking Recv, a non-data or FlagLast packet, or Close), and each
+// blocking receive drains up to n already-arrived datagrams with one
+// recvmmsg. n <= 1 restores the single-syscall path. On platforms without
+// sendmmsg/recvmmsg the queue still forms and flushes as a WriteTo loop,
+// preserving semantics.
+func (e *Endpoint) SetBatch(n int) {
+	if n <= 1 {
+		e.tx, e.rx = nil, nil
+		return
+	}
+	e.tx = newTxBatch(n, e.mtu, e.flushFrames)
+	e.rx = newRxBatch(n, e.mtu)
+}
+
+// Batch reports the configured batch size (1 when batching is off).
+func (e *Endpoint) Batch() int {
+	if e.tx == nil {
+		return 1
+	}
+	return len(e.tx.frames)
+}
+
+// ValidateConfig checks that the configured transfer's packets fit the
+// endpoint's datagram size, returning a clear error instead of the silent
+// truncating receive an oversized chunk would otherwise cause.
+func (e *Endpoint) ValidateConfig(cfg core.Config) error {
+	return validateConfigMTU(cfg, e.mtu)
+}
+
+// FlushBatch implements core.BatchFlusher: every queued frame goes on the
+// wire, in queue order.
+func (e *Endpoint) FlushBatch() error {
+	if e.tx == nil {
+		return nil
+	}
+	return e.tx.Flush()
+}
+
+// PacketConsumedOnSend implements core.PacketReuser: Send encodes the packet
+// before returning, so senders may reuse one Packet value.
+func (e *Endpoint) PacketConsumedOnSend() {}
+
+// flushFrames writes frames[0:n] to the peer, batched with sendmmsg where
+// the platform supports it.
+func (e *Endpoint) flushFrames(frames [][]byte, lens []int, n int) error {
+	return flushFramesTo(e.raw, &e.msender, e.conn, e.peer, frames, lens, n)
 }
 
 // Dial opens an ephemeral UDP socket talking to remote.
@@ -123,8 +253,10 @@ func Dial(remote string) (*Endpoint, error) {
 	return e, nil
 }
 
-// Close flushes any held transmissions and releases the underlying socket.
+// Close flushes the batch queue and any held transmissions, then releases
+// the underlying socket.
 func (e *Endpoint) Close() error {
+	e.FlushBatch()
 	e.flushTx()
 	return e.conn.Close()
 }
@@ -137,7 +269,30 @@ func (e *Endpoint) Peer() net.Addr { return e.peer }
 
 // ResetPeer forgets the current peer so a server endpoint can accept its
 // next client.
-func (e *Endpoint) ResetPeer() { e.peer = nil }
+func (e *Endpoint) ResetPeer() { e.peer, e.peerKey = nil, "" }
+
+// setPeer records the peer and its canonical comparison key.
+func (e *Endpoint) setPeer(a net.Addr) {
+	e.peer = a
+	e.peerKey = addrKey(a)
+}
+
+// fromPeer reports whether an arrival came from the locked peer. name, when
+// non-nil, is the raw sockaddr of a batch-drained datagram; it is compared
+// without constructing a net.Addr (no allocation on the hot receive path).
+func (e *Endpoint) fromPeer(addr net.Addr, name []byte) bool {
+	if name != nil {
+		if !keyFromRaw(&e.keybuf, name) {
+			return false
+		}
+		return string(e.keybuf[:]) == e.peerKey
+	}
+	if ua, ok := addr.(*net.UDPAddr); ok {
+		keyFromUDP(&e.keybuf, ua)
+		return string(e.keybuf[:]) == e.peerKey
+	}
+	return addr.String() == e.peerKey
+}
 
 // Now returns the wall-clock time since the endpoint was created.
 func (e *Endpoint) Now() time.Duration { return time.Since(e.start) }
@@ -152,6 +307,12 @@ func (e *Endpoint) Compute(time.Duration) {}
 func (e *Endpoint) Send(p *wire.Packet) error {
 	err := e.sendMangled(p)
 	if err == nil && e.PacketGap > 0 && p.Type == wire.TypeData {
+		// Pacing means spacing on the wire: a frame still sitting in the
+		// batch ring would otherwise leave in a burst after the sleep,
+		// defeating the gap entirely.
+		if ferr := e.FlushBatch(); ferr != nil {
+			return ferr
+		}
 		time.Sleep(e.PacketGap)
 	}
 	return err
@@ -172,11 +333,23 @@ func (e *Endpoint) sendMangled(p *wire.Packet) error {
 	if m.Drop || m.IfaceDrop {
 		return e.passTx() // injected loss: silently dropped, like a wire error
 	}
-	buf, err := p.Encode(e.wbuf[:0])
-	if err != nil {
-		return err
+	// Encode into the next frame-ring slot (batched) or the reusable
+	// scratch buffer (single-syscall path).
+	var buf []byte
+	if e.tx != nil {
+		n, err := p.EncodeInto(e.tx.slot())
+		if err != nil {
+			return err
+		}
+		buf = e.tx.slot()[:n]
+	} else {
+		b, err := p.Encode(e.wbuf[:0])
+		if err != nil {
+			return err
+		}
+		e.wbuf = b[:0]
+		buf = b
 	}
-	e.wbuf = buf[:0]
 	if m.Corrupt {
 		// Mangle the real datagram: the peer's decode rejects it on the
 		// checksum, exactly as a line hit would play out.
@@ -186,37 +359,70 @@ func (e *Endpoint) sendMangled(p *wire.Packet) error {
 		time.Sleep(m.Delay)
 	}
 	if m.Hold > 0 {
+		held := append([]byte(nil), buf...)
 		// A duplicate of a held packet still goes out now, overtaking its
 		// held twin, and — as on the simulator — ahead of any holds this
 		// arrival matures. The new hold must not overtake itself, so it is
 		// appended after passTx.
 		if m.Duplicate {
-			if _, err := e.conn.WriteTo(buf, e.peer); err != nil {
+			if err := e.emitCurrent(buf); err != nil {
 				return err
 			}
 		}
 		if err := e.passTx(); err != nil {
 			return err
 		}
-		e.txHeld = append(e.txHeld, heldFrame{
-			data:      append([]byte(nil), buf...),
-			remaining: m.Hold,
-		})
-		return nil
+		e.txHeld = append(e.txHeld, heldFrame{data: held, remaining: m.Hold})
+		return e.maybeFlushControl(p)
 	}
-	if _, err := e.conn.WriteTo(buf, e.peer); err != nil {
+	if err := e.emitCurrent(buf); err != nil {
 		return err
 	}
 	if m.Duplicate {
-		if _, err := e.conn.WriteTo(buf, e.peer); err != nil {
+		if err := e.emitCopy(buf); err != nil {
 			return err
 		}
 	}
-	return e.passTx()
+	if err := e.passTx(); err != nil {
+		return err
+	}
+	return e.maybeFlushControl(p)
+}
+
+// emitCurrent puts the just-encoded frame on the wire: it commits the
+// current ring slot when batching, or writes the scratch buffer directly.
+func (e *Endpoint) emitCurrent(buf []byte) error {
+	if e.tx != nil {
+		return e.tx.commit(len(buf))
+	}
+	_, err := e.conn.WriteTo(buf, e.peer)
+	return err
+}
+
+// emitCopy puts a copy of an arbitrary encoded frame on the wire (injected
+// duplicates, matured reorder holds), preserving queue order when batching.
+func (e *Endpoint) emitCopy(buf []byte) error {
+	if e.tx != nil {
+		return e.tx.enqueueCopy(buf)
+	}
+	_, err := e.conn.WriteTo(buf, e.peer)
+	return err
+}
+
+// maybeFlushControl flushes the batch queue behind control traffic and the
+// reliable last packet of a window: only unreliable mid-window data may
+// linger in the ring, so acknowledgement exchanges keep their single-packet
+// latency.
+func (e *Endpoint) maybeFlushControl(p *wire.Packet) error {
+	if e.tx == nil || !flushesImmediately(p) {
+		return nil
+	}
+	return e.tx.Flush()
 }
 
 // passTx records one datagram overtaking the held transmissions and writes
-// out any whose reorder depth is now satisfied.
+// out any whose reorder depth is now satisfied. The in-place filter is a
+// single linear pass per overtake — no per-element slice deletes.
 func (e *Endpoint) passTx() error {
 	if len(e.txHeld) == 0 {
 		return nil
@@ -227,7 +433,7 @@ func (e *Endpoint) passTx() error {
 		h := e.txHeld[i]
 		h.remaining--
 		if h.remaining <= 0 {
-			if _, err := e.conn.WriteTo(h.data, e.peer); err != nil && firstErr == nil {
+			if err := e.emitCopy(h.data); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		} else {
@@ -263,6 +469,11 @@ func (e *Endpoint) SendAsync(p *wire.Packet) error { return e.Send(p) }
 // LockPeer) foreign sources are skipped. On expiry the error satisfies
 // errors.Is(err, os.ErrDeadlineExceeded).
 func (e *Endpoint) Recv(timeout time.Duration) (*wire.Packet, error) {
+	// Anything queued for batch transmission is committed traffic: it must
+	// reach the wire before the endpoint waits for responses to it.
+	if err := e.FlushBatch(); err != nil {
+		return nil, err
+	}
 	// A blocking listen means the sender has turned to listen: its interface
 	// queue drains, releasing any transmissions held for reordering. A
 	// zero-timeout poll (sliding window draining acks between sends) is not
@@ -283,10 +494,10 @@ func (e *Endpoint) Recv(timeout time.Duration) (*wire.Packet, error) {
 	for {
 		// Matured holds and injected duplicates deliver before the socket
 		// is read again.
-		if len(e.rxReady) > 0 {
+		if e.readyCount() > 0 {
 			return e.popReady(), nil
 		}
-		n, addr, err := e.conn.ReadFrom(e.rbuf[:])
+		data, addr, name, err := e.readDatagram()
 		if err != nil {
 			if timeout != 0 && len(e.rxHeld) > 0 && core.IsTimeout(err) {
 				// A blocking listen went quiet with packets still held:
@@ -300,16 +511,22 @@ func (e *Endpoint) Recv(timeout time.Duration) (*wire.Packet, error) {
 			}
 			return nil, err
 		}
-		pkt, derr := wire.Decode(e.rbuf[:n])
-		if derr != nil {
+		pkt := &e.rxPkt
+		if derr := wire.DecodeInto(pkt, data); derr != nil {
 			continue // not ours / corrupted: the checksum did its job
 		}
 		if e.peer == nil {
 			if e.LearnReqOnly && pkt.Type != wire.TypeReq {
 				continue // unverifiable straggler
 			}
-			e.peer = addr
-		} else if e.LockPeer && addr.String() != e.peer.String() {
+			if addr == nil {
+				addr = rawToUDPAddr(name)
+				if addr == nil {
+					continue
+				}
+			}
+			e.setPeer(addr)
+		} else if e.LockPeer && !e.fromPeer(addr, name) {
 			continue
 		}
 		var m params.Mangle
@@ -325,43 +542,80 @@ func (e *Endpoint) Recv(timeout time.Duration) (*wire.Packet, error) {
 		if m.Corrupt {
 			// Mangle the raw datagram and re-run the real codec: the flip
 			// must evade the checksum to survive.
-			params.FlipBit(e.rbuf[:n], m.CorruptBit)
-			mangled, derr := wire.Decode(e.rbuf[:n])
-			if derr != nil {
+			params.FlipBit(data, m.CorruptBit)
+			if derr := wire.DecodeInto(pkt, data); derr != nil {
 				e.passRx()
 				continue
 			}
-			pkt = mangled
 		}
 		if m.Delay > 0 && m.Hold == 0 { // a hold already delays
 			time.Sleep(m.Delay)
 		}
-		out := pkt.Clone() // rbuf is reused; detach
-		if m.Duplicate {
-			e.rxReady = append(e.rxReady, out.Clone())
-		}
-		if m.Hold > 0 {
-			// Existing holds are overtaken first; the new hold must not
-			// overtake itself.
+		if m.Duplicate || m.Hold > 0 {
+			// Queued across Recv calls: detach from the reused buffers.
+			out := pkt.Clone()
+			if m.Duplicate {
+				e.rxReady = append(e.rxReady, out.Clone())
+			}
+			if m.Hold > 0 {
+				// Existing holds are overtaken first; the new hold must not
+				// overtake itself.
+				e.passRx()
+				e.rxHeld = append(e.rxHeld, heldFrame{pkt: out, remaining: m.Hold})
+				continue
+			}
 			e.passRx()
-			e.rxHeld = append(e.rxHeld, heldFrame{pkt: out, remaining: m.Hold})
-			continue
+			return out, nil
 		}
 		e.passRx()
-		return out, nil
+		// The packet aliases this endpoint's receive buffers (and the one
+		// decode value), all stable until the next Recv — the same contract
+		// every Env in this repository provides. No per-packet allocation.
+		return pkt, nil
 	}
 }
 
+// readDatagram returns the next raw datagram: a batch-drained one if
+// pending, otherwise one blocking socket read followed (when batching) by
+// an opportunistic recvmmsg drain of everything else already queued in the
+// kernel. Drained datagrams carry their raw source sockaddr in name; the
+// blocking read carries a net.Addr instead.
+func (e *Endpoint) readDatagram() (data []byte, addr net.Addr, name []byte, err error) {
+	if e.rx != nil && e.rx.pending() {
+		data, name = e.rx.pop()
+		return data, nil, name, nil
+	}
+	n, a, err := e.conn.ReadFrom(e.rbuf)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if e.rx != nil {
+		e.rx.drain(e.raw)
+	}
+	return e.rbuf[:n], a, nil, nil
+}
+
+// readyCount reports how many packets are queued for delivery.
+func (e *Endpoint) readyCount() int { return len(e.rxReady) - e.rxReadyHead }
+
 // popReady returns the oldest packet queued for delivery (matured holds and
-// injected duplicates).
+// injected duplicates). The head index advances instead of re-slicing the
+// queue, so draining n queued packets is O(n), not O(n²) — deep reorder
+// holds used to pay a full copy per pop.
 func (e *Endpoint) popReady() *wire.Packet {
-	pkt := e.rxReady[0]
-	e.rxReady = append(e.rxReady[:0], e.rxReady[1:]...)
+	pkt := e.rxReady[e.rxReadyHead]
+	e.rxReady[e.rxReadyHead] = nil
+	e.rxReadyHead++
+	if e.rxReadyHead == len(e.rxReady) {
+		e.rxReady = e.rxReady[:0]
+		e.rxReadyHead = 0
+	}
 	return pkt
 }
 
 // passRx records one arrival overtaking the held receptions; matured holds
-// queue for delivery on the next Recv calls.
+// queue for delivery on the next Recv calls. Like passTx, a single linear
+// pass with an in-place filter.
 func (e *Endpoint) passRx() {
 	if len(e.rxHeld) == 0 {
 		return
@@ -389,114 +643,21 @@ func SeededDrop(p float64, seed int64) func(*wire.Packet) params.Mangle {
 	}
 }
 
-// Push transfers cfg.Payload to the peer: announce, wait for the go-ahead,
-// blast (or whatever cfg.Protocol says).
+// Push transfers the configured payload to the peer: announce, wait for the
+// go-ahead, blast (or whatever cfg.Protocol says). The configuration is
+// validated against the endpoint's MTU first.
 func Push(e *Endpoint, cfg core.Config) (core.SendResult, error) {
+	if err := e.ValidateConfig(cfg); err != nil {
+		return core.SendResult{}, err
+	}
 	return core.Push(e, cfg)
 }
 
-// Pull requests the configured transfer from the peer and receives it.
+// Pull requests the configured transfer from the peer and receives it. The
+// configuration is validated against the endpoint's MTU first.
 func Pull(e *Endpoint, cfg core.Config) (core.RecvResult, error) {
+	if err := e.ValidateConfig(cfg); err != nil {
+		return core.RecvResult{}, err
+	}
 	return core.Request(e, cfg)
-}
-
-// Server answers transfer requests on one socket, serially (the paper's
-// world is two matched machines; a transfer in progress owns the link).
-type Server struct {
-	// Data, when non-nil, satisfies pull requests (MoveFrom): it returns
-	// the bytes to blast back for an accepted request.
-	Data func(wire.Req) ([]byte, bool)
-	// Sink, when non-nil, accepts push requests (MoveTo) and receives the
-	// completed transfer.
-	Sink func(wire.Req, []byte)
-	// Idle bounds how long Run waits for the next request; zero waits
-	// forever (until the socket closes).
-	Idle time.Duration
-
-	conn net.PacketConn
-
-	mu      sync.Mutex
-	served  int
-	lastErr error
-}
-
-// NewServer wraps a socket in a transfer server.
-func NewServer(conn net.PacketConn) *Server { return &Server{conn: conn} }
-
-// Served reports how many transfers completed successfully.
-func (s *Server) Served() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.served
-}
-
-// Run serves requests until the socket is closed (or Idle expires).
-// It returns nil on a clean close.
-func (s *Server) Run() error {
-	for {
-		if err := s.serveOne(); err != nil {
-			if core.IsTimeout(err) {
-				return nil // idle bound reached
-			}
-			if errors.Is(err, net.ErrClosed) {
-				return nil
-			}
-			return err
-		}
-	}
-}
-
-// serveOne accepts and completes a single transfer.
-func (s *Server) serveOne() error {
-	e := NewEndpoint(s.conn, nil)
-	e.LockPeer = true
-	e.LearnReqOnly = true
-	idle := time.Duration(-1)
-	if s.Idle > 0 {
-		idle = s.Idle
-	}
-	cfg, err := core.ServeOnce(e, idle, func(r wire.Req) (core.Config, bool) {
-		c := core.ConfigOf(0, r)
-		// Wall-clock linger/idle bounds: the simulation defaults are sized
-		// for free virtual time and would stall a serial server between
-		// clients.
-		c.Linger = 2*c.RetransTimeout + 100*time.Millisecond
-		c.ReceiverIdle = 8*c.RetransTimeout + 2*time.Second
-		if r.Push {
-			if s.Sink == nil {
-				return core.Config{}, false
-			}
-			return c, true
-		}
-		if s.Data == nil {
-			return core.Config{}, false
-		}
-		payload, ok := s.Data(r)
-		if !ok || len(payload) != c.Bytes {
-			return core.Config{}, false
-		}
-		c.Payload = payload
-		return c, true
-	})
-	if err != nil {
-		return err
-	}
-	if cfg.Payload == nil {
-		// Push: receive the transfer.
-		res, err := core.AcceptPush(e, cfg)
-		if err != nil {
-			return fmt.Errorf("udplan: accepting push: %w", err)
-		}
-		if s.Sink != nil {
-			s.Sink(core.ReqOf(cfg, true), res.Data)
-		}
-	} else {
-		if _, err := core.RunSender(e, cfg); err != nil {
-			return fmt.Errorf("udplan: serving pull: %w", err)
-		}
-	}
-	s.mu.Lock()
-	s.served++
-	s.mu.Unlock()
-	return nil
 }

@@ -1,0 +1,36 @@
+package wire
+
+// SumAcc accumulates the Internet checksum of a byte stream delivered as
+// chunks in any order — the running "overall software checksum" a streaming
+// receiver keeps so a multi-gigabyte transfer never has to be buffered whole.
+//
+// The RFC 1071 one's-complement sum is commutative and associative over
+// 16-bit words, so a chunk's contribution depends only on its bytes and the
+// parity of its byte offset in the stream: a chunk starting at an odd offset
+// contributes its standalone sum with the two bytes of every word swapped
+// (the classic byte-order/alignment identity). AddAt exploits that, which is
+// what lets a blast receiver — whose packets arrive in any order — fold each
+// chunk in as it lands. Chunks must tile the stream exactly once; Sum16 then
+// equals Checksum over the concatenated bytes.
+//
+// The zero value is ready to use.
+type SumAcc struct {
+	sum uint64
+}
+
+// AddAt folds in one chunk of the stream located at byte offset off.
+func (a *SumAcc) AddAt(off int, b []byte) {
+	s := fold16(sumWords(b))
+	if off&1 == 1 {
+		s = s<<8 | s>>8 // odd offset: every byte swaps word halves
+	}
+	a.sum += uint64(s)
+}
+
+// Sum16 returns the Internet checksum of the stream accumulated so far.
+func (a *SumAcc) Sum16() uint16 {
+	return ^fold16(a.sum)
+}
+
+// Reset clears the accumulator for reuse.
+func (a *SumAcc) Reset() { a.sum = 0 }

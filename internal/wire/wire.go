@@ -83,9 +83,16 @@ const (
 	Version uint8 = 1
 	// HeaderSize is the encoded header length in bytes.
 	HeaderSize = 24
-	// MaxPayload bounds a packet's payload so that frames stay within the
-	// paper's 1536-byte maximum Ethernet packet (§2.1.2).
+	// MaxPayload is the payload that keeps a frame within the paper's
+	// 1536-byte maximum Ethernet packet (§2.1.2) — the default bound for
+	// standard-frame transfers (NAK bitmaps, the paper's experiments).
 	MaxPayload = 1536 - HeaderSize
+	// AbsMaxPayload is the codec's hard payload bound: the largest UDP/IPv4
+	// datagram (65507 bytes) minus the header. Transfers over jumbo-frame
+	// links may use chunk sizes between MaxPayload and this limit; the
+	// substrate validates the frame against its own MTU (see
+	// udplan.Endpoint.ValidateConfig).
+	AbsMaxPayload = 65507 - HeaderSize
 )
 
 // Codec errors.
@@ -162,8 +169,8 @@ func (p *Packet) Clone() *Packet {
 // has sufficient capacity the encode performs no allocation, so a reused
 // buffer (buf[:0]) makes the round trip allocation-free.
 func (p *Packet) Encode(dst []byte) ([]byte, error) {
-	if len(p.Payload) > MaxPayload {
-		return dst, fmt.Errorf("%w: %d > %d", ErrPayload, len(p.Payload), MaxPayload)
+	if len(p.Payload) > AbsMaxPayload {
+		return dst, fmt.Errorf("%w: %d > %d", ErrPayload, len(p.Payload), AbsMaxPayload)
 	}
 	off := len(dst)
 	need := HeaderSize + len(p.Payload)
@@ -172,23 +179,44 @@ func (p *Packet) Encode(dst []byte) ([]byte, error) {
 	} else {
 		dst = append(dst, make([]byte, need)...)
 	}
-	h := dst[off:]
-	binary.BigEndian.PutUint16(h[0:2], Magic)
-	h[2] = Version
-	h[3] = uint8(p.Type)
-	h[4] = p.Flags
-	h[5] = p.Attempt
-	binary.BigEndian.PutUint32(h[6:10], p.Trans)
-	binary.BigEndian.PutUint32(h[10:14], p.Seq)
-	binary.BigEndian.PutUint32(h[14:18], p.Total)
-	binary.BigEndian.PutUint16(h[18:20], uint16(len(p.Payload)))
-	// h[20:22] checksum, filled below; h[22:24] reserved (zero). Cleared
-	// explicitly: a reused buffer carries stale bytes.
-	h[20], h[21], h[22], h[23] = 0, 0, 0, 0
-	copy(h[HeaderSize:], p.Payload)
-	sum := Checksum(dst[off:])
-	binary.BigEndian.PutUint16(h[20:22], sum)
+	p.encodeTo(dst[off:])
 	return dst, nil
+}
+
+// EncodeInto encodes the packet at the start of buf — a fixed, caller-owned
+// frame slot — and returns the encoded length. It performs no allocation,
+// which is what lets a batched sender encode an entire blast window into a
+// reusable frame ring. buf shorter than the encoded packet is an ErrShort.
+func (p *Packet) EncodeInto(buf []byte) (int, error) {
+	if len(p.Payload) > AbsMaxPayload {
+		return 0, fmt.Errorf("%w: %d > %d", ErrPayload, len(p.Payload), AbsMaxPayload)
+	}
+	need := HeaderSize + len(p.Payload)
+	if len(buf) < need {
+		return 0, fmt.Errorf("%w: frame needs %d bytes, slot has %d", ErrShort, need, len(buf))
+	}
+	p.encodeTo(buf[:need])
+	return need, nil
+}
+
+// encodeTo fills b (whose length is exactly header+payload) with the encoded
+// packet, checksum included.
+func (p *Packet) encodeTo(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], Magic)
+	b[2] = Version
+	b[3] = uint8(p.Type)
+	b[4] = p.Flags
+	b[5] = p.Attempt
+	binary.BigEndian.PutUint32(b[6:10], p.Trans)
+	binary.BigEndian.PutUint32(b[10:14], p.Seq)
+	binary.BigEndian.PutUint32(b[14:18], p.Total)
+	binary.BigEndian.PutUint16(b[18:20], uint16(len(p.Payload)))
+	// b[20:22] checksum, filled below; b[22:24] reserved (zero). Cleared
+	// explicitly: a reused buffer carries stale bytes.
+	b[20], b[21], b[22], b[23] = 0, 0, 0, 0
+	copy(b[HeaderSize:], p.Payload)
+	sum := Checksum(b)
+	binary.BigEndian.PutUint16(b[20:22], sum)
 }
 
 // DecodeInto parses one packet from buf into p, overwriting every field. buf
@@ -261,19 +289,26 @@ func Checksum(b []byte) uint16 {
 }
 
 // sumWords accumulates b as big-endian 16-bit words (a trailing odd byte is
-// padded with zero), unrolled four words per iteration. The uint64
-// accumulator cannot overflow for any buffer shorter than 2^48 bytes, so
-// folding is deferred to the very end.
+// padded with zero). The hot loop loads 32-bit words — each carrying two
+// 16-bit digits whose positional weight 2^16 ≡ 1 (mod 2^16−1), so the mixed
+// accumulator folds to the same one's-complement sum — halving the memory
+// operations of a plain 16-bit loop. The uint64 accumulator cannot overflow
+// for any buffer shorter than 2^32 bytes, so folding is deferred to the
+// very end.
 func sumWords(b []byte) uint64 {
 	var sum uint64
-	for len(b) >= 8 {
-		sum += uint64(binary.BigEndian.Uint16(b)) +
-			uint64(binary.BigEndian.Uint16(b[2:])) +
-			uint64(binary.BigEndian.Uint16(b[4:])) +
-			uint64(binary.BigEndian.Uint16(b[6:]))
-		b = b[8:]
+	for len(b) >= 16 {
+		sum += uint64(binary.BigEndian.Uint32(b)) +
+			uint64(binary.BigEndian.Uint32(b[4:])) +
+			uint64(binary.BigEndian.Uint32(b[8:])) +
+			uint64(binary.BigEndian.Uint32(b[12:]))
+		b = b[16:]
 	}
-	for len(b) >= 2 {
+	for len(b) >= 4 {
+		sum += uint64(binary.BigEndian.Uint32(b))
+		b = b[4:]
+	}
+	if len(b) >= 2 {
 		sum += uint64(binary.BigEndian.Uint16(b))
 		b = b[2:]
 	}

@@ -136,9 +136,16 @@ func TestDecodeErrors(t *testing.T) {
 		}
 	})
 	t.Run("payload-too-large", func(t *testing.T) {
-		big := &Packet{Type: TypeData, Payload: make([]byte, MaxPayload+1)}
+		// Jumbo-frame payloads beyond the paper's MaxPayload are legal (the
+		// substrate MTU check gates them); the codec's hard bound is the
+		// largest UDP datagram.
+		big := &Packet{Type: TypeData, Payload: make([]byte, AbsMaxPayload+1)}
 		if _, err := big.Encode(nil); !errors.Is(err, ErrPayload) {
 			t.Errorf("got %v", err)
+		}
+		jumbo := &Packet{Type: TypeData, Payload: make([]byte, MaxPayload+1)}
+		if _, err := jumbo.Encode(nil); err != nil {
+			t.Errorf("jumbo payload rejected: %v", err)
 		}
 	})
 }
