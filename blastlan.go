@@ -227,6 +227,22 @@ func PushUDP(e *UDPEndpoint, cfg Config) (SendResult, error) { return udplan.Pus
 // PullUDP requests the configured transfer from the peer.
 func PullUDP(e *UDPEndpoint, cfg Config) (RecvResult, error) { return udplan.Pull(e, cfg) }
 
+// Striped transfers: one logical pull fanned out across parallel stripe
+// sessions, reassembled by offset (set cfg.Adaptive for AIMD rate control
+// per stripe).
+type (
+	// StripeOptions configures the fan-out of a striped pull.
+	StripeOptions = udplan.StripeOptions
+	// StripedResult reports a striped pull, with the per-stripe feed.
+	StripedResult = udplan.StripedResult
+)
+
+// PullUDPStriped requests the logical transfer from the daemon at addr as
+// parallel stripe sessions and reassembles the result.
+func PullUDPStriped(addr string, cfg Config, opts StripeOptions) (StripedResult, error) {
+	return udplan.PullStriped(addr, cfg, opts)
+}
+
 // TransferChecksum is the whole-transfer software checksum (§4).
 func TransferChecksum(data []byte) uint16 { return core.TransferChecksum(data) }
 

@@ -1,0 +1,99 @@
+// Command benchgate is CI's perf-regression gate: it compares a freshly
+// measured lanbench -benchjson snapshot against a committed throughput
+// floor and fails (exit 1) when any gated benchmark falls below its
+// minimum. The floor file lists only the benchmarks worth gating; a gated
+// name missing from the snapshot is itself a failure, so a renamed or
+// silently dropped benchmark cannot sneak past the gate.
+//
+//	benchgate -got BENCH_udp_ci.json -floor ci/bench_floor.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// snapshot mirrors the lanbench -benchjson schema (the fields the gate
+// needs).
+type snapshot struct {
+	GoVersion  string `json:"go_version"`
+	Benchmarks []struct {
+		Name string  `json:"name"`
+		MBps float64 `json:"mbps"`
+	} `json:"benchmarks"`
+}
+
+// floorFile is the committed gate: a note documenting how the floors were
+// derived, and the minimum MB/s per gated benchmark.
+type floorFile struct {
+	Note    string             `json:"note"`
+	MinMBps map[string]float64 `json:"min_mbps"`
+}
+
+func main() {
+	got := flag.String("got", "", "freshly measured lanbench -benchjson snapshot")
+	floorPath := flag.String("floor", "ci/bench_floor.json", "committed throughput floor")
+	flag.Parse()
+	if *got == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -got is required")
+		os.Exit(2)
+	}
+	snap, err := readJSON[snapshot](*got)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	floor, err := readJSON[floorFile](*floorPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+
+	measured := make(map[string]float64, len(snap.Benchmarks))
+	for _, b := range snap.Benchmarks {
+		measured[b.Name] = b.MBps
+	}
+
+	names := make([]string, 0, len(floor.MinMBps))
+	for name := range floor.MinMBps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	fmt.Printf("%-28s %10s %10s  verdict\n", "benchmark", "MB/s", "floor")
+	for _, name := range names {
+		min := floor.MinMBps[name]
+		mbps, ok := measured[name]
+		switch {
+		case !ok:
+			failed = true
+			fmt.Printf("%-28s %10s %10.1f  MISSING from snapshot\n", name, "-", min)
+		case mbps < min:
+			failed = true
+			fmt.Printf("%-28s %10.1f %10.1f  REGRESSION\n", name, mbps, min)
+		default:
+			fmt.Printf("%-28s %10.1f %10.1f  ok\n", name, mbps, min)
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchgate: throughput regression against %s (%s)\n", *floorPath, floor.Note)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: all gated benchmarks at or above their floors")
+}
+
+func readJSON[T any](path string) (T, error) {
+	var v T
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return v, err
+	}
+	if err := json.Unmarshal(data, &v); err != nil {
+		return v, fmt.Errorf("%s: %w", path, err)
+	}
+	return v, nil
+}

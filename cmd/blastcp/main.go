@@ -7,6 +7,8 @@
 //	blastcp -to 127.0.0.1:7025 -pull 1048576 -window 64 -strategy selective
 //	blastcp -to 127.0.0.1:7025 -pull 67108864 -window 128 -batch 32  # batched syscalls
 //	blastcp -to 127.0.0.1:7025 -pull 1048576 -chunk 8000 -mtu 9000   # jumbo frames
+//	blastcp -to 127.0.0.1:7025 -pull 268435456 -streams 4            # striped parallel pull
+//	blastcp -to 127.0.0.1:7025 -pull 67108864 -adaptive              # AIMD rate control
 package main
 
 import (
@@ -17,7 +19,9 @@ import (
 	"time"
 
 	"blastlan/internal/core"
+	"blastlan/internal/params"
 	"blastlan/internal/udplan"
+	"blastlan/internal/wire"
 )
 
 var protocols = map[string]core.Protocol{
@@ -48,6 +52,8 @@ func main() {
 		batch     = flag.Int("batch", 32, "syscall batch size (sendmmsg/recvmmsg frame rings; 1 = single-syscall)")
 		mtu       = flag.Int("mtu", 0, "max datagram size for jumbo chunks (0: default 2048)")
 		sockbuf   = flag.Int("sockbuf", 4<<20, "kernel socket buffer size (large windows overflow the default)")
+		streams   = flag.Int("streams", 1, "stripe a pull across this many parallel sessions")
+		adaptive  = flag.Bool("adaptive", false, "AIMD rate control: window/batch/pacing react to observed loss")
 		lossTx    = flag.Float64("drop-tx", 0, "inject outbound loss (testing)")
 		lossRx    = flag.Float64("drop-rx", 0, "inject inbound loss (testing)")
 	)
@@ -63,6 +69,58 @@ func main() {
 	}
 	if (*pushFile == "") == (*pullBytes == 0) {
 		log.Fatal("blastcp: exactly one of -push or -pull is required")
+	}
+	if *streams > 1 && *pushFile != "" {
+		log.Fatal("blastcp: -streams applies to pulls only")
+	}
+
+	cfg := core.Config{
+		TransferID:     uint32(*id),
+		ChunkSize:      *chunk,
+		Protocol:       proto,
+		Strategy:       strat,
+		Window:         *window,
+		Adaptive:       *adaptive,
+		RetransTimeout: *tr,
+		MaxAttempts:    100,
+		Linger:         2**tr + 100*time.Millisecond,
+		ReceiverIdle:   10 * time.Second,
+	}
+
+	if *streams > 1 {
+		// Striped pull: the fan-out dials its own endpoints, so the loss
+		// knobs install per-stripe hooks (independent seeds per stripe).
+		cfg.Bytes = *pullBytes
+		opts := udplan.StripeOptions{
+			Streams:   *streams,
+			Batch:     *batch,
+			MTU:       *mtu,
+			SocketBuf: *sockbuf,
+			PacketGap: *gap,
+		}
+		if *lossTx > 0 {
+			opts.MangleTx = func(i int) func(*wire.Packet) params.Mangle {
+				return udplan.SeededDrop(*lossTx, int64(1+2*i))
+			}
+		}
+		if *lossRx > 0 {
+			opts.MangleRx = func(i int) func(*wire.Packet) params.Mangle {
+				return udplan.SeededDrop(*lossRx, int64(2+2*i))
+			}
+		}
+		res, err := udplan.PullStriped(*to, cfg, opts)
+		if err != nil {
+			log.Fatalf("blastcp: striped pull: %v", err)
+		}
+		for _, s := range res.Stripes {
+			fmt.Printf("  stripe %d [%d,%d): %d packets (%d dups) in %v\n",
+				s.Stripe.Index, s.Stripe.Offset, s.Stripe.Offset+s.Stripe.Bytes,
+				s.Recv.DataPackets, s.Recv.Duplicates, s.Recv.Elapsed.Round(time.Microsecond))
+		}
+		fmt.Printf("pulled %d bytes over %d stripes in %v (%.2f MB/s), checksum %04x\n",
+			res.Bytes, len(res.Stripes), res.Elapsed.Round(time.Microsecond),
+			res.MBps(), res.Checksum)
+		return
 	}
 
 	e, err := udplan.Dial(*to)
@@ -85,18 +143,6 @@ func main() {
 	}
 	if *lossRx > 0 {
 		e.MangleRx = udplan.SeededDrop(*lossRx, 2)
-	}
-
-	cfg := core.Config{
-		TransferID:     uint32(*id),
-		ChunkSize:      *chunk,
-		Protocol:       proto,
-		Strategy:       strat,
-		Window:         *window,
-		RetransTimeout: *tr,
-		MaxAttempts:    100,
-		Linger:         2**tr + 100*time.Millisecond,
-		ReceiverIdle:   10 * time.Second,
 	}
 
 	if *pushFile != "" {

@@ -13,6 +13,13 @@
 // Pull requests are served deterministic pseudo-random data generated chunk
 // by chunk — a 1 GB pull never allocates a 1 GB buffer — with a running
 // whole-transfer checksum logged so blastcp can verify end to end.
+//
+// Striped pulls (blastcp -streams N) arrive as N concurrent sessions each
+// requesting a byte range of one logical stream; the daemon resolves each
+// range against the same generator, so the client's reassembly is
+// byte-identical to an unstriped pull. Requests carrying the adaptive bit
+// (blastcp -adaptive) are served with the AIMD rate/window controller
+// reacting to observed drops and NAKs instead of the fixed REQ parameters.
 package main
 
 import (
@@ -67,20 +74,28 @@ func main() {
 			verb, ts.Peer, ts.Bytes, ts.Elapsed, ts.MBps(), ts.Packets, ts.Retransmits)
 	}
 
-	// Pulls stream from a seeded chunk generator: deterministic per request
-	// size, so retransmissions regenerate identical bytes and the client
+	// Pulls stream from a seeded chunk generator: deterministic per logical
+	// stream, so retransmissions regenerate identical bytes and the client
 	// can verify the checksum without the daemon ever buffering the
-	// transfer. The running whole-transfer checksum is logged the first
-	// time the stream completes in order.
+	// transfer. A striped request (blastcp -streams) selects a
+	// chunk-aligned view into the stream named by its REQ — every stripe of
+	// one logical pull regenerates the same bytes at the same offsets, so
+	// the client's reassembly is byte-identical to an unstriped pull. The
+	// running checksum of the served range is logged the first time it
+	// completes in order.
 	srv.Source = func(r wire.Req) (core.ChunkSource, bool) {
 		if r.Bytes == 0 || r.Chunk == 0 {
 			return nil, false // degenerate request: the generator needs both
 		}
-		if int(r.Bytes) > *maxBytes {
-			log.Printf("blastd: rejecting %d-byte pull (limit %d)", r.Bytes, *maxBytes)
+		stream := int(r.StreamBytes())
+		if int(r.Bytes) > *maxBytes || stream > *maxBytes {
+			log.Printf("blastd: rejecting %d-byte pull of a %d-byte stream (limit %d)",
+				r.Bytes, stream, *maxBytes)
 			return nil, false
 		}
-		src := core.SeededSource(int64(r.Bytes), int(r.Bytes), int(r.Chunk))
+		src := core.OffsetSource(
+			core.SeededSource(int64(stream), stream, int(r.Chunk)),
+			int(r.OffsetChunks))
 		var acc wire.SumAcc
 		next, total := 0, int(r.Bytes+uint64(r.Chunk)-1)/int(r.Chunk)
 		return func(seq int, dst []byte) []byte {
@@ -88,7 +103,12 @@ func main() {
 			if seq == next { // fold each chunk into the running checksum once
 				acc.AddAt(seq*int(r.Chunk), b)
 				if next++; next == total {
-					log.Printf("blastd: streaming %d-byte pull, checksum %04x", r.Bytes, acc.Sum16())
+					if r.Total > 0 {
+						log.Printf("blastd: streaming stripe [%d,%d) of %d-byte pull, range checksum %04x",
+							r.Offset(), r.Offset()+r.Bytes, stream, acc.Sum16())
+					} else {
+						log.Printf("blastd: streaming %d-byte pull, checksum %04x", r.Bytes, acc.Sum16())
+					}
 				}
 			}
 			return b

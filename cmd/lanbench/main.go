@@ -43,7 +43,11 @@ func main() {
 		benchjson = flag.String("benchjson", "",
 			"write a machine-readable micro-benchmark snapshot (ns/op, allocs/op) to this file and exit")
 		udp = flag.Bool("udp", false,
-			"run the loopback UDP datapath throughput suite (batched vs single-syscall vs pre-batching legacy) instead of the paper experiments; writes -benchjson when set")
+			"run the loopback UDP datapath throughput suite (batched vs single-syscall vs pre-batching legacy, plus the striped streams×adaptive sweep) instead of the paper experiments; writes -benchjson when set")
+		streams = flag.Int("streams", 0,
+			"with -udp: restrict the striped sweep to this stream count (0: full {1,2,4,8} sweep plus the classic single-stream cases)")
+		adaptive = flag.Bool("adaptive", false,
+			"with -udp: restrict the striped sweep to adaptive rate control only")
 	)
 	flag.Parse()
 	if *format != "text" && *format != "csv" {
@@ -52,7 +56,7 @@ func main() {
 	}
 
 	if *udp {
-		if err := runUDPBench(*benchjson, *quick); err != nil {
+		if err := runUDPBench(*benchjson, *quick, *streams, *adaptive); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

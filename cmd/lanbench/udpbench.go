@@ -1,11 +1,14 @@
 package main
 
-// The -udp mode: loopback throughput benchmarks for the real-UDP datapath,
-// comparing the single-syscall path (batch=1), the sendmmsg/recvmmsg
-// batched path (batch=32), and a faithful emulation of the pre-batching
-// pipeline (serial server, whole payload materialised per pull, no
-// streaming) as the baseline. Results are archived as BENCH_3.json and the
-// EXPERIMENTS.md throughput table.
+// The -udp mode: loopback throughput benchmarks for the real-UDP datapath.
+// The classic suite compares the single-syscall path (batch=1), the
+// sendmmsg/recvmmsg batched path (batch=32), and a faithful emulation of
+// the pre-batching pipeline (serial server, whole payload materialised per
+// pull, no streaming) as the baseline — archived as BENCH_3.json and
+// guarded by CI's perf-regression gate (cmd/benchgate). The striped sweep
+// measures streams ∈ {1,2,4,8} × {fixed, adaptive} pulls against the
+// sharded server, on a clean loopback and under a 1% seeded drop adversary
+// — archived as BENCH_4.json and the EXPERIMENTS.md streams×adaptive table.
 
 import (
 	"fmt"
@@ -16,6 +19,7 @@ import (
 	"time"
 
 	"blastlan/internal/core"
+	"blastlan/internal/params"
 	"blastlan/internal/udplan"
 	"blastlan/internal/wire"
 )
@@ -95,44 +99,171 @@ func runUDPPull(c udpPullCase) (time.Duration, error) {
 // survives skb truesize accounting (see udplan.SetConnBuffers).
 func setSocketBufs(conn net.PacketConn) { udplan.SetConnBuffers(conn, udpSocketBuf) }
 
-// runUDPBench runs the loopback suite and writes BENCH-style JSON to path
-// (when non-empty), printing a human-readable table either way.
-func runUDPBench(path string, quick bool) error {
+// stripedCase is one streams×adaptive×network loopback measurement.
+type stripedCase struct {
+	name     string
+	bytes    int
+	streams  int
+	adaptive bool
+	drop     float64 // seeded per-stripe drop probability (0: clean)
+}
+
+// runStripedPull executes one striped pull against a sharded batched server
+// and returns the elapsed wall time.
+func runStripedPull(c stripedCase) (time.Duration, error) {
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	setSocketBufs(conn)
+	srv := udplan.NewServer(conn)
+	srv.Concurrency = c.streams + 1
+	srv.Batch = 32
+	srv.Source = func(r wire.Req) (core.ChunkSource, bool) {
+		stream := int(r.StreamBytes())
+		src := core.SeededSource(int64(stream), stream, int(r.Chunk))
+		return core.OffsetSource(src, int(r.OffsetChunks)), true
+	}
+	go srv.Run()
+
+	cfg := core.Config{
+		TransferID:     1,
+		Bytes:          c.bytes,
+		ChunkSize:      1000,
+		Protocol:       core.Blast,
+		Strategy:       core.Selective,
+		Window:         256,
+		Adaptive:       c.adaptive,
+		RetransTimeout: 250 * time.Millisecond,
+		MaxAttempts:    10000,
+		Linger:         50 * time.Millisecond,
+		ReceiverIdle:   10 * time.Second,
+	}
+	opts := udplan.StripeOptions{
+		Streams:   c.streams,
+		Batch:     64,
+		SocketBuf: 8 << 20,
+	}
+	if c.drop > 0 {
+		opts.Adversary = params.Adversary{Loss: params.LossModel{PNet: c.drop}}
+		opts.AdversarySeed = 1
+	}
+	t0 := time.Now()
+	res, err := udplan.PullStriped(conn.LocalAddr().String(), cfg, opts)
+	elapsed := time.Since(t0)
+	if err != nil {
+		return elapsed, err
+	}
+	if res.Bytes != c.bytes {
+		return elapsed, fmt.Errorf("striped pull delivered %d of %d bytes", res.Bytes, c.bytes)
+	}
+	return elapsed, nil
+}
+
+// measurePull runs one named pull case reps times and records the best
+// (minimum) elapsed time: wall-clock loopback runs jitter with scheduler
+// noise, and the minimum is the repeatable hardware-bound figure. The row
+// is printed and appended to the snapshot.
+func measurePull(snap *benchSnapshot, name string, bytes, reps int, run func() (time.Duration, error)) error {
+	best := time.Duration(0)
+	for i := 0; i < reps; i++ {
+		el, err := run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if best == 0 || el < best {
+			best = el
+		}
+	}
+	mbps := float64(bytes) / best.Seconds() / 1e6
+	fmt.Printf("%-32s %10.1f %12v\n", name, mbps, best.Round(time.Millisecond))
+	snap.Benchmarks = append(snap.Benchmarks, benchEntry{
+		Name:       name,
+		NsPerOp:    float64(best.Nanoseconds()),
+		BytesPerOp: int64(bytes),
+		MBps:       mbps,
+	})
+	return nil
+}
+
+// runUDPBench runs the loopback suites and writes BENCH-style JSON to path
+// (when non-empty), printing a human-readable table either way. streams > 0
+// restricts the striped sweep to that stream count and skips the classic
+// cases; adaptiveOnly restricts it to adaptive rate control.
+func runUDPBench(path string, quick bool, streams int, adaptiveOnly bool) error {
 	sizes := []int{1 << 20, 16 << 20, 64 << 20}
 	if quick {
 		sizes = []int{1 << 20, 4 << 20}
 	}
 	snap := benchSnapshot{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
-	fmt.Printf("%-28s %10s %12s\n", "case", "MB/s", "elapsed")
-	for _, size := range sizes {
-		mb := size >> 20
-		cases := []udpPullCase{
-			{fmt.Sprintf("udp_pull_%dmb_legacy", mb), size, 1, 128, true},
-			{fmt.Sprintf("udp_pull_%dmb_batch1", mb), size, 1, 128, false},
-			{fmt.Sprintf("udp_pull_%dmb_batch32", mb), size, 32, 128, false},
-		}
-		for _, c := range cases {
-			// Best of three: wall-clock loopback runs jitter with scheduler
-			// noise; the minimum is the repeatable hardware-bound figure.
-			best := time.Duration(0)
-			for i := 0; i < 3; i++ {
-				el, err := runUDPPull(c)
-				if err != nil {
-					return fmt.Errorf("%s: %w", c.name, err)
-				}
-				if best == 0 || el < best {
-					best = el
+	fmt.Printf("%-32s %10s %12s\n", "case", "MB/s", "elapsed")
+	if streams == 0 {
+		for _, size := range sizes {
+			mb := size >> 20
+			cases := []udpPullCase{
+				{fmt.Sprintf("udp_pull_%dmb_legacy", mb), size, 1, 128, true},
+				{fmt.Sprintf("udp_pull_%dmb_batch1", mb), size, 1, 128, false},
+				{fmt.Sprintf("udp_pull_%dmb_batch32", mb), size, 32, 128, false},
+			}
+			for _, c := range cases {
+				c := c
+				if err := measurePull(&snap, c.name, c.bytes, 3,
+					func() (time.Duration, error) { return runUDPPull(c) }); err != nil {
+					return err
 				}
 			}
-			mbps := float64(c.bytes) / best.Seconds() / 1e6
-			fmt.Printf("%-28s %10.1f %12v\n", c.name, mbps, best.Round(time.Millisecond))
-			snap.Benchmarks = append(snap.Benchmarks, benchEntry{
-				Name:       c.name,
-				NsPerOp:    float64(best.Nanoseconds()),
-				BytesPerOp: int64(c.bytes),
-				MBps:       mbps,
-			})
 		}
+	}
+
+	// The striped streams×adaptive sweep, clean and under 1% seeded drop.
+	cleanSize, lossySize := 64<<20, 16<<20
+	if quick {
+		cleanSize, lossySize = 8<<20, 2<<20
+	}
+	streamCounts := []int{1, 2, 4, 8}
+	if streams > 0 {
+		streamCounts = []int{streams}
+	}
+	modes := []bool{false, true}
+	if adaptiveOnly {
+		modes = []bool{true}
+	}
+	for _, nets := range []struct {
+		suffix string
+		size   int
+		drop   float64
+		reps   int
+	}{
+		{"", cleanSize, 0, 5},
+		{"_drop1", lossySize, 0.01, 3},
+	} {
+		for _, s := range streamCounts {
+			for _, adaptive := range modes {
+				mode := ""
+				if adaptive {
+					mode = "_adaptive"
+				}
+				c := stripedCase{
+					name:     fmt.Sprintf("udp_stream%d%s_%dmb%s", s, mode, nets.size>>20, nets.suffix),
+					bytes:    nets.size,
+					streams:  s,
+					adaptive: adaptive,
+					drop:     nets.drop,
+				}
+				if err := measurePull(&snap, c.name, c.bytes, nets.reps,
+					func() (time.Duration, error) { return runStripedPull(c) }); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	if streams > 0 {
+		if path == "" {
+			return nil
+		}
+		return writeSnapshot(snap, path)
 	}
 
 	// Steady-state send-loop allocation check: the exact per-packet work of

@@ -1,0 +1,240 @@
+package core
+
+import "time"
+
+// Adaptive blast rate control (Config.Adaptive).
+//
+// The paper fixes every transfer parameter — window, batch, retransmission
+// interval — at connection setup, which is exactly right for its matched
+// pair of otherwise-idle machines and exactly wrong for a shared network
+// whose loss and latency the sender cannot know in advance. Heuristic
+// protocol tuning for high-throughput transfers (Arslan & Kosar) adjusts
+// the winning parameters from observed loss instead; this controller does
+// the same for the blast engine with the classic AIMD discipline:
+//
+//   - a clean window (no retransmissions, NAKs or timeouts) grows the next
+//     window: doubled while in the initial slow-start, by Increment packets
+//     afterwards, up to MaxWindow;
+//   - a window that needed NAK-driven recovery is wire loss the strategy
+//     already repaired cheaply — one prompt response round, bounded resend
+//     — so the decrease is the gentle multiplicative cut to 3/4 (enough to
+//     bound go-back-n waste per future loss without starving the pipe on a
+//     path with steady random loss);
+//   - a window that needed a silent-timeout retransmission is the expensive
+//     signal — the receiver (or the return path) went dark — so the window
+//     quarters AND the inter-packet pacing gap backs off multiplicatively,
+//     spacing future frames out in time as well as in number.
+//
+// The controller is a pure, substrate-independent function of its
+// observation sequence: the same NAK/retransmit/timeout events produce the
+// same window trajectory on the simulator, the V kernel and real UDP, which
+// is what lets the cross-substrate conformance suite pin adaptive transfers
+// too. Substrate-specific actuation (pacing sleeps, syscall batch rings) is
+// applied through the optional Pacer and BatchLimiter interfaces; substrates
+// without them simply get the window adjustments.
+//
+// Adaptive mode also subsumes Config.AdaptiveTr: response timing is learned
+// online with the Jacobson/Karn estimator (rto.go), seeded by
+// RetransTimeout. A fixed 250 ms Tr turns every lost last-packet or ack
+// into a quarter-second stall; the estimator converges to the real response
+// time and makes those stalls proportionate.
+
+// ControllerConfig parameterises the AIMD controller. The zero value takes
+// the defaults documented per field.
+type ControllerConfig struct {
+	// InitWindow is the first window size in packets (default 32).
+	InitWindow int
+	// MinWindow floors multiplicative decrease (default 16: below that the
+	// per-window response round trip dominates and throughput collapses
+	// from the other side).
+	MinWindow int
+	// MaxWindow caps growth (default 512).
+	MaxWindow int
+	// Increment is the additive increase per clean window once slow-start
+	// has ended (default 16).
+	Increment int
+	// MaxBatch caps the syscall-batch recommendation (default 32). The
+	// recommendation follows the window down so a shrunken window is not
+	// burst out of an oversized ring.
+	MaxBatch int
+	// GapStep is the pacing increment added on a timeout window
+	// (default 5µs).
+	GapStep time.Duration
+	// MaxGap caps the inter-packet pacing gap (default 100µs).
+	MaxGap time.Duration
+	// MinGap floors the pacing gap (default 0: clean paths run at line
+	// rate). The adaptive sender seeds it with the substrate's
+	// pre-configured gap, so a deliberately paced endpoint never runs
+	// faster than its operator configured.
+	MinGap time.Duration
+}
+
+func (c ControllerConfig) withDefaults() ControllerConfig {
+	if c.InitWindow <= 0 {
+		c.InitWindow = 32
+	}
+	if c.MinWindow <= 0 {
+		c.MinWindow = 16
+	}
+	if c.MaxWindow <= 0 {
+		c.MaxWindow = 512
+	}
+	if c.Increment <= 0 {
+		c.Increment = 16
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.GapStep <= 0 {
+		c.GapStep = 5 * time.Microsecond
+	}
+	if c.MaxGap <= 0 {
+		c.MaxGap = 100 * time.Microsecond
+	}
+	if c.MinWindow > c.MaxWindow {
+		c.MinWindow = c.MaxWindow
+	}
+	if c.InitWindow < c.MinWindow {
+		c.InitWindow = c.MinWindow
+	}
+	if c.InitWindow > c.MaxWindow {
+		c.InitWindow = c.MaxWindow
+	}
+	if c.MinGap < 0 {
+		c.MinGap = 0
+	}
+	if c.MaxGap < c.MinGap {
+		c.MaxGap = c.MinGap
+	}
+	return c
+}
+
+// WindowObs is what the sender observed driving one blast window to
+// completion. The decision rules read only the recovery counters; Packets
+// records the window size for context (diagnostics, future rate-based
+// rules) and does not influence the verdict.
+type WindowObs struct {
+	Packets     int // first-transmission packets in the window (informational)
+	Retransmits int // data packets re-sent recovering it
+	Naks        int // negative acknowledgements received
+	Timeouts    int // silent Tr expiries
+}
+
+// lossy reports whether the window needed any recovery at all.
+func (o WindowObs) lossy() bool {
+	return o.Retransmits > 0 || o.Naks > 0 || o.Timeouts > 0
+}
+
+// ControllerStats summarises one transfer's controller trajectory — the
+// per-stripe stats feed surfaced in SendResult.
+type ControllerStats struct {
+	Windows     int           // windows driven
+	Growths     int           // clean windows (window grew)
+	Cuts        int           // lossy windows (window shrank)
+	TimeoutCuts int           // of Cuts, those triggered by a silent timeout
+	FinalWindow int           // window size after the last observation
+	FinalGap    time.Duration // pacing gap after the last observation
+}
+
+// Controller is the AIMD state machine. It is used from the sender's
+// goroutine only, like everything else in a protocol engine.
+type Controller struct {
+	cfg       ControllerConfig
+	win       int
+	gap       time.Duration
+	slowStart bool
+	stats     ControllerStats
+}
+
+// NewController builds a controller in slow-start at cfg.InitWindow,
+// pacing at cfg.MinGap.
+func NewController(cfg ControllerConfig) *Controller {
+	cfg = cfg.withDefaults()
+	c := &Controller{cfg: cfg, win: cfg.InitWindow, gap: cfg.MinGap, slowStart: true}
+	c.stats.FinalWindow = c.win
+	c.stats.FinalGap = c.gap
+	return c
+}
+
+// Window returns the size of the next blast window, in packets.
+func (c *Controller) Window() int { return c.win }
+
+// Gap returns the current inter-packet pacing gap (zero on a clean path).
+func (c *Controller) Gap() time.Duration { return c.gap }
+
+// Batch returns the recommended syscall batch size: the window itself,
+// capped at MaxBatch — a shrunken window should not be burst onto the wire
+// through a ring sized for the clean-path window.
+func (c *Controller) Batch() int {
+	if c.win < c.cfg.MaxBatch {
+		return c.win
+	}
+	return c.cfg.MaxBatch
+}
+
+// Observe folds in one completed window and adjusts the next window, the
+// pacing gap and the batch recommendation per the AIMD rules.
+func (c *Controller) Observe(o WindowObs) {
+	c.stats.Windows++
+	if !o.lossy() {
+		if c.slowStart {
+			c.win *= 2
+		} else {
+			c.win += c.cfg.Increment
+		}
+		if c.win > c.cfg.MaxWindow {
+			c.win = c.cfg.MaxWindow
+		}
+		// Decay pacing back toward the configured floor (line rate when
+		// none was set).
+		c.gap /= 2
+		if c.gap < c.cfg.MinGap {
+			c.gap = c.cfg.MinGap
+		}
+		c.stats.Growths++
+	} else {
+		if o.Timeouts > 0 {
+			c.win /= 4
+			c.gap = c.gap*2 + c.cfg.GapStep
+			if c.gap > c.cfg.MaxGap {
+				c.gap = c.cfg.MaxGap
+			}
+			c.stats.TimeoutCuts++
+		} else {
+			c.win = c.win * 3 / 4
+		}
+		if c.win < c.cfg.MinWindow {
+			c.win = c.cfg.MinWindow
+		}
+		c.slowStart = false
+		c.stats.Cuts++
+	}
+	c.stats.FinalWindow = c.win
+	c.stats.FinalGap = c.gap
+}
+
+// Stats returns the trajectory summary so far.
+func (c *Controller) Stats() ControllerStats { return c.stats }
+
+// Pacer is optionally implemented by substrates that can space data packets
+// on the wire (udplan.Endpoint sleeps between datagram writes). The
+// adaptive sender owns pacing while it runs — it updates the gap between
+// windows — and restores the gap it found (Gap at transfer start, e.g. a
+// user-configured pacing flag) when the transfer finishes.
+type Pacer interface {
+	Gap() time.Duration
+	SetPacketGap(d time.Duration)
+}
+
+// BatchLimiter is optionally implemented by substrates whose syscall
+// batching can be throttled mid-transfer without reallocating: the frame
+// ring keeps its configured size and only the queued-frames flush
+// threshold moves (n <= 1 flushes every frame). SetBatchLimit must not
+// strand queued traffic (flush anything beyond the new threshold). The
+// adaptive sender restores the original limit when the transfer finishes,
+// so one lossy transfer never ratchets an endpoint's configured batching
+// down for its successors.
+type BatchLimiter interface {
+	BatchLimit() int
+	SetBatchLimit(n int)
+}

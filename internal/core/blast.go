@@ -17,6 +17,9 @@ import (
 // interface with SendAsync so that a double-buffered interface overlaps the
 // copy of packet k+1 with the transmission of packet k.
 func sendBlast(env Env, c Config, async bool) (SendResult, error) {
+	if c.Adaptive {
+		return sendBlastAdaptive(env, c, async)
+	}
 	var res SendResult
 	start := env.Now()
 	n := c.NumPackets()
@@ -37,6 +40,81 @@ func sendBlast(env Env, c Config, async bool) (SendResult, error) {
 		}
 	}
 	res.Elapsed = env.Now() - start
+	return res, nil
+}
+
+// sendBlastAdaptive is the blast sender under AIMD rate control
+// (Config.Adaptive): each window's size comes from the controller, each
+// completed window's recovery cost feeds back into it, and the controller's
+// pacing and batch decisions are actuated on substrates that support them.
+// The receiver needs no changes — it judges windows by the high-water
+// FlagLast sequence, whatever their sizes.
+func sendBlastAdaptive(env Env, c Config, async bool) (SendResult, error) {
+	var res SendResult
+	start := env.Now()
+	n := c.NumPackets()
+	cc := ControllerConfig{InitWindow: c.Window}
+	limiter, _ := env.(BatchLimiter)
+	pacer, _ := env.(Pacer)
+	origLimit := 0
+	origGap := time.Duration(0)
+	if limiter != nil {
+		origLimit = limiter.BatchLimit()
+		cc.MaxBatch = origLimit
+	}
+	if pacer != nil {
+		// A pre-configured gap becomes the controller's pacing floor: the
+		// transfer never runs faster than its operator deliberately paced
+		// it, and the gap is restored verbatim afterwards.
+		origGap = pacer.Gap()
+		cc.MinGap = origGap
+	}
+	ctrl := NewController(cc)
+	// Adaptive mode subsumes AdaptiveTr: the fixed Tr only seeds the
+	// estimator (see adaptive.go).
+	c.AdaptiveTr = true
+	est := newRTO(c)
+	scratch := scratchPacket(env)
+	finish := func() {
+		res.Elapsed = env.Now() - start
+		st := ctrl.Stats()
+		res.Controller = &st
+		// The controller's actuations are scoped to this transfer: the
+		// substrate's configured batching and pacing come back, so a
+		// lossy transfer never ratchets the endpoint down for its
+		// successors (and a user-configured gap survives).
+		if limiter != nil {
+			limiter.SetBatchLimit(origLimit)
+		}
+		if pacer != nil {
+			pacer.SetPacketGap(origGap)
+		}
+	}
+	for base := 0; base < n; {
+		end := base + ctrl.Window()
+		if end > n {
+			end = n
+		}
+		before := res
+		if err := sendBlastWindow(env, c, &res, &est, scratch, base, end, n, async); err != nil {
+			finish()
+			return res, err
+		}
+		ctrl.Observe(WindowObs{
+			Packets:     end - base,
+			Retransmits: res.Retransmits - before.Retransmits,
+			Naks:        res.NaksReceived - before.NaksReceived,
+			Timeouts:    res.Timeouts - before.Timeouts,
+		})
+		if pacer != nil {
+			pacer.SetPacketGap(ctrl.Gap())
+		}
+		if limiter != nil && limiter.BatchLimit() != ctrl.Batch() {
+			limiter.SetBatchLimit(ctrl.Batch())
+		}
+		base = end
+	}
+	finish()
 	return res, nil
 }
 

@@ -124,6 +124,23 @@ type Config struct {
 	// a single blast. Ignored by StopAndWait and SlidingWindow.
 	Window int
 
+	// Adaptive drives a blast transfer with the AIMD rate/window controller
+	// (see adaptive.go) instead of the fixed Window: window size, syscall
+	// batch and pacing react to observed NAKs, retransmissions and
+	// timeouts, and the retransmission interval is learned online
+	// (AdaptiveTr is implied). Window, when set, seeds the controller's
+	// initial window. Ignored by StopAndWait and SlidingWindow.
+	Adaptive bool
+
+	// StripeOffset and StripeTotal identify this transfer as one stripe of
+	// a larger logical stream: the transfer's Bytes start StripeOffset
+	// bytes into a StripeTotal-byte stream. Both zero for a standalone
+	// transfer. StripeOffset must be chunk-aligned; the values ride the REQ
+	// so a serving side can address exactly the requested range (see
+	// stripe.go). They do not change the local engine's behaviour.
+	StripeOffset int
+	StripeTotal  int
+
 	// MaxAttempts bounds the number of transmission rounds (per window)
 	// before the sender gives up with ErrGiveUp. Defaults to 10000.
 	MaxAttempts int
@@ -218,6 +235,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.realMode() && c.ChunkSize > wire.AbsMaxPayload {
 		return c, fmt.Errorf("%w: ChunkSize %d exceeds wire.AbsMaxPayload %d", ErrBadConfig, c.ChunkSize, wire.AbsMaxPayload)
+	}
+	if err := c.validateStripe(); err != nil {
+		return c, err
 	}
 	if c.Source != nil {
 		c.srcBuf = make([]byte, c.ChunkSize)
@@ -343,6 +363,10 @@ type SendResult struct {
 	Timeouts     int           // Recv deadlines that expired
 	AcksReceived int
 	NaksReceived int
+
+	// Controller summarises the AIMD trajectory of an adaptive transfer
+	// (nil when Config.Adaptive was off) — the per-stripe stats feed.
+	Controller *ControllerStats
 }
 
 // RecvResult reports the receiver side of a transfer.

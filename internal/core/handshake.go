@@ -22,13 +22,16 @@ func ReqOf(c Config, push bool) wire.Req {
 		chunk = params.DataPacketSize
 	}
 	return wire.Req{
-		Bytes:    uint64(c.Bytes),
-		Chunk:    uint32(chunk),
-		Strategy: uint8(c.Strategy),
-		Protocol: uint8(c.Protocol),
-		Push:     push,
-		Window:   uint32(c.Window),
-		TrMicros: uint64(c.RetransTimeout / time.Microsecond),
+		Bytes:        uint64(c.Bytes),
+		Chunk:        uint32(chunk),
+		Strategy:     uint8(c.Strategy),
+		Protocol:     uint8(c.Protocol),
+		Push:         push,
+		Window:       uint32(c.Window),
+		TrMicros:     uint64(c.RetransTimeout / time.Microsecond),
+		Adaptive:     c.Adaptive,
+		OffsetChunks: uint32(c.StripeOffset / chunk),
+		Total:        uint64(c.StripeTotal),
 	}
 }
 
@@ -43,6 +46,9 @@ func ConfigOf(transferID uint32, r wire.Req) Config {
 		Strategy:       Strategy(r.Strategy),
 		Window:         int(r.Window),
 		RetransTimeout: time.Duration(r.TrMicros) * time.Microsecond,
+		Adaptive:       r.Adaptive,
+		StripeOffset:   int(r.Offset()),
+		StripeTotal:    int(r.Total),
 	}
 }
 

@@ -68,6 +68,32 @@ func (sc Scenario) Sample(workers int) (Stats, error) {
 	return SampleWorkers(sc.Config, sc.Options(), sc.Trials, workers)
 }
 
+// Stripes projects the scenario onto per-stripe scenarios: the transfer is
+// split into `streams` chunk-aligned byte ranges (core.PlanStripes), each
+// getting the narrowed config (Payload sliced to its range, distinct
+// TransferID, stripe coordinates set) and the per-stripe seed Seed+i — the
+// same seeding udplan.PullStriped applies to its per-endpoint adversaries.
+// Running each stripe scenario on two substrates and comparing is how the
+// conformance suite pins that a striped transfer behaves identically
+// everywhere.
+func (sc Scenario) Stripes(streams int) []Scenario {
+	sc = sc.withDefaults()
+	chunk := sc.Config.ChunkSize
+	if chunk == 0 {
+		chunk = params.DataPacketSize
+	}
+	plan := core.PlanStripes(sc.Config.Bytes, chunk, streams)
+	out := make([]Scenario, 0, len(plan))
+	for i, s := range plan {
+		ssc := sc
+		ssc.Name = fmt.Sprintf("%s/stripe%d", sc.Name, i)
+		ssc.Config = core.StripeConfig(sc.Config, s)
+		ssc.Seed = sc.Seed + int64(i)
+		out = append(out, ssc)
+	}
+	return out
+}
+
 // Counts is the substrate-independent projection of one transfer's protocol
 // counters — everything that must agree when the same scenario script runs
 // on the simulator, the V kernel and UDP loopback. Elapsed times are
@@ -154,6 +180,7 @@ func (sc Scenario) RunVKernel() (Outcome, error) {
 		Strategy:     sc.Config.Strategy,
 		Tr:           sc.Config.RetransTimeout,
 		Window:       sc.Config.Window,
+		Adaptive:     sc.Config.Adaptive,
 		Chunk:        sc.Config.ChunkSize,
 		MaxAttempts:  sc.Config.MaxAttempts,
 		Linger:       sc.Config.Linger,

@@ -23,7 +23,33 @@ type txBatch struct {
 	frames [][]byte // fixed slots, each cap = MTU
 	lens   []int
 	queued int
-	flush  func(frames [][]byte, lens []int, n int) error
+	// limit caps how many frames queue before an automatic flush; 0 (or
+	// anything ≥ len(frames)) means the full ring. The adaptive
+	// controller throttles batching through this instead of resizing the
+	// ring, so mid-transfer adjustments allocate nothing.
+	limit int
+	flush func(frames [][]byte, lens []int, n int) error
+}
+
+// flushAt returns the effective queue depth that triggers a flush.
+func (t *txBatch) flushAt() int {
+	if t.limit > 0 && t.limit < len(t.frames) {
+		return t.limit
+	}
+	return len(t.frames)
+}
+
+// setLimit adjusts the flush threshold; anything already queued beyond the
+// new threshold goes on the wire immediately (order preserved).
+func (t *txBatch) setLimit(n int) error {
+	if n < 1 {
+		n = 1
+	}
+	t.limit = n
+	if t.queued >= t.flushAt() {
+		return t.Flush()
+	}
+	return nil
 }
 
 // newTxBatch builds a ring of n MTU-sized slots over one backing array.
@@ -39,12 +65,12 @@ func newTxBatch(n, mtu int, flush func([][]byte, []int, int) error) *txBatch {
 // slot returns the current free frame slot to encode into.
 func (t *txBatch) slot() []byte { return t.frames[t.queued] }
 
-// commit finalises the current slot with n encoded bytes; a full ring
-// flushes immediately.
+// commit finalises the current slot with n encoded bytes; a ring at its
+// flush threshold flushes immediately.
 func (t *txBatch) commit(n int) error {
 	t.lens[t.queued] = n
 	t.queued++
-	if t.queued == len(t.frames) {
+	if t.queued >= t.flushAt() {
 		return t.Flush()
 	}
 	return nil

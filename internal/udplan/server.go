@@ -418,6 +418,7 @@ type sessionEnv struct {
 	wbuf  []byte
 	tx    *txBatch
 	ms    mmsgSender
+	gap   time.Duration // adaptive pacing between data packets (core.Pacer)
 }
 
 func newSessionEnv(conn net.PacketConn, raw syscall.RawConn, peer net.Addr, inbox chan dgram, pool *sync.Pool) *sessionEnv {
@@ -427,6 +428,31 @@ func newSessionEnv(conn net.PacketConn, raw syscall.RawConn, peer net.Addr, inbo
 	}
 	return &sessionEnv{conn: conn, raw: raw, peer: peer, inbox: inbox, pool: pool, start: time.Now(), timer: t}
 }
+
+// BatchLimit implements core.BatchLimiter.
+func (se *sessionEnv) BatchLimit() int {
+	if se.tx == nil {
+		return 1
+	}
+	return se.tx.flushAt()
+}
+
+// SetBatchLimit implements core.BatchLimiter: the session's flush
+// threshold follows the adaptive controller's window without reallocating
+// the ring. The demux loop owns the receive side; only transmit batching
+// is per-session.
+func (se *sessionEnv) SetBatchLimit(n int) {
+	if se.tx == nil {
+		return
+	}
+	se.tx.setLimit(n)
+}
+
+// SetPacketGap implements core.Pacer for the serving side of a pull.
+func (se *sessionEnv) SetPacketGap(d time.Duration) { se.gap = d }
+
+// Gap implements core.Pacer.
+func (se *sessionEnv) Gap() time.Duration { return se.gap }
 
 // Now returns the wall-clock time since the session started.
 func (se *sessionEnv) Now() time.Duration { return time.Since(se.start) }
@@ -450,8 +476,24 @@ func (se *sessionEnv) flushFrames(frames [][]byte, lens []int, n int) error {
 	return flushFramesTo(se.raw, &se.ms, se.conn, se.peer, frames, lens, n)
 }
 
-// Send encodes and transmits one packet to the session's peer.
+// Send encodes and transmits one packet to the session's peer. A non-zero
+// pacing gap spaces data packets on the wire, exactly like
+// Endpoint.PacketGap (the frame is flushed before the sleep so the gap is
+// real spacing, not a queued burst).
 func (se *sessionEnv) Send(p *wire.Packet) error {
+	if err := se.send(p); err != nil {
+		return err
+	}
+	if se.gap > 0 && p.Type == wire.TypeData {
+		if err := se.FlushBatch(); err != nil {
+			return err
+		}
+		time.Sleep(se.gap)
+	}
+	return nil
+}
+
+func (se *sessionEnv) send(p *wire.Packet) error {
 	if se.tx != nil {
 		n, err := p.EncodeInto(se.tx.slot())
 		if err != nil {

@@ -1,0 +1,162 @@
+package udplan
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"blastlan/internal/core"
+	"blastlan/internal/params"
+	"blastlan/internal/wire"
+)
+
+// Striped transfers: one logical pull split into contiguous chunk-aligned
+// byte ranges (core.PlanStripes), each moved by its own endpoint — its own
+// socket, so the sharded server demultiplexes each stripe into its own
+// session — running concurrently. Per-stripe ack round trips overlap, which
+// is what lets a single large transfer saturate a link the way GridFTP-style
+// parallel streams do. Reassembly is by offset through a core.StripeMerger;
+// the whole-stream checksum comes out of the per-stripe accumulators with no
+// cross-stripe synchronisation during the transfer.
+
+// StripeOptions configures the fan-out of a striped pull.
+type StripeOptions struct {
+	// Streams is the number of parallel stripe sessions (default 4).
+	Streams int
+	// Batch is the per-endpoint syscall batch size (<= 1: single-syscall).
+	Batch int
+	// MTU overrides each endpoint's maximum datagram size (0: default).
+	MTU int
+	// SocketBuf, when positive, raises each endpoint's kernel buffers.
+	SocketBuf int
+	// PacketGap paces each stripe's data packets (see Endpoint.PacketGap).
+	PacketGap time.Duration
+	// Sink, when non-nil, receives every distinct chunk at its
+	// logical-stream offset. Stripes deliver concurrently; calls are
+	// serialised. When nil the transfer is checksummed and discarded.
+	Sink core.ChunkSink
+	// Adversary, when active, installs the seeded hostile-network model on
+	// both directions of every stripe endpoint — stripe i is seeded
+	// AdversarySeed+i, so one scenario definition reproduces exactly
+	// (testing; see params.Adversary).
+	Adversary     params.Adversary
+	AdversarySeed int64
+	// MangleTx and MangleRx, when non-nil, build directional per-stripe
+	// mangle hooks: stripe i's endpoint gets MangleTx(i)/MangleRx(i)
+	// (seeded loss injection, scripted scenarios — blastcp's
+	// -drop-tx/-drop-rx). Installed after Adversary, so a directional hook
+	// overrides that direction.
+	MangleTx func(stripe int) func(*wire.Packet) params.Mangle
+	MangleRx func(stripe int) func(*wire.Packet) params.Mangle
+}
+
+// StripeOutcome is one stripe session's result.
+type StripeOutcome struct {
+	Stripe core.Stripe
+	Recv   core.RecvResult
+	Err    error
+}
+
+// StripedResult reports a striped pull: merged whole-transfer progress plus
+// the per-stripe feed.
+type StripedResult struct {
+	Bytes    int           // distinct payload bytes delivered across all stripes
+	Checksum uint16        // whole-stream Internet checksum (== core.TransferChecksum)
+	Elapsed  time.Duration // fan-out start to last stripe completion
+	Stripes  []StripeOutcome
+}
+
+// MBps returns the logical transfer's application-level throughput.
+func (r StripedResult) MBps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / r.Elapsed.Seconds() / 1e6
+}
+
+// PullStriped requests the logical transfer cfg describes (Bytes, ChunkSize,
+// Protocol, Strategy, Window, Adaptive, timeouts) from the daemon at addr as
+// opts.Streams concurrent stripe sessions and reassembles the result. The
+// server must resolve each stripe's REQ against the logical stream (see
+// wire.Req.Offset); the sharded udplan.Server does this whenever its
+// Source/Data handler honours the request's stripe fields. cfg.Sink and
+// cfg.Payload are ignored — delivery goes through opts.Sink.
+func PullStriped(addr string, cfg core.Config, opts StripeOptions) (StripedResult, error) {
+	chunk := cfg.ChunkSize
+	if chunk == 0 {
+		chunk = params.DataPacketSize
+	}
+	streams := opts.Streams
+	if streams <= 0 {
+		streams = 4
+	}
+	plan := core.PlanStripes(cfg.Bytes, chunk, streams)
+	if len(plan) == 0 {
+		return StripedResult{}, fmt.Errorf("udplan: nothing to stripe: %w", core.ErrBadConfig)
+	}
+	cfg.Payload, cfg.Source = nil, nil // pull side: bytes come off the wire
+
+	merger := core.NewStripeMerger(opts.Sink)
+	outs := make([]StripeOutcome, len(plan))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, s := range plan {
+		scfg := core.StripeConfig(cfg, s)
+		scfg.Sink = merger.StripeSink(s)
+		outs[i].Stripe = s
+		wg.Add(1)
+		go func(i int, scfg core.Config) {
+			defer wg.Done()
+			outs[i].Err = pullStripe(addr, scfg, opts, i, &outs[i].Recv)
+		}(i, scfg)
+	}
+	wg.Wait()
+	res := StripedResult{Elapsed: time.Since(start), Stripes: outs}
+	sums := make([]uint16, len(plan))
+	for i := range outs {
+		res.Bytes += outs[i].Recv.Bytes
+		sums[i] = outs[i].Recv.Checksum
+	}
+	res.Checksum = core.MergeStripeChecksums(plan, sums)
+	for i := range outs {
+		if outs[i].Err != nil {
+			return res, fmt.Errorf("udplan: stripe %d of %d: %w", i, len(outs), outs[i].Err)
+		}
+	}
+	return res, nil
+}
+
+// pullStripe runs one stripe session on its own endpoint.
+func pullStripe(addr string, scfg core.Config, opts StripeOptions, i int, out *core.RecvResult) error {
+	e, err := Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+	if opts.MTU > 0 {
+		if err := e.SetMTU(opts.MTU); err != nil {
+			return err
+		}
+	}
+	if opts.SocketBuf > 0 {
+		e.SetSocketBuffers(opts.SocketBuf)
+	}
+	if opts.Batch > 1 {
+		e.SetBatch(opts.Batch)
+	}
+	e.PacketGap = opts.PacketGap
+	if opts.Adversary.Active() {
+		if err := e.SetAdversary(opts.Adversary, opts.AdversarySeed+int64(i)); err != nil {
+			return err
+		}
+	}
+	if opts.MangleTx != nil {
+		e.MangleTx = opts.MangleTx(i)
+	}
+	if opts.MangleRx != nil {
+		e.MangleRx = opts.MangleRx(i)
+	}
+	res, err := Pull(e, scfg)
+	*out = res
+	return err
+}

@@ -1,0 +1,266 @@
+package udplan
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"blastlan/internal/core"
+	"blastlan/internal/params"
+	"blastlan/internal/wire"
+)
+
+// stripedSource resolves a (possibly striped) pull request against the
+// deterministic seeded stream — the same resolution blastd performs: the
+// generator covers the whole logical stream (seeded by its length), and the
+// stripe's REQ selects a chunk-aligned view into it.
+func stripedSource(r wire.Req) (core.ChunkSource, bool) {
+	if r.Bytes == 0 || r.Chunk == 0 {
+		return nil, false
+	}
+	stream := int(r.StreamBytes())
+	src := core.SeededSource(int64(stream), stream, int(r.Chunk))
+	return core.OffsetSource(src, int(r.OffsetChunks)), true
+}
+
+// stripedLoopbackServer starts a sharded batched server resolving striped
+// seeded pulls.
+func stripedLoopbackServer(t *testing.T, concurrency int) string {
+	t.Helper()
+	srv, addr := newLoopbackServer(t)
+	srv.Concurrency = concurrency
+	srv.Batch = 8
+	srv.Source = stripedSource
+	go srv.Run()
+	return addr
+}
+
+// logicalCfg is the transfer contract for a striped-pull test.
+func logicalCfg(total int) core.Config {
+	return core.Config{
+		TransferID:     100,
+		Bytes:          total,
+		ChunkSize:      1000,
+		Protocol:       core.Blast,
+		Strategy:       core.GoBackN,
+		Window:         64,
+		RetransTimeout: 150 * time.Millisecond,
+		MaxAttempts:    200,
+		Linger:         100 * time.Millisecond,
+		ReceiverIdle:   5 * time.Second,
+	}
+}
+
+// A striped pull must reassemble byte-identically to the unstriped stream
+// and to a streams=1 pull of the same contract.
+func TestStripedPullReassembles(t *testing.T) {
+	const total = 2 << 20
+	addr := stripedLoopbackServer(t, 8)
+	want := core.SeededPayload(int64(total), total, 1000)
+
+	pull := func(streams int) ([]byte, StripedResult) {
+		out := make([]byte, total)
+		res, err := PullStriped(addr, logicalCfg(total), StripeOptions{
+			Streams: streams,
+			Batch:   8,
+			Sink:    func(off int, b []byte) { copy(out[off:], b) },
+		})
+		if err != nil {
+			t.Fatalf("streams=%d: %v", streams, err)
+		}
+		return out, res
+	}
+
+	got4, res4 := pull(4)
+	if len(res4.Stripes) != 4 {
+		t.Fatalf("stripes = %d, want 4", len(res4.Stripes))
+	}
+	if !bytes.Equal(got4, want) {
+		t.Fatal("streams=4 payload differs from the logical stream")
+	}
+	got1, res1 := pull(1)
+	if !bytes.Equal(got1, got4) {
+		t.Fatal("streams=1 and streams=4 reassemble differently")
+	}
+	wantSum := core.TransferChecksum(want)
+	if res4.Checksum != wantSum || res1.Checksum != wantSum {
+		t.Errorf("checksums %04x/%04x, want %04x", res4.Checksum, res1.Checksum, wantSum)
+	}
+	if res4.Bytes != total || res1.Bytes != total {
+		t.Errorf("bytes %d/%d, want %d", res4.Bytes, res1.Bytes, total)
+	}
+	// Per-stripe feeds are populated and cover the plan.
+	covered := 0
+	for _, s := range res4.Stripes {
+		if !s.Recv.Completed {
+			t.Errorf("stripe %d incomplete", s.Stripe.Index)
+		}
+		covered += s.Recv.Bytes
+	}
+	if covered != total {
+		t.Errorf("stripe byte feeds cover %d of %d", covered, total)
+	}
+}
+
+// Striping must survive a hostile network: every stripe endpoint gets its
+// own seeded drop/reorder/dup adversary and the reassembled stream is still
+// byte-identical.
+func TestStripedPullUnderAdversary(t *testing.T) {
+	const total = 512 << 10
+	addr := stripedLoopbackServer(t, 8)
+	want := core.SeededPayload(int64(total), total, 1000)
+	out := make([]byte, total)
+	cfg := logicalCfg(total)
+	cfg.Window = 32
+	res, err := PullStriped(addr, cfg, StripeOptions{
+		Streams: 4,
+		Batch:   8,
+		Sink:    func(off int, b []byte) { copy(out[off:], b) },
+		Adversary: params.Adversary{
+			Loss:          params.LossModel{PNet: 0.01},
+			ReorderProb:   0.01,
+			DuplicateProb: 0.01,
+		},
+		AdversarySeed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, want) {
+		t.Fatal("adversarial striped pull corrupted the stream")
+	}
+	if res.Checksum != core.TransferChecksum(want) {
+		t.Errorf("checksum %04x", res.Checksum)
+	}
+}
+
+// Adaptive striped pull: the REQ's adaptive bit makes the serving side run
+// the AIMD controller; the transfer must still reassemble byte-identically,
+// with loss on every stripe.
+func TestStripedPullAdaptive(t *testing.T) {
+	const total = 1 << 20
+	addr := stripedLoopbackServer(t, 8)
+	want := core.SeededPayload(int64(total), total, 1000)
+	out := make([]byte, total)
+	cfg := logicalCfg(total)
+	cfg.Adaptive = true
+	res, err := PullStriped(addr, cfg, StripeOptions{
+		Streams:       4,
+		Batch:         8,
+		Sink:          func(off int, b []byte) { copy(out[off:], b) },
+		Adversary:     params.Adversary{Loss: params.LossModel{PNet: 0.01}},
+		AdversarySeed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, want) {
+		t.Fatal("adaptive striped pull corrupted the stream")
+	}
+	if res.Bytes != total {
+		t.Errorf("bytes %d", res.Bytes)
+	}
+}
+
+// The adaptive sender over a real endpoint pair: scripted first-transmission
+// drops must engage the controller (window cuts), actuate batching, and
+// still deliver the payload intact.
+func TestAdaptiveSenderControllerOverUDP(t *testing.T) {
+	ea, eb := pipe(t)
+	ea.SetBatch(16)
+	ea.PacketGap = 5 * time.Microsecond // user-configured pacing: must survive
+	payload := randomPayload(256<<10, 5)
+	cfg := loopCfg(9, payload, core.Blast, core.GoBackN)
+	cfg.Adaptive = true
+	cfg.Window = 32
+	// Drop a handful of identified first transmissions: NAK-driven
+	// recovery, deterministic on any substrate.
+	ea.MangleTx = func(p *wire.Packet) params.Mangle {
+		if p.Type == wire.TypeData && p.Attempt == 0 && p.Seq%50 == 3 && !p.IsLast() {
+			return params.Mangle{Drop: true}
+		}
+		return params.Mangle{}
+	}
+
+	rcfg := cfg
+	rcfg.Payload = nil
+	type out struct {
+		res core.RecvResult
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		r, err := core.RunReceiver(eb, rcfg)
+		done <- out{r, err}
+	}()
+	res, err := core.RunSender(ea, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro := <-done
+	if ro.err != nil {
+		t.Fatal(ro.err)
+	}
+	if !bytes.Equal(ro.res.Data, payload) {
+		t.Fatal("adaptive transfer corrupted")
+	}
+	st := res.Controller
+	if st == nil {
+		t.Fatal("adaptive sender reported no controller stats")
+	}
+	if st.Windows == 0 || st.Cuts == 0 {
+		t.Errorf("controller never engaged: %+v", *st)
+	}
+	if st.FinalWindow < 16 {
+		t.Errorf("final window %d below MinWindow", st.FinalWindow)
+	}
+	// The controller's actuations are scoped to the transfer: the
+	// endpoint's configured batching and pacing must come back, so a lossy
+	// adaptive transfer cannot ratchet the endpoint down for later ones.
+	if got := ea.BatchLimit(); got != 16 {
+		t.Errorf("batch limit after adaptive transfer = %d, want the configured 16", got)
+	}
+	if ea.PacketGap != 5*time.Microsecond {
+		t.Errorf("pacing gap %v after the transfer, want the configured 5µs restored", ea.PacketGap)
+	}
+}
+
+// The batch-limit actuation must throttle flushes without reallocating the
+// ring: a ring of 16 with limit 4 flushes every 4 commits, and raising the
+// limit back restores full-ring batching.
+func TestBatchLimitThrottlesWithoutRealloc(t *testing.T) {
+	flushes := 0
+	var sizes []int
+	tb := newTxBatch(16, 2048, func(_ [][]byte, _ []int, n int) error {
+		flushes++
+		sizes = append(sizes, n)
+		return nil
+	})
+	commit := func(k int) {
+		for i := 0; i < k; i++ {
+			copy(tb.slot(), []byte("frame"))
+			if err := tb.commit(5); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	tb.setLimit(4)
+	commit(8)
+	if flushes != 2 || sizes[0] != 4 || sizes[1] != 4 {
+		t.Fatalf("limit 4: %d flushes of %v, want 2×4", flushes, sizes)
+	}
+	// Lowering the limit below the queue depth flushes immediately.
+	commit(3)
+	if err := tb.setLimit(2); err != nil {
+		t.Fatal(err)
+	}
+	if flushes != 3 || sizes[2] != 3 {
+		t.Fatalf("shrink under queued frames: %d flushes of %v", flushes, sizes)
+	}
+	// Restoring a large limit goes back to full-ring batching.
+	tb.setLimit(64)
+	commit(16)
+	if flushes != 4 || sizes[3] != 16 {
+		t.Fatalf("restored limit: %d flushes of %v, want one full ring", flushes, sizes)
+	}
+}

@@ -191,7 +191,16 @@ func (e *Endpoint) SetSocketBuffers(bytes int) { SetConnBuffers(e.conn, bytes) }
 // recvmmsg. n <= 1 restores the single-syscall path. On platforms without
 // sendmmsg/recvmmsg the queue still forms and flushes as a WriteTo loop,
 // preserving semantics.
+//
+// SetBatch is a configuration call: make it before the transfer starts
+// (queued outbound frames are flushed first, but rebuilding the receive
+// ring discards any drained-but-undelivered datagrams — between transfers
+// that is nothing). Mid-transfer batch adaptation goes through
+// SetBatchLimit, which moves only the flush threshold.
 func (e *Endpoint) SetBatch(n int) {
+	if e.tx != nil {
+		e.tx.Flush() // socket errors resurface on the next Send/Recv
+	}
 	if n <= 1 {
 		e.tx, e.rx = nil, nil
 		return
@@ -206,6 +215,35 @@ func (e *Endpoint) Batch() int {
 		return 1
 	}
 	return len(e.tx.frames)
+}
+
+// SetPacketGap implements core.Pacer: the adaptive controller's pacing
+// actuation (see Endpoint.PacketGap).
+func (e *Endpoint) SetPacketGap(d time.Duration) { e.PacketGap = d }
+
+// Gap implements core.Pacer: the current pacing gap, which the adaptive
+// sender snapshots so it can restore a user-configured gap afterwards.
+func (e *Endpoint) Gap() time.Duration { return e.PacketGap }
+
+// BatchLimit implements core.BatchLimiter: the effective queued-frames
+// flush threshold (1 when batching is off).
+func (e *Endpoint) BatchLimit() int {
+	if e.tx == nil {
+		return 1
+	}
+	return e.tx.flushAt()
+}
+
+// SetBatchLimit implements core.BatchLimiter: the adaptive controller's
+// batch actuation. The ring keeps its configured size — only the flush
+// threshold moves, so mid-transfer adjustments allocate nothing — and
+// frames already queued beyond the new threshold flush immediately. A
+// no-op when batching is off.
+func (e *Endpoint) SetBatchLimit(n int) {
+	if e.tx == nil {
+		return
+	}
+	e.tx.setLimit(n) // socket errors resurface on the next Send/Recv
 }
 
 // ValidateConfig checks that the configured transfer's packets fit the

@@ -140,6 +140,10 @@ type MoveOptions struct {
 	Tr time.Duration
 	// Window splits very large transfers into multiple blasts (§3.1.3).
 	Window int
+	// Adaptive drives blast moves with the AIMD rate/window controller
+	// (core.Config.Adaptive): the same controller state machine the UDP
+	// substrate runs, in virtual time.
+	Adaptive bool
 	// Chunk is the data packet size (defaults to params.DataPacketSize).
 	Chunk int
 	// MaxAttempts, Linger and ReceiverIdle bound the transfer exactly like
@@ -288,6 +292,7 @@ func (c *Cluster) transferConfig(payload []byte, opt MoveOptions) core.Config {
 		Strategy:       opt.Strategy,
 		RetransTimeout: tr,
 		Window:         opt.Window,
+		Adaptive:       opt.Adaptive,
 		MaxAttempts:    opt.MaxAttempts,
 		Linger:         opt.Linger,
 		ReceiverIdle:   opt.ReceiverIdle,

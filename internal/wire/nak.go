@@ -89,12 +89,26 @@ func DecodeMissing(payload []byte) ([]uint32, error) {
 //	chunk     uint32  data-packet payload size
 //	strategy  uint8   retransmission strategy identifier (core.Strategy)
 //	protocol  uint8   protocol class identifier (core.Protocol)
-//	push      uint8   1 = sender-initiated (MoveTo), 0 = requester pulls (MoveFrom)
+//	flags     uint8   bit 0: push (MoveTo), bit 1: adaptive rate control
 //	window    uint32  multiblast window in packets (0 = single blast)
 //	trMicros  uint64  retransmission timeout Tr in microseconds
+//	offChunks uint32  stripe offset within the logical stream, in chunks
+//	total     uint64  logical stream length in bytes (0 = standalone)
+//
+// The stripe fields let one logical transfer be split across parallel
+// sessions: each stripe's REQ names its byte range (offset is always
+// chunk-aligned, hence carried in chunks to keep the whole REQ inside a
+// 64-byte ack-sized packet) and the length of the stream it belongs to, so
+// a serving side can regenerate or address exactly the requested range.
 
 // reqLen is the encoded TypeReq payload length.
-const reqLen = 27
+const reqLen = 39
+
+// Req flag bits (byte 14 of the encoding).
+const (
+	reqFlagPush     = 1 << 0
+	reqFlagAdaptive = 1 << 1
+)
 
 // Req describes a requested transfer.
 type Req struct {
@@ -105,6 +119,33 @@ type Req struct {
 	Push     bool
 	Window   uint32
 	TrMicros uint64
+
+	// Adaptive asks the data's sender to drive the transfer with the AIMD
+	// rate/window controller instead of the fixed REQ parameters (which
+	// then only seed the controller).
+	Adaptive bool
+
+	// OffsetChunks is this stripe's byte offset within the logical stream,
+	// in units of Chunk (stripe boundaries are chunk-aligned). Zero for an
+	// unstriped transfer.
+	OffsetChunks uint32
+
+	// Total is the logical stream's full length in bytes when this request
+	// is one stripe of a larger transfer; zero means the request stands
+	// alone (the stream is exactly Bytes long).
+	Total uint64
+}
+
+// Offset returns the stripe's byte offset within its logical stream.
+func (r Req) Offset() uint64 { return uint64(r.OffsetChunks) * uint64(r.Chunk) }
+
+// StreamBytes returns the logical stream's length: Total when striped,
+// Bytes otherwise.
+func (r Req) StreamBytes() uint64 {
+	if r.Total > 0 {
+		return r.Total
+	}
+	return r.Bytes
 }
 
 // ErrReqEncoding reports a malformed request payload.
@@ -118,10 +159,15 @@ func EncodeReq(r Req) []byte {
 	buf[12] = r.Strategy
 	buf[13] = r.Protocol
 	if r.Push {
-		buf[14] = 1
+		buf[14] |= reqFlagPush
+	}
+	if r.Adaptive {
+		buf[14] |= reqFlagAdaptive
 	}
 	binary.BigEndian.PutUint32(buf[15:19], r.Window)
 	binary.BigEndian.PutUint64(buf[19:27], r.TrMicros)
+	binary.BigEndian.PutUint32(buf[27:31], r.OffsetChunks)
+	binary.BigEndian.PutUint64(buf[31:39], r.Total)
 	return buf
 }
 
@@ -131,12 +177,15 @@ func DecodeReq(payload []byte) (Req, error) {
 		return Req{}, fmt.Errorf("%w: %d bytes", ErrReqEncoding, len(payload))
 	}
 	return Req{
-		Bytes:    binary.BigEndian.Uint64(payload[0:8]),
-		Chunk:    binary.BigEndian.Uint32(payload[8:12]),
-		Strategy: payload[12],
-		Protocol: payload[13],
-		Push:     payload[14] == 1,
-		Window:   binary.BigEndian.Uint32(payload[15:19]),
-		TrMicros: binary.BigEndian.Uint64(payload[19:27]),
+		Bytes:        binary.BigEndian.Uint64(payload[0:8]),
+		Chunk:        binary.BigEndian.Uint32(payload[8:12]),
+		Strategy:     payload[12],
+		Protocol:     payload[13],
+		Push:         payload[14]&reqFlagPush != 0,
+		Adaptive:     payload[14]&reqFlagAdaptive != 0,
+		Window:       binary.BigEndian.Uint32(payload[15:19]),
+		TrMicros:     binary.BigEndian.Uint64(payload[19:27]),
+		OffsetChunks: binary.BigEndian.Uint32(payload[27:31]),
+		Total:        binary.BigEndian.Uint64(payload[31:39]),
 	}, nil
 }

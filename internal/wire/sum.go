@@ -27,6 +27,29 @@ func (a *SumAcc) AddAt(off int, b []byte) {
 	a.sum += uint64(s)
 }
 
+// Merge folds another accumulator's contribution into this one. Each
+// accumulator must have absorbed a disjoint set of chunks of the same
+// stream (with AddAt offsets in that stream's coordinates); afterwards this
+// accumulator's Sum16 covers their union. This is how a striped receiver
+// combines per-stripe checksums into the whole-transfer checksum without
+// any cross-stripe synchronisation during the transfer.
+func (a *SumAcc) Merge(b SumAcc) { a.sum += b.sum }
+
+// AddChecksumAt folds in the finished Internet checksum of a contiguous
+// byte range starting at stream offset off — the zero-copy, zero-rescan way
+// to merge a stripe's already-computed whole-range checksum (for example
+// RecvResult.Checksum, accumulated in the stripe's own coordinates) into
+// the stream's: un-complement back to the raw folded sum, swap bytes if the
+// range starts at an odd stream offset, accumulate. Each range must tile
+// the stream exactly once, like AddAt chunks.
+func (a *SumAcc) AddChecksumAt(off int, checksum uint16) {
+	s := ^checksum
+	if off&1 == 1 {
+		s = s<<8 | s>>8 // odd offset: every byte swaps word halves
+	}
+	a.sum += uint64(s)
+}
+
 // Sum16 returns the Internet checksum of the stream accumulated so far.
 func (a *SumAcc) Sum16() uint16 {
 	return ^fold16(a.sum)

@@ -43,6 +43,52 @@ func TestSumAccMatchesChecksum(t *testing.T) {
 	}
 }
 
+// Merging per-stripe accumulators (each folding a disjoint byte range at
+// stream offsets) must equal the whole-stream checksum, for any stripe cut
+// — including odd-offset boundaries.
+func TestSumAccMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(4000)
+		data := make([]byte, n)
+		rng.Read(data)
+		want := Checksum(data)
+
+		stripes := 1 + rng.Intn(5)
+		accs := make([]SumAcc, stripes)
+		// Cut into `stripes` contiguous ranges at random boundaries, then
+		// feed each range to its own accumulator in chunks.
+		bounds := []int{0}
+		for i := 1; i < stripes; i++ {
+			bounds = append(bounds, rng.Intn(n+1))
+		}
+		bounds = append(bounds, n)
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] < bounds[i-1] {
+				bounds[i] = bounds[i-1]
+			}
+		}
+		for s := 0; s < stripes; s++ {
+			for off := bounds[s]; off < bounds[s+1]; {
+				l := 1 + rng.Intn(300)
+				if off+l > bounds[s+1] {
+					l = bounds[s+1] - off
+				}
+				accs[s].AddAt(off, data[off:off+l])
+				off += l
+			}
+		}
+		var total SumAcc
+		for s := range accs {
+			total.Merge(accs[s])
+		}
+		if got := total.Sum16(); got != want {
+			t.Fatalf("trial %d (n=%d, %d stripes): merged %04x, Checksum %04x",
+				trial, n, stripes, got, want)
+		}
+	}
+}
+
 func TestSumAccReset(t *testing.T) {
 	var acc SumAcc
 	acc.AddAt(0, []byte{1, 2, 3})

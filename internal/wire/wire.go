@@ -289,22 +289,32 @@ func Checksum(b []byte) uint16 {
 }
 
 // sumWords accumulates b as big-endian 16-bit words (a trailing odd byte is
-// padded with zero). The hot loop loads 32-bit words — each carrying two
+// padded with zero). The hot loop loads 64-bit words — each carrying four
 // 16-bit digits whose positional weight 2^16 ≡ 1 (mod 2^16−1), so the mixed
-// accumulator folds to the same one's-complement sum — halving the memory
-// operations of a plain 16-bit loop. The uint64 accumulator cannot overflow
-// for any buffer shorter than 2^32 bytes, so folding is deferred to the
-// very end.
+// accumulator folds to the same one's-complement sum — quartering the
+// memory operations of a plain 16-bit loop. Each word is split into its two
+// 32-bit halves before accumulating (branchless, no carry tracking); the
+// halves are ≤ 2^32, so the uint64 accumulator cannot overflow for any
+// buffer shorter than 2^32 bytes and folding is deferred to the very end.
 func sumWords(b []byte) uint64 {
 	var sum uint64
-	for len(b) >= 16 {
-		sum += uint64(binary.BigEndian.Uint32(b)) +
-			uint64(binary.BigEndian.Uint32(b[4:])) +
-			uint64(binary.BigEndian.Uint32(b[8:])) +
-			uint64(binary.BigEndian.Uint32(b[12:]))
-		b = b[16:]
+	for len(b) >= 32 {
+		w0 := binary.BigEndian.Uint64(b)
+		w1 := binary.BigEndian.Uint64(b[8:])
+		w2 := binary.BigEndian.Uint64(b[16:])
+		w3 := binary.BigEndian.Uint64(b[24:])
+		sum += w0>>32 + w0&0xffffffff +
+			w1>>32 + w1&0xffffffff +
+			w2>>32 + w2&0xffffffff +
+			w3>>32 + w3&0xffffffff
+		b = b[32:]
 	}
-	for len(b) >= 4 {
+	for len(b) >= 8 {
+		w := binary.BigEndian.Uint64(b)
+		sum += w>>32 + w&0xffffffff
+		b = b[8:]
+	}
+	if len(b) >= 4 {
 		sum += uint64(binary.BigEndian.Uint32(b))
 		b = b[4:]
 	}

@@ -341,6 +341,25 @@ func TestReqRoundTrip(t *testing.T) {
 	if HeaderSize+len(EncodeReq(r)) > 64 {
 		t.Errorf("REQ packet is %d bytes", HeaderSize+len(EncodeReq(r)))
 	}
+	// Stripe + adaptive fields round-trip independently of push.
+	r = Req{Bytes: 8 << 20, Chunk: 1000, Adaptive: true,
+		OffsetChunks: 16384, Total: 64 << 20, Window: 128}
+	got, err = DecodeReq(EncodeReq(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Errorf("stripe round trip %+v -> %+v", r, got)
+	}
+	if got.Offset() != 16384*1000 {
+		t.Errorf("Offset() = %d", got.Offset())
+	}
+	if got.StreamBytes() != 64<<20 {
+		t.Errorf("StreamBytes() = %d", got.StreamBytes())
+	}
+	if un := (Req{Bytes: 99}); un.StreamBytes() != 99 {
+		t.Errorf("unstriped StreamBytes() = %d", un.StreamBytes())
+	}
 }
 
 // The paper's NAK for a 64-packet blast must fit in an ack-sized packet.
