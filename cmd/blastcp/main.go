@@ -110,6 +110,19 @@ func main() {
 		}
 		res, err := udplan.PullStriped(*to, cfg, opts)
 		if err != nil {
+			// A stripe failed and its siblings were cancelled; show what
+			// each stripe managed before the fan-out unwound.
+			for _, s := range res.Stripes {
+				status := "cancelled"
+				if s.Err == nil && s.Recv.Completed {
+					status = "completed"
+				} else if s.Err != nil {
+					status = s.Err.Error()
+				}
+				fmt.Printf("  stripe %d [%d,%d): %d of %d bytes — %s\n",
+					s.Stripe.Index, s.Stripe.Offset, s.Stripe.Offset+s.Stripe.Bytes,
+					s.Recv.Bytes, s.Stripe.Bytes, status)
+			}
 			log.Fatalf("blastcp: striped pull: %v", err)
 		}
 		for _, s := range res.Stripes {

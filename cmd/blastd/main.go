@@ -20,6 +20,11 @@
 // byte-identical to an unstriped pull. Requests carrying the adaptive bit
 // (blastcp -adaptive) are served with the AIMD rate/window controller
 // reacting to observed drops and NAKs instead of the fixed REQ parameters.
+//
+// SIGINT/SIGTERM drains gracefully: new sessions are refused (clients
+// retry elsewhere), active transfers get up to -drain to finish — a second
+// signal forces the socket closed — and a per-peer session summary is
+// logged on exit.
 package main
 
 import (
@@ -28,8 +33,13 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"sort"
+	"sync"
 	"sync/atomic"
+	"syscall"
+	"time"
 
 	"blastlan/internal/core"
 	"blastlan/internal/udplan"
@@ -45,6 +55,8 @@ func main() {
 		batch       = flag.Int("batch", 32, "syscall batch size for sendmmsg/recvmmsg frame rings (1 = single-syscall)")
 		mtu         = flag.Int("mtu", 0, "max datagram size for jumbo-frame chunks (0: default 2048)")
 		sockbuf     = flag.Int("sockbuf", 4<<20, "kernel socket buffer size (large windows overflow the default)")
+		drain       = flag.Duration("drain", 10*time.Second,
+			"graceful-shutdown bound: on SIGINT/SIGTERM, stop admitting sessions and wait this long for active transfers to finish before dropping them")
 	)
 	flag.Parse()
 
@@ -64,7 +76,9 @@ func main() {
 	srv.Batch = *batch
 	srv.MTU = *mtu
 	srv.Logf = log.Printf
-	// Per-peer rate log: one line per completed transfer.
+	// Per-peer rate log (one line per completed transfer) plus the per-peer
+	// totals the shutdown summary prints.
+	summary := newPeerSummary()
 	srv.Done = func(ts udplan.TransferStats) {
 		verb := "served pull to"
 		if ts.Push {
@@ -72,6 +86,7 @@ func main() {
 		}
 		log.Printf("blastd: %s %v: %d bytes in %v (%.2f MB/s), %d packets (%d retransmitted)",
 			verb, ts.Peer, ts.Bytes, ts.Elapsed, ts.MBps(), ts.Packets, ts.Retransmits)
+		summary.add(ts)
 	}
 
 	// Pulls stream from a seeded chunk generator: deterministic per logical
@@ -154,7 +169,102 @@ func main() {
 			}, true
 	}
 
-	if err := srv.Run(); err != nil {
-		log.Fatalf("blastd: %v", err)
+	// Graceful shutdown: SIGINT/SIGTERM stops admitting new sessions and
+	// drains the active ones (bounded by -drain) instead of dropping them
+	// mid-blast; a second signal — or the bound expiring — forces the
+	// socket closed under whatever is left.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	runDone := make(chan error, 1)
+	go func() { runDone <- srv.Run() }()
+
+	var runErr error
+	select {
+	case runErr = <-runDone:
+	case <-sigc:
+		log.Printf("blastd: shutdown: draining %d active session(s), bound %v (signal again to force)",
+			srv.Active(), *drain)
+		srv.BeginDrain()
+		timer := time.NewTimer(*drain)
+		select {
+		case runErr = <-runDone:
+			timer.Stop()
+		case <-timer.C:
+			log.Printf("blastd: drain bound expired; dropping %d session(s)", srv.Active())
+			conn.Close()
+			runErr = <-runDone
+		case <-sigc:
+			log.Printf("blastd: forced; dropping %d session(s)", srv.Active())
+			conn.Close()
+			runErr = <-runDone
+		}
 	}
+	summary.log()
+	if runErr != nil {
+		log.Fatalf("blastd: %v", runErr)
+	}
+}
+
+// peerSummary accumulates per-peer transfer totals for the shutdown log.
+type peerSummary struct {
+	mu sync.Mutex
+	m  map[string]*peerTotals
+}
+
+type peerTotals struct {
+	transfers   int
+	pushes      int
+	bytes       int64
+	packets     int64
+	retransmits int64
+	elapsed     time.Duration
+}
+
+func newPeerSummary() *peerSummary { return &peerSummary{m: map[string]*peerTotals{}} }
+
+func (s *peerSummary) add(ts udplan.TransferStats) {
+	peer := "<unknown>"
+	if ts.Peer != nil {
+		peer = ts.Peer.String()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.m[peer]
+	if t == nil {
+		t = &peerTotals{}
+		s.m[peer] = t
+	}
+	t.transfers++
+	if ts.Push {
+		t.pushes++
+	}
+	t.bytes += int64(ts.Bytes)
+	t.packets += int64(ts.Packets)
+	t.retransmits += int64(ts.Retransmits)
+	t.elapsed += ts.Elapsed
+}
+
+// log prints one line per peer, then the grand total.
+func (s *peerSummary) log() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	peers := make([]string, 0, len(s.m))
+	for p := range s.m {
+		peers = append(peers, p)
+	}
+	sort.Strings(peers)
+	var total peerTotals
+	for _, p := range peers {
+		t := s.m[p]
+		log.Printf("blastd: session summary %s: %d transfer(s) (%d push), %d bytes, %d packets (%d retransmitted), busy %v",
+			p, t.transfers, t.pushes, t.bytes, t.packets, t.retransmits, t.elapsed.Round(time.Millisecond))
+		total.transfers += t.transfers
+		total.pushes += t.pushes
+		total.bytes += t.bytes
+		total.packets += t.packets
+		total.retransmits += t.retransmits
+		total.elapsed += t.elapsed
+	}
+	log.Printf("blastd: served %d transfer(s) from %d peer(s), %d bytes total (%d retransmitted packets)",
+		total.transfers, len(peers), total.bytes, total.retransmits)
 }

@@ -203,6 +203,11 @@ func writeBenchSnapshot(path string) error {
 		fmt.Printf("%-26s %12.1f ns/op %8d B/op %6d allocs/op\n",
 			c.name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
 	}
+	// The many-client scale axis: sharded sim server, N = 1/8/64 clients
+	// through the shared session layer.
+	if err := appendLoadRows(&snap, false); err != nil {
+		return err
+	}
 	return writeSnapshot(snap, path)
 }
 

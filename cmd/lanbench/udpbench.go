@@ -266,6 +266,13 @@ func runUDPBench(path string, quick bool, streams int, adaptiveOnly bool) error 
 		return writeSnapshot(snap, path)
 	}
 
+	// The many-client loadN sweep: a sharded *simulated* server (the shared
+	// session layer under deterministic load) rides in the same gated
+	// snapshot, so ci/bench_floor.json guards the scale axis too.
+	if err := appendLoadRows(&snap, quick); err != nil {
+		return err
+	}
+
 	// Steady-state send-loop allocation check: the exact per-packet work of
 	// a blast window body — fill the reused packet from the streaming
 	// source, encode into the frame ring, flush every batch — against a

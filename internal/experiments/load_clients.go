@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"blastlan/internal/core"
+	"blastlan/internal/params"
+	"blastlan/internal/simrun"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "ext-load-clients",
+		Title: "Extension: many-client load on one sharded server (shared session layer, DES)",
+		Paper: "not in the paper: §2.1 measures one transfer between two matched machines; this extension serves N concurrent seeded clients through the substrate-agnostic session layer and reports makespan, recovery and Jain fairness — deterministically",
+		Run:   runLoadClients,
+	})
+}
+
+// runLoadClients sweeps the client count (and an adversarial variant) over
+// one sharded simulated server.
+func runLoadClients(opt Options) (*Result, error) {
+	res := &Result{
+		ID:     "ext-load-clients",
+		Title:  "N seeded clients vs one sharded server (Concurrency=8, mixed 64/256 KB pulls, staggered arrivals)",
+		Paper:  "not in the paper: the scale axis the transport/session refactor opened",
+		Header: []string{"clients", "network", "completed", "makespan (virtual)", "data pkts", "retransmits", "fairness (Jain)"},
+	}
+	counts := []int{1, 8, 16, 64}
+	if opt.Quick {
+		counts = []int{1, 8, 16}
+	}
+	networks := []struct {
+		name string
+		adv  params.Adversary
+	}{
+		{"clean", params.Adversary{}},
+		{"2% loss + dup", params.Adversary{
+			Loss:          params.LossModel{PNet: 0.02},
+			DuplicateProb: 0.01,
+		}},
+	}
+	for _, n := range counts {
+		for _, nw := range networks {
+			sc := simrun.LoadScenario{
+				Name:        fmt.Sprintf("load%d", n),
+				N:           n,
+				Bytes:       []int{64 << 10, 256 << 10},
+				Strategies:  []core.Strategy{core.GoBackN, core.Selective},
+				Arrival:     50 * time.Millisecond,
+				Concurrency: 8,
+				Adversary:   nw.adv,
+				Seed:        opt.Seed,
+			}
+			r, err := sc.Run()
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, []string{
+				fmt.Sprintf("%d", n),
+				nw.name,
+				fmt.Sprintf("%d/%d", r.Completed, n),
+				fmt.Sprintf("%v", r.Makespan.Round(time.Millisecond)),
+				fmt.Sprintf("%d", r.Agg.DataSent),
+				fmt.Sprintf("%d", r.Agg.Retransmits),
+				fmt.Sprintf("%.3f", r.Fairness),
+			})
+		}
+	}
+	res.Notes = append(res.Notes,
+		"every client pulls through the shared session layer (internal/session) from one sharded simulated server; the identical server code serves real UDP in blastd",
+		"clients beyond the Concurrency=8 session cap are dropped at REQ time and recover via REQ retransmission, which is what stretches the adversarial makespans",
+		"bit-identical at any worker count and GOMAXPROCS (handoff-scheduled DES); regression-pinned by TestLoadScenarioDeterministic",
+	)
+	return res, nil
+}

@@ -1,0 +1,442 @@
+// Package session is the substrate-agnostic transport/session layer: the
+// serving machinery that used to live inside internal/udplan — one demux
+// loop, a GOMAXPROCS-sharded session table, per-session bodies running the
+// unmodified core protocol engines, REQ-only session opening, streaming
+// Source/SinkStream handlers and stripe-range resolution — lifted above the
+// wire so the same sharded server runs over real UDP sockets, the
+// discrete-event simulator and the V kernel's simulated cluster. Substrates
+// plug in through the small interfaces of internal/transport; everything
+// here is wire-agnostic.
+//
+// This mirrors how large-scale transfer services separate the transfer
+// orchestrator from the substrate (Globus and XRootD both serve many
+// concurrent movers above a pluggable data channel), and it is what makes
+// scale behaviour — session capacity, shard contention, many-client
+// fairness — reproducible deterministically on the simulator (see
+// simrun.LoadScenario).
+package session
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blastlan/internal/core"
+	"blastlan/internal/transport"
+	"blastlan/internal/wire"
+)
+
+// drainPoll bounds how long a draining server blocks in Accept before
+// re-checking whether its last session has completed.
+const drainPoll = 50 * time.Millisecond
+
+// Server answers transfer requests on one listener. With Concurrency <= 1
+// callers usually drive a single env serially through ServeEnv (the paper's
+// world of two matched machines); Run is the sharded daemon: one demux loop
+// routes arrivals by source into per-session bodies, each running the
+// unmodified core protocol engines over its own channel-fed Env — the
+// fan-out a daemon needs to serve many clients at once, on any substrate.
+type Server struct {
+	// Data, when non-nil, satisfies pull requests (MoveFrom): it returns
+	// the bytes to blast back for an accepted request.
+	Data func(wire.Req) ([]byte, bool)
+
+	// Source, when non-nil, satisfies pull requests without materialising
+	// them: it returns a streaming chunk source (see core.ChunkSource).
+	// Preferred over Data when both are set — a 1 GB pull then never means
+	// a 1 GB allocation. Striped requests resolve their range through the
+	// REQ's stripe fields (wire.Req.OffsetChunks/Total) exactly as unstriped
+	// ones; the handler sees the narrowed request.
+	Source func(wire.Req) (core.ChunkSource, bool)
+
+	// Sink, when non-nil, accepts push requests (MoveTo) and receives the
+	// completed, fully assembled transfer.
+	Sink func(wire.Req, []byte)
+
+	// SinkStream, when non-nil, accepts push requests without buffering:
+	// it returns a per-transfer chunk sink plus a completion callback that
+	// receives the final result (byte count, incremental checksum).
+	// Preferred over Sink when both are set. done is called exactly once
+	// per accepted push, whether or not the transfer completed — check
+	// RecvResult.Completed before trusting the bytes — so implementations
+	// can release per-transfer resources (close files) on aborts too.
+	SinkStream func(wire.Req) (sink core.ChunkSink, done func(core.RecvResult), ok bool)
+
+	// Idle bounds how long Run waits for the next request; zero waits
+	// forever (until the listener closes).
+	Idle time.Duration
+
+	// Concurrency caps the number of simultaneous sessions; requests beyond
+	// the cap are dropped (the client's REQ retransmission retries them).
+	// Values <= 1 mean a single session at a time.
+	Concurrency int
+
+	// Validate, when non-nil, checks an accepted transfer configuration
+	// against substrate limits (an MTU, say) before the session starts.
+	Validate func(core.Config) error
+
+	// Logf, when non-nil, receives operational log lines (rejections,
+	// session errors, cap drops).
+	Logf func(format string, args ...any)
+
+	// Done, when non-nil, is called after every completed transfer with
+	// its stats — the per-peer rate log hook.
+	Done func(TransferStats)
+
+	mu       sync.Mutex
+	served   int
+	active   atomic.Int32 // sessions admitted by the sharded demux loop
+	busy     atomic.Int32 // transfers in flight inside ServeEnv (any path)
+	draining atomic.Bool
+}
+
+// TransferStats reports one completed transfer for the Done hook.
+type TransferStats struct {
+	Peer        transport.Peer
+	Req         wire.Req
+	TransferID  uint32
+	Push        bool
+	Bytes       int
+	Elapsed     time.Duration
+	Packets     int // data packets (received for pushes, sent for pulls)
+	Retransmits int // pulls only
+	Checksum    uint16
+}
+
+// MBps returns the transfer's application-level throughput in MB/s.
+func (t TransferStats) MBps() float64 {
+	if t.Elapsed <= 0 {
+		return 0
+	}
+	return float64(t.Bytes) / t.Elapsed.Seconds() / 1e6
+}
+
+// Served reports how many transfers completed successfully.
+func (s *Server) Served() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
+}
+
+// Active reports how many conversations are currently in flight: admitted
+// sessions on the sharded path, or the accepted transfer a serial single-env
+// server is driving (which never registers a session).
+func (s *Server) Active() int {
+	if a := int(s.active.Load()); a > 0 {
+		return a
+	}
+	return int(s.busy.Load())
+}
+
+// BeginDrain puts the server into graceful shutdown: no new session opens
+// (a REQ beyond this point is dropped and the client's retry will find the
+// server gone), and Run returns once the sessions already in flight have
+// completed. Callers that want a bound put a timer on Run's return and
+// force the issue by closing the listener's socket.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Server) concurrency() int {
+	if s.Concurrency < 1 {
+		return 1
+	}
+	return s.Concurrency
+}
+
+// session is one client conversation in the sharded server.
+type session struct {
+	key  string
+	conn transport.Conn
+}
+
+// Run is the sharded daemon: the single demux loop feeding per-session
+// bodies through the listener's conns. It returns nil on a clean close
+// (listener closed, idle bound reached with nothing in flight, or drain
+// completed) and blocks until every session body has returned.
+func (s *Server) Run(l transport.Listener) error {
+	table := newSessionTable()
+	defer func() {
+		table.hangupAll()
+		l.Drain()
+	}()
+
+	// Listeners with cheap timeouts (sockets) advertise a poll bound, so an
+	// unbounded-Idle server still notices BeginDrain within one poll instead
+	// of blocking in Accept until the next arrival. Virtual-time listeners
+	// advertise none — polling forever would keep the event heap alive.
+	poll := time.Duration(0)
+	if p, ok := l.(interface{ AcceptPoll() time.Duration }); ok {
+		poll = p.AcceptPoll()
+	}
+
+	for {
+		idle := s.Idle
+		if idle <= 0 {
+			idle = poll // 0 still means block forever
+		}
+		if s.draining.Load() {
+			if s.active.Load() == 0 {
+				return nil
+			}
+			// Poll so the loop notices the last session completing even if
+			// the network has gone quiet.
+			if idle <= 0 || idle > drainPoll {
+				idle = drainPoll
+			}
+		}
+		inb, err := l.Accept(idle)
+		if err != nil {
+			if core.IsTimeout(err) {
+				if s.active.Load() == 0 && (s.Idle > 0 || s.draining.Load()) {
+					return nil // idle bound reached
+				}
+				continue
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+
+		sess := table.get(inb.Key)
+		if sess == nil {
+			// Only a checksum-valid REQ opens a session — the demux mirror
+			// of LearnReqOnly: stragglers from finished transfers cannot
+			// claim server state.
+			if _, ok := l.ReqOf(inb.Msg); !ok {
+				continue
+			}
+			if s.draining.Load() {
+				s.logf("session: draining; dropping REQ (client will retry elsewhere)")
+				continue
+			}
+			if int(s.active.Load()) >= s.concurrency() {
+				s.logf("session: cap %d reached; dropping REQ (client will retry)", s.concurrency())
+				continue
+			}
+			conn, peer, err := l.Open()
+			if err != nil {
+				continue // unresolvable source
+			}
+			sess = &session{key: string(inb.Key), conn: conn}
+			table.put(sess)
+			s.active.Add(1)
+			key := sess.key
+			conn.Spawn("session", func(env core.Env) {
+				s.runSession(env, peer)
+				table.remove(key)
+				s.active.Add(-1)
+			})
+		}
+		sess.conn.Deliver(inb.Msg)
+	}
+}
+
+// runSession drives one client conversation to completion.
+func (s *Server) runSession(env core.Env, peer transport.Peer) {
+	idle := s.Idle
+	if idle <= 0 {
+		// The opening REQ is already queued; this only bounds a client that
+		// vanished mid-handshake.
+		idle = 30 * time.Second
+	}
+	err := s.ServeEnv(env, idle, s.Validate, func() transport.Peer { return peer })
+	if err != nil && !core.IsTimeout(err) && !errors.Is(err, net.ErrClosed) {
+		s.logf("session: %v: %v", peer, err)
+	}
+}
+
+// ServeEnv accepts one request on env and completes the transfer,
+// dispatching to the server's streaming or buffering handlers. It is the
+// whole per-session protocol path — Run's session bodies and serial
+// single-env servers (udplan's Concurrency <= 1 mode) share it. peerOf is
+// consulted lazily (a serial endpoint only learns its peer from the REQ);
+// validate, when non-nil, overrides the server-wide Validate hook.
+func (s *Server) ServeEnv(env core.Env, idle time.Duration, validate func(core.Config) error, peerOf func() transport.Peer) error {
+	var (
+		isPush   bool
+		req      wire.Req
+		pushDone func(core.RecvResult)
+	)
+	if validate == nil {
+		validate = s.Validate
+	}
+	cfg, err := core.ServeOnce(env, idle, func(r wire.Req) (core.Config, bool) {
+		c := core.ConfigOf(0, r)
+		// Bounded linger/idle: the simulation defaults are sized for free
+		// virtual time and would stall the server between clients. The same
+		// bounds apply on every substrate — on the simulator they are cheap
+		// virtual waits — so one scenario behaves identically everywhere.
+		c.Linger = 2*c.RetransTimeout + 100*time.Millisecond
+		c.ReceiverIdle = 8*c.RetransTimeout + 2*time.Second
+		if validate != nil {
+			if verr := validate(c); verr != nil {
+				s.logf("session: rejecting request from %v: %v", peerOf(), verr)
+				return core.Config{}, false
+			}
+		}
+		req, isPush = r, r.Push
+		if r.Push {
+			if s.SinkStream != nil {
+				sink, done, ok := s.SinkStream(r)
+				if !ok {
+					return core.Config{}, false
+				}
+				c.Sink, pushDone = sink, done
+				return c, true
+			}
+			if s.Sink == nil {
+				return core.Config{}, false
+			}
+			return c, true
+		}
+		if s.Source != nil {
+			src, ok := s.Source(r)
+			if !ok {
+				return core.Config{}, false
+			}
+			c.Source = src
+			return c, true
+		}
+		if s.Data == nil {
+			return core.Config{}, false
+		}
+		payload, ok := s.Data(r)
+		if !ok || len(payload) != c.Bytes {
+			return core.Config{}, false
+		}
+		c.Payload = payload
+		return c, true
+	})
+	if err != nil {
+		return err
+	}
+	s.busy.Add(1)
+	defer s.busy.Add(-1)
+	stats := TransferStats{Peer: peerOf(), Req: req, TransferID: cfg.TransferID, Push: isPush}
+	if isPush {
+		res, err := core.AcceptPush(env, cfg)
+		if err != nil {
+			// The sink's resources (an open file, say) must be released
+			// even for an aborted push; Completed is false on this path.
+			if pushDone != nil {
+				pushDone(res)
+			}
+			return fmt.Errorf("session: accepting push: %w", err)
+		}
+		if pushDone != nil {
+			pushDone(res)
+		} else if s.Sink != nil {
+			s.Sink(req, res.Data)
+		}
+		stats.Bytes, stats.Elapsed = res.Bytes, res.Elapsed
+		stats.Packets, stats.Checksum = res.DataPackets, res.Checksum
+	} else {
+		res, err := core.RunSender(env, cfg)
+		if err != nil {
+			return fmt.Errorf("session: serving pull: %w", err)
+		}
+		stats.Bytes, stats.Elapsed = cfg.Bytes, res.Elapsed
+		stats.Packets, stats.Retransmits = res.DataPackets, res.Retransmits
+	}
+	s.mu.Lock()
+	s.served++
+	s.mu.Unlock()
+	if s.Done != nil {
+		s.Done(stats)
+	}
+	return nil
+}
+
+// sessionTable is the sharded session map: one shard per GOMAXPROCS so
+// concurrent completions and lookups do not serialise on a single lock.
+// (On the simulator everything runs under handoff scheduling, so the locks
+// never contend and shard count cannot affect results.)
+type sessionTable struct {
+	shards []tableShard
+}
+
+type tableShard struct {
+	mu sync.Mutex
+	m  map[string]*session
+}
+
+func newSessionTable() *sessionTable {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	t := &sessionTable{shards: make([]tableShard, n)}
+	for i := range t.shards {
+		t.shards[i].m = make(map[string]*session)
+	}
+	return t
+}
+
+// fnv-1a over the two key forms; identical results so lookups never copy.
+func hashKeyBytes(k []byte) uint32 {
+	h := uint32(2166136261)
+	for _, b := range k {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return h
+}
+
+func hashKeyString(k string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(k); i++ {
+		h ^= uint32(k[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// get looks a session up by raw key bytes without allocating.
+func (t *sessionTable) get(k []byte) *session {
+	sh := &t.shards[hashKeyBytes(k)%uint32(len(t.shards))]
+	sh.mu.Lock()
+	s := sh.m[string(k)]
+	sh.mu.Unlock()
+	return s
+}
+
+func (t *sessionTable) put(s *session) {
+	sh := &t.shards[hashKeyString(s.key)%uint32(len(t.shards))]
+	sh.mu.Lock()
+	sh.m[s.key] = s
+	sh.mu.Unlock()
+}
+
+func (t *sessionTable) remove(key string) {
+	sh := &t.shards[hashKeyString(key)%uint32(len(t.shards))]
+	sh.mu.Lock()
+	delete(sh.m, key)
+	sh.mu.Unlock()
+}
+
+// hangupAll closes every live session's inbox (the demux loop has stopped;
+// sessions drain and exit).
+func (t *sessionTable) hangupAll() {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for k, s := range sh.m {
+			s.conn.Hangup()
+			delete(sh.m, k)
+		}
+		sh.mu.Unlock()
+	}
+}

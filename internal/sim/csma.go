@@ -65,8 +65,8 @@ func (n *Network) csmaTransmit(job *txJob) {
 	k.After(wireTime, func() {
 		n.span("net", LaneWire, typeLabel(job.pkt), start, k.Now())
 		pkt := job.pkt
-		to := job.to
-		k.After(n.Cost.Propagation, func() { n.deliver(to, pkt) })
+		from, to := job.from, job.to
+		k.After(n.Cost.Propagation, func() { n.deliver(from, to, pkt) })
 		n.finishTx(job)
 		// The medium stays seized for the inter-frame gap, then the
 		// deferred stations contend.

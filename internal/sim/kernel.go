@@ -167,7 +167,7 @@ func (k *Kernel) dispatch(ev *event) {
 	case evDeliver:
 		job := ev.job
 		n := job.from.net
-		n.deliver(job.to, job.pkt)
+		n.deliver(job.from, job.to, job.pkt)
 		n.putJob(job)
 	}
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
 	"time"
 
@@ -118,18 +119,38 @@ type Station struct {
 
 	Counters Counters
 
-	rxq   []*wire.Packet
+	rxq   []rxItem
 	rxSig Signal
 
 	txFree int
 	txSig  Signal
 
-	sink bool
+	sink   bool
+	closed bool
 
-	// advHeld is this receiver's reorder queue: packets the adversary is
-	// holding back until enough later arrivals have overtaken them.
+	// adv, when non-nil, is a station-scoped hostile-network model: it
+	// judges every delivery this station sends or receives, exactly like an
+	// adversary installed on both directions of one UDP endpoint. See
+	// SetAdversary.
+	adv *netAdversary
+
+	// advHeld is this receiver's reorder queue: packets an adversary is
+	// holding back until enough later arrivals judged by the same adversary
+	// have overtaken them.
 	advHeld []heldPkt
 }
+
+// rxItem is one packet queued in a station's receive interface, tagged with
+// the station that transmitted it so a serving demux loop (sim.Listener)
+// can route arrivals by source.
+type rxItem struct {
+	pkt  *wire.Packet
+	from *Station
+}
+
+// String returns the station's name, so a Station can stand in for a peer
+// address in substrate-independent logs and transfer stats.
+func (s *Station) String() string { return s.Name }
 
 // SetSink marks the station as a traffic sink: delivered packets are
 // counted and discarded without occupying receive buffers. Load-generator
@@ -335,8 +356,10 @@ type netAdversary struct {
 // heldPkt is one reordered packet waiting in a receiver's hold queue.
 type heldPkt struct {
 	pkt       *wire.Packet
-	remaining int   // overtaking deliveries still needed
-	timer     Timer // flush bound (liveness when traffic stops)
+	from      *Station      // transmitting station (for source-tagged delivery)
+	by        *netAdversary // the adversary that held it (overtaking is scoped to it)
+	remaining int           // overtaking deliveries still needed
+	timer     Timer         // flush bound (liveness when traffic stops)
 }
 
 // SetAdversary installs a hostile-network model on the deliver path, seeded
@@ -355,27 +378,63 @@ func (n *Network) SetAdversary(adv params.Adversary, seed int64) error {
 	return nil
 }
 
+// SetAdversary installs a station-scoped hostile-network model: it judges
+// every delivery this station transmits or receives, with its own seeded
+// decision stream and its own hold scope. This is the simulator mirror of
+// installing a seeded adversary on both directions of one UDP endpoint
+// (udplan.Endpoint.SetAdversary): in a many-client scenario each client
+// carries its own adversary, so one client's traffic cannot perturb
+// another's decision stream and per-client behaviour reproduces exactly,
+// regardless of how sessions interleave on the shared medium.
+func (s *Station) SetAdversary(adv params.Adversary, seed int64) error {
+	if err := adv.Validate(); err != nil {
+		return err
+	}
+	if !adv.Active() {
+		s.adv = nil
+		return nil
+	}
+	s.adv = &netAdversary{cfg: adv, st: adv.NewState(seed)}
+	return nil
+}
+
+// advFor selects the adversary judging a from→to delivery: the transmitting
+// station's, else the receiving station's, else the network-wide one. A
+// station adversary therefore sees exactly the packets one endpoint's
+// MangleTx/MangleRx pair would see on UDP.
+func (n *Network) advFor(from, to *Station) *netAdversary {
+	if from != nil && from.adv != nil {
+		return from.adv
+	}
+	if to.adv != nil {
+		return to.adv
+	}
+	return n.adv
+}
+
 // deliver applies the drop filter and the adversary, then the loss model.
-func (n *Network) deliver(to *Station, pkt *wire.Packet) {
+func (n *Network) deliver(from, to *Station, pkt *wire.Packet) {
 	if n.DropFilter != nil && n.DropFilter(pkt, to) {
 		to.Counters.WireDrops++
 		return
 	}
-	if n.adv == nil {
-		n.deliverNow(to, pkt)
+	adv := n.advFor(from, to)
+	if adv == nil {
+		n.deliverNow(from, to, pkt)
 		return
 	}
-	n.deliverAdversarial(to, pkt)
+	n.deliverAdversarial(adv, from, to, pkt)
 }
 
-// deliverAdversarial runs one packet through the adversary: it first lets the
-// arrival overtake the receiver's held packets, then applies the verdict —
-// drop, corrupt, duplicate, hold, delay — and finally releases any holds the
-// arrival matured. Replayed deliveries (matured holds, duplicates, delayed
-// packets) bypass the adversary so a packet is judged exactly once.
-func (n *Network) deliverAdversarial(to *Station, pkt *wire.Packet) {
-	ready := to.advPass()
-	m := n.adv.st.Judge(pkt)
+// deliverAdversarial runs one packet through the judging adversary: it first
+// lets the arrival overtake the receiver's held packets (those held by the
+// same adversary), then applies the verdict — drop, corrupt, duplicate,
+// hold, delay — and finally releases any holds the arrival matured.
+// Replayed deliveries (matured holds, duplicates, delayed packets) bypass
+// the adversary so a packet is judged exactly once.
+func (n *Network) deliverAdversarial(adv *netAdversary, from, to *Station, pkt *wire.Packet) {
+	ready := to.advPass(adv)
+	m := adv.st.Judge(pkt)
 	switch {
 	case m.Drop:
 		to.Counters.WireDrops++
@@ -383,20 +442,20 @@ func (n *Network) deliverAdversarial(to *Station, pkt *wire.Packet) {
 	case m.IfaceDrop:
 		to.Counters.IfaceDrops++
 		n.Adv.IfaceDrops++
-	case m.Corrupt && n.corrupt(to, &pkt, m.CorruptBit):
+	case m.Corrupt && n.corrupt(adv, to, &pkt, m.CorruptBit):
 		// rejected by the wire codec; counted in corrupt
 	default:
 		if m.Hold > 0 {
 			n.Adv.Holds++
 			held := pkt
-			timer := n.K.After(n.adv.cfg.FlushAfter(), func() { n.flushHeld(to, held) })
-			to.advHeld = append(to.advHeld, heldPkt{pkt: pkt, remaining: m.Hold, timer: timer})
+			timer := n.K.After(adv.cfg.FlushAfter(), func() { n.flushHeld(to, held) })
+			to.advHeld = append(to.advHeld, heldPkt{pkt: pkt, from: from, by: adv, remaining: m.Hold, timer: timer})
 		} else if m.Delay > 0 {
 			n.Adv.Delays++
 			delayed := pkt
-			n.K.After(m.Delay, func() { n.deliverNow(to, delayed) })
+			n.K.After(m.Delay, func() { n.deliverNow(from, to, delayed) })
 		} else {
-			n.deliverNow(to, pkt)
+			n.deliverNow(from, to, pkt)
 		}
 		if m.Duplicate {
 			n.Adv.Dups++
@@ -407,18 +466,21 @@ func (n *Network) deliverAdversarial(to *Station, pkt *wire.Packet) {
 			if len(pkt.Payload) > 0 {
 				dup = pkt.Clone()
 			}
-			n.deliverNow(to, dup)
+			n.deliverNow(from, to, dup)
 		}
 	}
 	for _, h := range ready {
 		h.timer.Cancel()
-		n.deliverNow(to, h.pkt)
+		n.deliverNow(h.from, to, h.pkt)
 	}
 }
 
-// advPass records one arrival overtaking the station's held packets and
-// returns the holds that matured (to be delivered after the arrival).
-func (s *Station) advPass() []heldPkt {
+// advPass records one arrival judged by adv overtaking the station's held
+// packets and returns the holds that matured (to be delivered after the
+// arrival). Only packets held by the same adversary are overtaken: each
+// client's reorder scope is its own traffic, exactly as on a per-endpoint
+// UDP adversary.
+func (s *Station) advPass(adv *netAdversary) []heldPkt {
 	if len(s.advHeld) == 0 {
 		return nil
 	}
@@ -426,7 +488,9 @@ func (s *Station) advPass() []heldPkt {
 	keep := s.advHeld[:0]
 	for i := range s.advHeld {
 		h := s.advHeld[i]
-		h.remaining--
+		if h.by == adv {
+			h.remaining--
+		}
 		if h.remaining <= 0 {
 			ready = append(ready, h)
 		} else {
@@ -442,9 +506,10 @@ func (s *Station) advPass() []heldPkt {
 func (n *Network) flushHeld(to *Station, pkt *wire.Packet) {
 	for i := range to.advHeld {
 		if to.advHeld[i].pkt == pkt {
+			from := to.advHeld[i].from
 			to.advHeld = append(to.advHeld[:i], to.advHeld[i+1:]...)
 			n.Adv.Flushes++
-			n.deliverNow(to, pkt)
+			n.deliverNow(from, to, pkt)
 			return
 		}
 	}
@@ -457,15 +522,15 @@ func (n *Network) flushHeld(to *Station, pkt *wire.Packet) {
 // have no frame to mangle; the checksum rejecting the flip is modelled
 // directly. It reports whether the packet was consumed (rejected); on the
 // (codec-evading) false path *pkt is replaced with what actually decoded.
-func (n *Network) corrupt(to *Station, pkt **wire.Packet, bit int64) bool {
+func (n *Network) corrupt(adv *netAdversary, to *Station, pkt **wire.Packet, bit int64) bool {
 	n.Adv.Corrupts++
 	p := *pkt
 	if len(p.Payload) == 0 && p.VirtualSize > 0 {
 		to.Counters.CorruptDrops++
 		return true
 	}
-	buf, err := p.Encode(n.adv.scratch[:0])
-	n.adv.scratch = buf[:0]
+	buf, err := p.Encode(adv.scratch[:0])
+	adv.scratch = buf[:0]
 	if err != nil {
 		to.Counters.CorruptDrops++
 		return true
@@ -485,7 +550,7 @@ func (n *Network) corrupt(to *Station, pkt **wire.Packet, bit int64) bool {
 }
 
 // deliverNow applies the loss model and enqueues the packet in the receiver.
-func (n *Network) deliverNow(to *Station, pkt *wire.Packet) {
+func (n *Network) deliverNow(from, to *Station, pkt *wire.Packet) {
 	if n.wireLost() {
 		to.Counters.WireDrops++
 		return
@@ -503,7 +568,7 @@ func (n *Network) deliverNow(to *Station, pkt *wire.Packet) {
 		to.Counters.Overruns++
 		return
 	}
-	to.rxq = append(to.rxq, pkt)
+	to.rxq = append(to.rxq, rxItem{pkt: pkt, from: from})
 	to.rxSig.Broadcast(n.K)
 }
 
@@ -518,35 +583,62 @@ func (n *Network) wireLost() bool {
 // code is substrate-agnostic). The copy out of the interface is charged to
 // this station's CPU. Single consumer per station.
 func (s *Station) Recv(p *Proc, timeout time.Duration) (*wire.Packet, error) {
+	pkt, _, err := s.RecvFrom(p, timeout)
+	return pkt, err
+}
+
+// RecvFrom is Recv reporting the transmitting station as well — the
+// demultiplexing primitive a serving station needs to route concurrent
+// client conversations (see sim.Listener). A closed station reports
+// net.ErrClosed, mirroring a closed socket.
+func (s *Station) RecvFrom(p *Proc, timeout time.Duration) (*wire.Packet, *Station, error) {
 	k := s.net.K
 	deadline := time.Duration(-1)
 	if timeout >= 0 {
 		deadline = k.Now() + timeout
 	}
 	for len(s.rxq) == 0 {
+		if s.closed {
+			return nil, nil, net.ErrClosed
+		}
 		wait := time.Duration(-1)
 		if deadline >= 0 {
 			wait = deadline - k.Now()
 			if wait < 0 {
-				return nil, os.ErrDeadlineExceeded
+				return nil, nil, os.ErrDeadlineExceeded
 			}
 		}
 		if p.Wait(&s.rxSig, wait) && len(s.rxq) == 0 {
-			return nil, os.ErrDeadlineExceeded
+			if s.closed {
+				return nil, nil, net.ErrClosed
+			}
+			return nil, nil, os.ErrDeadlineExceeded
 		}
 	}
-	pkt := s.rxq[0]
-	size := pkt.WireSize()
+	it := s.rxq[0]
+	size := it.pkt.WireSize()
 	start := k.Now()
 	p.Sleep(s.net.Cost.CopyTime(size))
 	if s.net.Trace != nil {
-		s.net.span(s.Name, LaneCPU, "out:"+typeLabel(pkt), start, k.Now())
+		s.net.span(s.Name, LaneCPU, "out:"+typeLabel(it.pkt), start, k.Now())
 	}
 	// The buffer is occupied until the copy completes.
 	s.rxq = append(s.rxq[:0], s.rxq[1:]...)
 	s.Counters.RxPackets++
 	s.Counters.RxBytes += int64(size)
-	return pkt, nil
+	return it.pkt, it.from, nil
+}
+
+// Close marks the station closed, waking any blocked receiver with
+// net.ErrClosed — the simulator's equivalent of closing a socket, which is
+// how a striped pull aborts sibling stripes promptly when one fails. It
+// must be called from process or kernel context.
+func (s *Station) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.rxSig.Broadcast(s.net.K)
 }
 
 // FlushRx discards any packets queued in the receive interface without

@@ -1,0 +1,385 @@
+package simrun
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"blastlan/internal/core"
+	"blastlan/internal/params"
+	"blastlan/internal/session"
+	"blastlan/internal/sim"
+	"blastlan/internal/stats"
+	"blastlan/internal/transport"
+	"blastlan/internal/wire"
+)
+
+// LoadScenario is a DES-backed many-client load experiment: N seeded
+// clients with staggered arrivals and a mixed size/strategy workload all
+// pull from one sharded simulated server running the shared session layer
+// (internal/session) — the same demux loop, session table and handlers
+// that serve real UDP traffic. Because the whole thing runs under the
+// kernel's handoff scheduling, scale behaviour that is unmeasurable on a
+// real network — session-cap REQ drops, shard contention, many-client
+// fairness — reproduces bit for bit at any worker count.
+type LoadScenario struct {
+	// Name labels the scenario in test output and experiment tables.
+	Name string
+	// Cost is the simulator hardware model; the zero value means the
+	// modern-gigabit preset (a load experiment wants a fast fabric).
+	Cost params.CostModel
+	// N is the number of clients (default 8).
+	N int
+	// Bytes is the transfer-size mix; each client draws one entry
+	// (seeded). Default {64 KB}.
+	Bytes []int
+	// Strategies is the blast retransmission-strategy mix; each client
+	// draws one entry. Default {GoBackN}.
+	Strategies []core.Strategy
+	// Chunk is the data packet size (default params.DataPacketSize).
+	Chunk int
+	// Window splits blasts (0: single blast per transfer).
+	Window int
+	// Tr is the clients' retransmission timeout (default 100 ms virtual).
+	Tr time.Duration
+	// Arrival staggers the clients: client arrivals are drawn uniformly
+	// from [0, Arrival). Zero means everyone arrives at t=0 — the
+	// thundering herd.
+	Arrival time.Duration
+	// Concurrency is the server's session cap (default GOMAXPROCS-like 4);
+	// clients beyond it are dropped at REQ time and recover by retrying.
+	Concurrency int
+	// Adversary, when active, is installed per client (station-scoped, so
+	// one client's traffic cannot perturb another's decision stream),
+	// client i seeded Seed+i. ClientAdversary overrides it per client.
+	Adversary params.Adversary
+	// ClientAdversary, when non-nil, returns client i's adversary (an
+	// inactive adversary leaves the client clean).
+	ClientAdversary func(i int) params.Adversary
+	// Seed drives every stochastic choice (sizes, strategies, arrivals,
+	// adversaries). Trial t of Sample uses Seed+t.
+	Seed int64
+	// Trials is the Sample batch size (default 1).
+	Trials int
+}
+
+// withLoadDefaults fills the zero fields.
+func (sc LoadScenario) withLoadDefaults() LoadScenario {
+	if sc.Cost.BandwidthBitsPerSec == 0 {
+		sc.Cost = params.ModernGigabit()
+	}
+	if sc.N <= 0 {
+		sc.N = 8
+	}
+	if len(sc.Bytes) == 0 {
+		sc.Bytes = []int{64 << 10}
+	}
+	if len(sc.Strategies) == 0 {
+		sc.Strategies = []core.Strategy{core.GoBackN}
+	}
+	if sc.Chunk == 0 {
+		sc.Chunk = params.DataPacketSize
+	}
+	if sc.Tr == 0 {
+		sc.Tr = 100 * time.Millisecond
+	}
+	if sc.Concurrency <= 0 {
+		sc.Concurrency = 4
+	}
+	if sc.Trials <= 0 {
+		sc.Trials = 1
+	}
+	return sc
+}
+
+// LoadClientResult is one client's end-to-end outcome.
+type LoadClientResult struct {
+	Client     int
+	TransferID uint32
+	Bytes      int
+	Strategy   core.Strategy
+	Arrival    time.Duration // scheduled arrival (virtual)
+	Start      time.Duration // request issued (virtual)
+	End        time.Duration // transfer complete (virtual)
+	Elapsed    time.Duration // End - Start: queueing + transfer
+	Completed  bool
+	ChecksumOK bool
+	// Counts combines the client's receiver-side counters with the server
+	// session's sender-side ones (DataSent/Retransmits, from the Done
+	// hook), so one struct captures the whole conversation.
+	Counts Counts
+	Err    string
+}
+
+// MBps is the client's end-to-end virtual throughput.
+func (r LoadClientResult) MBps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / r.Elapsed.Seconds() / 1e6
+}
+
+// LoadResult reports one load-scenario run.
+type LoadResult struct {
+	Clients   []LoadClientResult
+	Served    int           // transfers the server completed
+	Completed int           // clients that finished with an intact payload
+	Makespan  time.Duration // first arrival to last completion (virtual)
+	AggBytes  int64         // payload bytes delivered across all clients
+	Agg       Counts        // summed per-client counts
+	// Fairness is Jain's index over completed clients' end-to-end
+	// throughputs: 1.0 = perfectly even service, 1/n = one client hogged
+	// the server.
+	Fairness float64
+}
+
+// jain computes Jain's fairness index over xs (1 for empty input).
+func jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// loadClientSpec is one client's pre-drawn workload.
+type loadClientSpec struct {
+	bytes    int
+	strategy core.Strategy
+	arrival  time.Duration
+	adv      params.Adversary
+	advSeed  int64
+}
+
+// specs draws every client's workload up front, in index order, so the
+// scenario is a pure function of its seed.
+func (sc LoadScenario) specs() []loadClientSpec {
+	rng := rand.New(rand.NewSource(sc.Seed*-3751637671895480951 + 7046029254386353131))
+	out := make([]loadClientSpec, sc.N)
+	for i := range out {
+		s := &out[i]
+		s.bytes = sc.Bytes[rng.Intn(len(sc.Bytes))]
+		s.strategy = sc.Strategies[rng.Intn(len(sc.Strategies))]
+		if sc.Arrival > 0 {
+			s.arrival = time.Duration(rng.Int63n(int64(sc.Arrival)))
+		}
+		s.adv = sc.Adversary
+		if sc.ClientAdversary != nil {
+			s.adv = sc.ClientAdversary(i)
+		}
+		s.advSeed = sc.Seed + int64(i)
+	}
+	return out
+}
+
+// Run executes the scenario once: one kernel, one sharded server process,
+// N client processes. The result is deterministic — same seed, same bits —
+// regardless of GOMAXPROCS, because every process runs under the kernel's
+// handoff scheduling.
+func (sc LoadScenario) Run() (LoadResult, error) {
+	sc = sc.withLoadDefaults()
+	k := sim.NewKernel()
+	n, err := sim.NewNetwork(k, sc.Cost, params.LossModel{}, sc.Seed)
+	if err != nil {
+		return LoadResult{}, err
+	}
+	serverSt := n.AddStation("server")
+	specs := sc.specs()
+
+	// The server streams seeded chunks, exactly like blastd: a pull of B
+	// bytes is generated from seed B, so the client can verify the payload
+	// without the server materialising it.
+	serverStats := make(map[uint32]session.TransferStats, sc.N)
+	srv := &session.Server{
+		Concurrency: sc.Concurrency,
+		// Virtual idle: generous enough to outlive the full arrival window
+		// plus service; it only delays the (free) virtual clock at the end.
+		Idle: sc.Arrival + 5*time.Minute,
+		Source: func(r wire.Req) (core.ChunkSource, bool) {
+			if r.Bytes == 0 || r.Chunk == 0 {
+				return nil, false
+			}
+			stream := int(r.StreamBytes())
+			return core.OffsetSource(
+				core.SeededSource(int64(stream), stream, int(r.Chunk)),
+				int(r.OffsetChunks)), true
+		},
+		Done: func(ts session.TransferStats) { serverStats[ts.TransferID] = ts },
+	}
+	var srvErr error
+	sim.Serve(n, serverSt, func(l *sim.Listener) { srvErr = srv.Run(l) })
+
+	results := make([]LoadClientResult, sc.N)
+	k.Go("load", func(p *sim.Proc) {
+		f := &sim.Fabric{
+			Net:    n,
+			Server: serverSt,
+			P:      p,
+			Prepare: func(i int, st *sim.Station) error {
+				if !specs[i].adv.Active() {
+					return nil
+				}
+				return st.SetAdversary(specs[i].adv, specs[i].advSeed)
+			},
+		}
+		// Per-client errors are recorded in results[i].Err; Fan's error
+		// slice would only duplicate them.
+		f.Fan(sc.N, func(i int, c transport.Client) error {
+			s := specs[i]
+			r := &results[i]
+			r.Client, r.Bytes, r.Strategy, r.Arrival = i, s.bytes, s.strategy, s.arrival
+			r.TransferID = uint32(i + 1)
+			c.Compute(s.arrival) // staggered arrival
+			cfg := core.Config{
+				TransferID:     r.TransferID,
+				Bytes:          s.bytes,
+				ChunkSize:      sc.Chunk,
+				Protocol:       core.Blast,
+				Strategy:       s.strategy,
+				Window:         sc.Window,
+				RetransTimeout: sc.Tr,
+			}
+			r.Start = c.Now()
+			res, err := core.Request(c, cfg)
+			r.End = c.Now()
+			r.Elapsed = r.End - r.Start
+			if err != nil {
+				r.Err = err.Error()
+				return err
+			}
+			r.Completed = res.Completed
+			r.ChecksumOK = res.Completed &&
+				res.Checksum == core.TransferChecksum(core.SeededPayload(int64(s.bytes), s.bytes, sc.Chunk))
+			r.Counts = Counts{
+				DataRecv:   res.DataPackets - res.LingerEvents,
+				Duplicates: res.Duplicates - res.LingerEvents,
+				AcksOut:    res.AcksSent - res.LingerAcks,
+				NaksOut:    res.NaksSent - res.LingerNaks,
+			}
+			return nil
+		})
+	})
+	if err := k.Run(); err != nil {
+		return LoadResult{}, fmt.Errorf("simrun: load %s: %w", sc.Name, err)
+	}
+	if srvErr != nil {
+		return LoadResult{}, fmt.Errorf("simrun: load %s server: %w", sc.Name, srvErr)
+	}
+
+	out := LoadResult{Clients: results, Served: srv.Served()}
+	var rates []float64
+	var first, last time.Duration = -1, 0
+	for i := range results {
+		r := &results[i]
+		if ts, ok := serverStats[r.TransferID]; ok {
+			r.Counts.DataSent = ts.Packets
+			r.Counts.Retransmits = ts.Retransmits
+		}
+		if first < 0 || r.Arrival < first {
+			first = r.Arrival
+		}
+		if r.End > last {
+			last = r.End
+		}
+		out.Agg.DataSent += r.Counts.DataSent
+		out.Agg.Retransmits += r.Counts.Retransmits
+		out.Agg.DataRecv += r.Counts.DataRecv
+		out.Agg.Duplicates += r.Counts.Duplicates
+		out.Agg.AcksOut += r.Counts.AcksOut
+		out.Agg.NaksOut += r.Counts.NaksOut
+		if r.Completed && r.ChecksumOK {
+			out.Completed++
+			out.AggBytes += int64(r.Bytes)
+			if r.Elapsed > 0 {
+				rates = append(rates, r.MBps())
+			}
+		}
+	}
+	if first < 0 {
+		first = 0
+	}
+	out.Makespan = last - first
+	out.Fairness = jain(rates)
+	return out, nil
+}
+
+// LoadStats merges a batch of independent seeded load trials, folded
+// strictly in trial-index order so the result is bit-identical at any
+// worker count.
+type LoadStats struct {
+	Trials    int
+	Makespan  stats.Durations
+	Served    int64
+	Completed int64
+	DataSent  int64
+	Retrans   int64
+	// FairnessMean averages Jain's index across trials.
+	FairnessMean float64
+}
+
+// Sample runs the scenario's Trials independent instances (trial t seeded
+// Seed+t) fanned across workers (0 or negative: GOMAXPROCS via the same
+// convention as SampleWorkers), merging in index order.
+func (sc LoadScenario) Sample(workers int) (LoadStats, error) {
+	sc = sc.withLoadDefaults()
+	n := sc.Trials
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if sc.ClientAdversary != nil || sc.Adversary.Script != nil {
+		workers = 1 // callback hooks are not goroutine-safe
+	}
+	results := make([]LoadResult, n)
+	errs := make([]error, n)
+	worker := func(w int) {
+		for t := w; t < n; t += workers {
+			s := sc
+			s.Seed = sc.Seed + int64(t)
+			results[t], errs[t] = s.Run()
+		}
+	}
+	if workers == 1 {
+		worker(0)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				worker(w)
+			}(w)
+		}
+		wg.Wait()
+	}
+	var agg LoadStats
+	var fairSum float64
+	for t := 0; t < n; t++ {
+		if errs[t] != nil {
+			return agg, errs[t]
+		}
+		r := results[t]
+		agg.Trials++
+		agg.Makespan.Add(r.Makespan)
+		agg.Served += int64(r.Served)
+		agg.Completed += int64(r.Completed)
+		agg.DataSent += int64(r.Agg.DataSent)
+		agg.Retrans += int64(r.Agg.Retransmits)
+		fairSum += r.Fairness
+	}
+	if agg.Trials > 0 {
+		agg.FairnessMean = fairSum / float64(agg.Trials)
+	}
+	return agg, nil
+}

@@ -4,58 +4,31 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"os"
-	"runtime"
-	"sync"
-	"sync/atomic"
-	"syscall"
 	"time"
 
 	"blastlan/internal/core"
 	"blastlan/internal/params"
+	"blastlan/internal/session"
+	"blastlan/internal/transport"
 	"blastlan/internal/wire"
 )
 
 // Server answers transfer requests on one socket. With Concurrency <= 1 it
 // serves serially, the paper's world of two matched machines where a
 // transfer in progress owns the link. With Concurrency > 1 it becomes a
-// sharded daemon: one demux loop (batched with recvmmsg where available)
-// routes datagrams by source address into per-session goroutines, each
-// running the unmodified core protocol engines over its own channel-fed
-// Env — the fan-out a daemon needs to serve many clients at once.
+// sharded daemon: the substrate-agnostic session layer (internal/session)
+// runs its demux loop over this socket's transport.Listener, routing
+// datagrams by source address into per-session goroutines — each running
+// the unmodified core protocol engines over its own channel-fed Env, with
+// its own sendmmsg frame ring. All the serving machinery (sharded session
+// table, REQ-only admission, streaming handlers, stripe-range resolution,
+// graceful drain) is shared with the simulator substrate; only the
+// socket/mmsg specifics live here.
 type Server struct {
-	// Data, when non-nil, satisfies pull requests (MoveFrom): it returns
-	// the bytes to blast back for an accepted request.
-	Data func(wire.Req) ([]byte, bool)
-
-	// Source, when non-nil, satisfies pull requests without materialising
-	// them: it returns a streaming chunk source (see core.ChunkSource).
-	// Preferred over Data when both are set — a 1 GB pull then never means
-	// a 1 GB allocation.
-	Source func(wire.Req) (core.ChunkSource, bool)
-
-	// Sink, when non-nil, accepts push requests (MoveTo) and receives the
-	// completed, fully assembled transfer.
-	Sink func(wire.Req, []byte)
-
-	// SinkStream, when non-nil, accepts push requests without buffering:
-	// it returns a per-transfer chunk sink plus a completion callback that
-	// receives the final result (byte count, incremental checksum).
-	// Preferred over Sink when both are set. done is called exactly once
-	// per accepted push, whether or not the transfer completed — check
-	// RecvResult.Completed before trusting the bytes — so implementations
-	// can release per-transfer resources (close files) on aborts too.
-	SinkStream func(wire.Req) (sink core.ChunkSink, done func(core.RecvResult), ok bool)
-
-	// Idle bounds how long Run waits for the next request; zero waits
-	// forever (until the socket closes).
-	Idle time.Duration
-
-	// Concurrency caps the number of simultaneous sessions. <= 1 serves
-	// serially; above that, each client gets its own session goroutine and
-	// requests beyond the cap are dropped (the client's REQ retransmission
-	// retries them).
-	Concurrency int
+	// The shared serving machinery and its handler hooks: Data, Source,
+	// Sink, SinkStream, Idle, Concurrency, Logf, Done, BeginDrain, Served —
+	// see session.Server.
+	session.Server
 
 	// Batch enables batched syscall I/O (sendmmsg frame rings per session,
 	// recvmmsg demux drain) with the given batch size; <= 1 stays on the
@@ -67,55 +40,14 @@ type Server struct {
 	// with a clear log line instead of stalling on truncated reads.
 	MTU int
 
-	// Logf, when non-nil, receives operational log lines (rejections,
-	// session errors, cap drops).
-	Logf func(format string, args ...any)
-
-	// Done, when non-nil, is called after every completed transfer with
-	// its stats — the per-peer rate log hook.
-	Done func(TransferStats)
-
 	conn net.PacketConn
-
-	mu     sync.Mutex
-	served int
 }
 
 // TransferStats reports one completed transfer for the Done hook.
-type TransferStats struct {
-	Peer        net.Addr
-	Req         wire.Req
-	Push        bool
-	Bytes       int
-	Elapsed     time.Duration
-	Packets     int // data packets (received for pushes, sent for pulls)
-	Retransmits int // pulls only
-	Checksum    uint16
-}
-
-// MBps returns the transfer's application-level throughput in MB/s.
-func (t TransferStats) MBps() float64 {
-	if t.Elapsed <= 0 {
-		return 0
-	}
-	return float64(t.Bytes) / t.Elapsed.Seconds() / 1e6
-}
+type TransferStats = session.TransferStats
 
 // NewServer wraps a socket in a transfer server.
 func NewServer(conn net.PacketConn) *Server { return &Server{conn: conn} }
-
-// Served reports how many transfers completed successfully.
-func (s *Server) Served() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.served
-}
-
-func (s *Server) logf(format string, args ...any) {
-	if s.Logf != nil {
-		s.Logf(format, args...)
-	}
-}
 
 func (s *Server) mtu() int {
 	if s.MTU > 0 {
@@ -127,542 +59,82 @@ func (s *Server) mtu() int {
 // Run serves requests until the socket is closed (or Idle expires with no
 // session in flight). It returns nil on a clean close.
 func (s *Server) Run() error {
-	if s.Concurrency > 1 {
-		return s.runConcurrent()
+	mtu := s.mtu()
+	if s.Validate == nil {
+		s.Validate = func(c core.Config) error { return validateConfigMTU(c, mtu) }
 	}
+	if s.Concurrency > 1 {
+		return s.Server.Run(newServerListener(s.conn, s.Batch, mtu))
+	}
+	var e *Endpoint
 	for {
-		if err := s.serveOne(); err != nil {
-			if core.IsTimeout(err) {
+		// Serial drain: finish the transfer in flight (ServeEnv returns only
+		// between transfers), then stop accepting — the same contract as the
+		// sharded loop's BeginDrain handling.
+		if s.Draining() {
+			return nil
+		}
+		if e == nil {
+			var err error
+			if e, err = s.serveEndpoint(); err != nil {
+				return err
+			}
+		}
+		err := s.serveOne(e)
+		if err == nil {
+			e = nil // a fresh endpoint per transfer, exactly as before
+			continue
+		}
+		if core.IsTimeout(err) {
+			if s.Idle > 0 || s.Draining() {
 				return nil // idle bound reached
 			}
-			if errors.Is(err, net.ErrClosed) {
-				return nil
-			}
-			return err
+			// Wait-poll expired: keep the endpoint but forget any peer a
+			// rejected REQ locked it to, exactly as retiring it would have.
+			e.ResetPeer()
+			continue
 		}
+		if errors.Is(err, net.ErrClosed) {
+			return nil
+		}
+		return err
 	}
 }
 
-// serveOne accepts and completes a single transfer on the serial path.
-func (s *Server) serveOne() error {
+// serveEndpoint builds the serial path's per-transfer endpoint. It is
+// reused across idle wait-polls (only a completed transfer retires it), so
+// an idle server allocates nothing while it waits.
+func (s *Server) serveEndpoint() (*Endpoint, error) {
 	e := NewEndpoint(s.conn, nil)
 	e.LockPeer = true
 	e.LearnReqOnly = true
 	if s.MTU > 0 {
 		if err := e.SetMTU(s.MTU); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	if s.Batch > 1 {
 		e.SetBatch(s.Batch)
 	}
-	idle := time.Duration(-1)
+	return e, nil
+}
+
+// serveOne accepts and completes a single transfer on the serial path.
+func (s *Server) serveOne(e *Endpoint) error {
+	// An unbounded wait becomes a poll, so Run's loop notices BeginDrain on
+	// an idle server instead of blocking in Recv until the next request.
+	idle := 250 * time.Millisecond
 	if s.Idle > 0 {
 		idle = s.Idle
 	}
-	return s.serveTransfer(e, idle, e.ValidateConfig, e.Peer)
-}
-
-// serveTransfer accepts one request on env and completes the transfer,
-// dispatching to the server's streaming or buffering handlers. peerOf is
-// consulted lazily (the serial endpoint only learns its peer from the REQ).
-func (s *Server) serveTransfer(env core.Env, idle time.Duration, validate func(core.Config) error, peerOf func() net.Addr) error {
-	var (
-		isPush   bool
-		req      wire.Req
-		pushDone func(core.RecvResult)
-	)
-	cfg, err := core.ServeOnce(env, idle, func(r wire.Req) (core.Config, bool) {
-		c := core.ConfigOf(0, r)
-		// Wall-clock linger/idle bounds: the simulation defaults are sized
-		// for free virtual time and would stall the server between clients.
-		c.Linger = 2*c.RetransTimeout + 100*time.Millisecond
-		c.ReceiverIdle = 8*c.RetransTimeout + 2*time.Second
-		if validate != nil {
-			if verr := validate(c); verr != nil {
-				s.logf("udplan: rejecting request from %v: %v", peerOf(), verr)
-				return core.Config{}, false
-			}
+	// The serial endpoint only learns its peer from the REQ, so the peer is
+	// resolved lazily.
+	return s.ServeEnv(e, idle, e.ValidateConfig, func() transport.Peer {
+		if p := e.Peer(); p != nil {
+			return p
 		}
-		req, isPush = r, r.Push
-		if r.Push {
-			if s.SinkStream != nil {
-				sink, done, ok := s.SinkStream(r)
-				if !ok {
-					return core.Config{}, false
-				}
-				c.Sink, pushDone = sink, done
-				return c, true
-			}
-			if s.Sink == nil {
-				return core.Config{}, false
-			}
-			return c, true
-		}
-		if s.Source != nil {
-			src, ok := s.Source(r)
-			if !ok {
-				return core.Config{}, false
-			}
-			c.Source = src
-			return c, true
-		}
-		if s.Data == nil {
-			return core.Config{}, false
-		}
-		payload, ok := s.Data(r)
-		if !ok || len(payload) != c.Bytes {
-			return core.Config{}, false
-		}
-		c.Payload = payload
-		return c, true
+		return nil
 	})
-	if err != nil {
-		return err
-	}
-	stats := TransferStats{Peer: peerOf(), Req: req, Push: isPush}
-	if isPush {
-		res, err := core.AcceptPush(env, cfg)
-		if err != nil {
-			// The sink's resources (an open file, say) must be released
-			// even for an aborted push; Completed is false on this path.
-			if pushDone != nil {
-				pushDone(res)
-			}
-			return fmt.Errorf("udplan: accepting push: %w", err)
-		}
-		if pushDone != nil {
-			pushDone(res)
-		} else if s.Sink != nil {
-			s.Sink(req, res.Data)
-		}
-		stats.Bytes, stats.Elapsed = res.Bytes, res.Elapsed
-		stats.Packets, stats.Checksum = res.DataPackets, res.Checksum
-	} else {
-		res, err := core.RunSender(env, cfg)
-		if err != nil {
-			return fmt.Errorf("udplan: serving pull: %w", err)
-		}
-		stats.Bytes, stats.Elapsed = cfg.Bytes, res.Elapsed
-		stats.Packets, stats.Retransmits = res.DataPackets, res.Retransmits
-	}
-	s.mu.Lock()
-	s.served++
-	s.mu.Unlock()
-	if s.Done != nil {
-		s.Done(stats)
-	}
-	return nil
-}
-
-// dgram is one pooled datagram in flight from the demux loop to a session.
-type dgram struct {
-	b *[]byte
-	n int
-}
-
-// session is one client conversation in the concurrent server.
-type session struct {
-	key   string
-	peer  net.Addr
-	inbox chan dgram
-}
-
-// runConcurrent is the sharded daemon: one demux loop feeding per-session
-// goroutines.
-func (s *Server) runConcurrent() error {
-	mtu := s.mtu()
-	raw := rawConnOf(s.conn)
-	var rx *rxBatch
-	if s.Batch > 1 && raw != nil {
-		rx = newRxBatch(s.Batch, mtu)
-	}
-	rbuf := make([]byte, mtu)
-	pool := &sync.Pool{New: func() any { b := make([]byte, mtu); return &b }}
-	table := newSessionTable()
-	var wg sync.WaitGroup
-	var active atomic.Int32
-	var keybuf [addrKeyLen]byte
-
-	defer func() {
-		table.closeAll()
-		wg.Wait()
-	}()
-
-	for {
-		var deadline time.Time
-		if s.Idle > 0 {
-			deadline = time.Now().Add(s.Idle)
-		}
-		if err := s.conn.SetReadDeadline(deadline); err != nil {
-			return err
-		}
-
-		var (
-			data, name []byte
-			addr       net.Addr
-		)
-		if rx != nil && rx.pending() {
-			data, name = rx.pop()
-		} else {
-			n, a, err := s.conn.ReadFrom(rbuf)
-			if err != nil {
-				if core.IsTimeout(err) {
-					if active.Load() == 0 {
-						return nil // idle bound reached
-					}
-					continue
-				}
-				if errors.Is(err, net.ErrClosed) {
-					return nil
-				}
-				return err
-			}
-			data, addr = rbuf[:n], a
-			if rx != nil {
-				rx.drain(raw)
-			}
-		}
-
-		// Canonical demux key, allocation-free for lookups.
-		if name != nil {
-			if !keyFromRaw(&keybuf, name) {
-				continue
-			}
-		} else if ua, ok := addr.(*net.UDPAddr); ok {
-			keyFromUDP(&keybuf, ua)
-		} else {
-			continue
-		}
-
-		sess := table.get(keybuf[:])
-		if sess == nil {
-			// Only a checksum-valid REQ opens a session — the concurrent
-			// mirror of LearnReqOnly: stragglers from finished transfers
-			// cannot claim server state.
-			var pkt wire.Packet
-			if wire.DecodeInto(&pkt, data) != nil || pkt.Type != wire.TypeReq {
-				continue
-			}
-			if int(active.Load()) >= s.Concurrency {
-				s.logf("udplan: session cap %d reached; dropping REQ (client will retry)", s.Concurrency)
-				continue
-			}
-			peer := addr
-			if peer == nil {
-				if peer = rawToUDPAddr(name); peer == nil {
-					continue
-				}
-			}
-			sess = &session{
-				key:   string(keybuf[:]),
-				peer:  peer,
-				inbox: make(chan dgram, 256),
-			}
-			table.put(sess)
-			active.Add(1)
-			wg.Add(1)
-			go func(sess *session) {
-				defer wg.Done()
-				s.runSession(sess, pool, raw, mtu)
-				table.remove(sess.key)
-				active.Add(-1)
-			}(sess)
-		}
-
-		bp := pool.Get().(*[]byte)
-		n := copy(*bp, data)
-		select {
-		case sess.inbox <- dgram{bp, n}:
-		default:
-			pool.Put(bp) // inbox overflow: an interface drop; the protocol recovers
-		}
-	}
-}
-
-// runSession drives one client conversation to completion.
-func (s *Server) runSession(sess *session, pool *sync.Pool, raw syscall.RawConn, mtu int) {
-	env := newSessionEnv(s.conn, raw, sess.peer, sess.inbox, pool)
-	if s.Batch > 1 {
-		env.tx = newTxBatch(s.Batch, mtu, env.flushFrames)
-	}
-	idle := s.Idle
-	if idle <= 0 {
-		// The opening REQ is already queued; this only bounds a client that
-		// vanished mid-handshake.
-		idle = 30 * time.Second
-	}
-	err := s.serveTransfer(env, idle, func(c core.Config) error {
-		return validateConfigMTU(c, mtu)
-	}, func() net.Addr { return sess.peer })
-	env.FlushBatch()
-	env.recycle()
-	if err != nil && !core.IsTimeout(err) && !errors.Is(err, net.ErrClosed) {
-		s.logf("udplan: session %v: %v", sess.peer, err)
-	}
-}
-
-// sessionEnv adapts one demuxed session to core.Env: receives come from the
-// demux loop's channel, sends go straight to the shared socket (batched
-// through a per-session frame ring when enabled).
-type sessionEnv struct {
-	conn  net.PacketConn
-	raw   syscall.RawConn
-	peer  net.Addr
-	inbox chan dgram
-	pool  *sync.Pool
-	start time.Time
-	timer *time.Timer
-	cur   *[]byte // current packet's buffer; recycled on the next Recv
-	pkt   wire.Packet
-	wbuf  []byte
-	tx    *txBatch
-	ms    mmsgSender
-	gap   time.Duration // adaptive pacing between data packets (core.Pacer)
-}
-
-func newSessionEnv(conn net.PacketConn, raw syscall.RawConn, peer net.Addr, inbox chan dgram, pool *sync.Pool) *sessionEnv {
-	t := time.NewTimer(time.Hour)
-	if !t.Stop() {
-		<-t.C
-	}
-	return &sessionEnv{conn: conn, raw: raw, peer: peer, inbox: inbox, pool: pool, start: time.Now(), timer: t}
-}
-
-// BatchLimit implements core.BatchLimiter.
-func (se *sessionEnv) BatchLimit() int {
-	if se.tx == nil {
-		return 1
-	}
-	return se.tx.flushAt()
-}
-
-// SetBatchLimit implements core.BatchLimiter: the session's flush
-// threshold follows the adaptive controller's window without reallocating
-// the ring. The demux loop owns the receive side; only transmit batching
-// is per-session.
-func (se *sessionEnv) SetBatchLimit(n int) {
-	if se.tx == nil {
-		return
-	}
-	se.tx.setLimit(n)
-}
-
-// SetPacketGap implements core.Pacer for the serving side of a pull.
-func (se *sessionEnv) SetPacketGap(d time.Duration) { se.gap = d }
-
-// Gap implements core.Pacer.
-func (se *sessionEnv) Gap() time.Duration { return se.gap }
-
-// Now returns the wall-clock time since the session started.
-func (se *sessionEnv) Now() time.Duration { return time.Since(se.start) }
-
-// Compute is a no-op: real work takes real time.
-func (se *sessionEnv) Compute(time.Duration) {}
-
-// PacketConsumedOnSend implements core.PacketReuser.
-func (se *sessionEnv) PacketConsumedOnSend() {}
-
-// FlushBatch implements core.BatchFlusher.
-func (se *sessionEnv) FlushBatch() error {
-	if se.tx == nil {
-		return nil
-	}
-	return se.tx.Flush()
-}
-
-// flushFrames writes the session's queued frames, batched where possible.
-func (se *sessionEnv) flushFrames(frames [][]byte, lens []int, n int) error {
-	return flushFramesTo(se.raw, &se.ms, se.conn, se.peer, frames, lens, n)
-}
-
-// Send encodes and transmits one packet to the session's peer. A non-zero
-// pacing gap spaces data packets on the wire, exactly like
-// Endpoint.PacketGap (the frame is flushed before the sleep so the gap is
-// real spacing, not a queued burst).
-func (se *sessionEnv) Send(p *wire.Packet) error {
-	if err := se.send(p); err != nil {
-		return err
-	}
-	if se.gap > 0 && p.Type == wire.TypeData {
-		if err := se.FlushBatch(); err != nil {
-			return err
-		}
-		time.Sleep(se.gap)
-	}
-	return nil
-}
-
-func (se *sessionEnv) send(p *wire.Packet) error {
-	if se.tx != nil {
-		n, err := p.EncodeInto(se.tx.slot())
-		if err != nil {
-			return err
-		}
-		if err := se.tx.commit(n); err != nil {
-			return err
-		}
-		if flushesImmediately(p) {
-			return se.tx.Flush()
-		}
-		return nil
-	}
-	buf, err := p.Encode(se.wbuf[:0])
-	if err != nil {
-		return err
-	}
-	se.wbuf = buf[:0]
-	_, err = se.conn.WriteTo(buf, se.peer)
-	return err
-}
-
-// SendAsync is Send: UDP writes do not wait for transmission anyway.
-func (se *sessionEnv) SendAsync(p *wire.Packet) error { return se.Send(p) }
-
-// Recv returns the session's next valid packet. The decoded packet aliases
-// a pooled buffer that stays valid until the following Recv.
-func (se *sessionEnv) Recv(timeout time.Duration) (*wire.Packet, error) {
-	if err := se.FlushBatch(); err != nil {
-		return nil, err
-	}
-	for {
-		d, err := se.nextDgram(timeout)
-		if err != nil {
-			return nil, err
-		}
-		se.recycle()
-		se.cur = d.b
-		if derr := wire.DecodeInto(&se.pkt, (*d.b)[:d.n]); derr != nil {
-			continue // corrupted in flight: the checksum did its job
-		}
-		return &se.pkt, nil
-	}
-}
-
-// recycle returns the current packet's buffer to the pool.
-func (se *sessionEnv) recycle() {
-	if se.cur != nil {
-		se.pool.Put(se.cur)
-		se.cur = nil
-	}
-}
-
-// nextDgram waits for the demux loop's next datagram with core.Env timeout
-// semantics.
-func (se *sessionEnv) nextDgram(timeout time.Duration) (dgram, error) {
-	if timeout < 0 {
-		d, ok := <-se.inbox
-		if !ok {
-			return dgram{}, net.ErrClosed
-		}
-		return d, nil
-	}
-	if timeout == 0 {
-		select {
-		case d, ok := <-se.inbox:
-			if !ok {
-				return dgram{}, net.ErrClosed
-			}
-			return d, nil
-		default:
-			return dgram{}, os.ErrDeadlineExceeded
-		}
-	}
-	se.timer.Reset(timeout)
-	select {
-	case d, ok := <-se.inbox:
-		if !se.timer.Stop() {
-			select {
-			case <-se.timer.C:
-			default:
-			}
-		}
-		if !ok {
-			return dgram{}, net.ErrClosed
-		}
-		return d, nil
-	case <-se.timer.C:
-		return dgram{}, os.ErrDeadlineExceeded
-	}
-}
-
-// sessionTable is the sharded session map: one shard per GOMAXPROCS so
-// concurrent completions and lookups do not serialise on a single lock.
-type sessionTable struct {
-	shards []tableShard
-}
-
-type tableShard struct {
-	mu sync.Mutex
-	m  map[string]*session
-}
-
-func newSessionTable() *sessionTable {
-	n := runtime.GOMAXPROCS(0)
-	if n < 1 {
-		n = 1
-	}
-	t := &sessionTable{shards: make([]tableShard, n)}
-	for i := range t.shards {
-		t.shards[i].m = make(map[string]*session)
-	}
-	return t
-}
-
-// fnv-1a over the two key forms; identical results so lookups never copy.
-func hashKeyBytes(k []byte) uint32 {
-	h := uint32(2166136261)
-	for _, b := range k {
-		h ^= uint32(b)
-		h *= 16777619
-	}
-	return h
-}
-
-func hashKeyString(k string) uint32 {
-	h := uint32(2166136261)
-	for i := 0; i < len(k); i++ {
-		h ^= uint32(k[i])
-		h *= 16777619
-	}
-	return h
-}
-
-// get looks a session up by raw key bytes without allocating.
-func (t *sessionTable) get(k []byte) *session {
-	sh := &t.shards[hashKeyBytes(k)%uint32(len(t.shards))]
-	sh.mu.Lock()
-	s := sh.m[string(k)]
-	sh.mu.Unlock()
-	return s
-}
-
-func (t *sessionTable) put(s *session) {
-	sh := &t.shards[hashKeyString(s.key)%uint32(len(t.shards))]
-	sh.mu.Lock()
-	sh.m[s.key] = s
-	sh.mu.Unlock()
-}
-
-func (t *sessionTable) remove(key string) {
-	sh := &t.shards[hashKeyString(key)%uint32(len(t.shards))]
-	sh.mu.Lock()
-	delete(sh.m, key)
-	sh.mu.Unlock()
-}
-
-// closeAll closes every live session's inbox (the demux loop has stopped;
-// sessions drain and exit).
-func (t *sessionTable) closeAll() {
-	for i := range t.shards {
-		sh := &t.shards[i]
-		sh.mu.Lock()
-		for k, s := range sh.m {
-			close(s.inbox)
-			delete(sh.m, k)
-		}
-		sh.mu.Unlock()
-	}
 }
 
 // validateConfigMTU checks that a transfer's packets fit datagrams of the

@@ -1,23 +1,23 @@
 package udplan
 
 import (
-	"fmt"
 	"sync"
 	"time"
 
 	"blastlan/internal/core"
 	"blastlan/internal/params"
+	"blastlan/internal/session"
+	"blastlan/internal/transport"
 	"blastlan/internal/wire"
 )
 
 // Striped transfers: one logical pull split into contiguous chunk-aligned
-// byte ranges (core.PlanStripes), each moved by its own endpoint — its own
-// socket, so the sharded server demultiplexes each stripe into its own
-// session — running concurrently. Per-stripe ack round trips overlap, which
-// is what lets a single large transfer saturate a link the way GridFTP-style
-// parallel streams do. Reassembly is by offset through a core.StripeMerger;
-// the whole-stream checksum comes out of the per-stripe accumulators with no
-// cross-stripe synchronisation during the transfer.
+// byte ranges, each moved by its own endpoint — its own socket, so the
+// sharded server demultiplexes each stripe into its own session — running
+// concurrently. The orchestration (planning, merging, partial-failure
+// cancellation) is the substrate-agnostic session.PullStriped; this file
+// only contributes the UDP fabric: one dialed, adversary-armed endpoint per
+// stripe, one goroutine per stripe body.
 
 // StripeOptions configures the fan-out of a striped pull.
 type StripeOptions struct {
@@ -51,91 +51,71 @@ type StripeOptions struct {
 }
 
 // StripeOutcome is one stripe session's result.
-type StripeOutcome struct {
-	Stripe core.Stripe
-	Recv   core.RecvResult
-	Err    error
-}
+type StripeOutcome = session.StripeOutcome
 
 // StripedResult reports a striped pull: merged whole-transfer progress plus
 // the per-stripe feed.
-type StripedResult struct {
-	Bytes    int           // distinct payload bytes delivered across all stripes
-	Checksum uint16        // whole-stream Internet checksum (== core.TransferChecksum)
-	Elapsed  time.Duration // fan-out start to last stripe completion
-	Stripes  []StripeOutcome
-}
-
-// MBps returns the logical transfer's application-level throughput.
-func (r StripedResult) MBps() float64 {
-	if r.Elapsed <= 0 {
-		return 0
-	}
-	return float64(r.Bytes) / r.Elapsed.Seconds() / 1e6
-}
+type StripedResult = session.StripedResult
 
 // PullStriped requests the logical transfer cfg describes (Bytes, ChunkSize,
 // Protocol, Strategy, Window, Adaptive, timeouts) from the daemon at addr as
 // opts.Streams concurrent stripe sessions and reassembles the result. The
 // server must resolve each stripe's REQ against the logical stream (see
-// wire.Req.Offset); the sharded udplan.Server does this whenever its
-// Source/Data handler honours the request's stripe fields. cfg.Sink and
-// cfg.Payload are ignored — delivery goes through opts.Sink.
+// wire.Req.Offset); the sharded Server does this whenever its Source/Data
+// handler honours the request's stripe fields. cfg.Sink and cfg.Payload are
+// ignored — delivery goes through opts.Sink. If one stripe fails its
+// siblings are cancelled promptly (their sockets close under them) and the
+// returned error names the stripe that failed first.
 func PullStriped(addr string, cfg core.Config, opts StripeOptions) (StripedResult, error) {
-	chunk := cfg.ChunkSize
-	if chunk == 0 {
-		chunk = params.DataPacketSize
-	}
-	streams := opts.Streams
-	if streams <= 0 {
-		streams = 4
-	}
-	plan := core.PlanStripes(cfg.Bytes, chunk, streams)
-	if len(plan) == 0 {
-		return StripedResult{}, fmt.Errorf("udplan: nothing to stripe: %w", core.ErrBadConfig)
-	}
-	cfg.Payload, cfg.Source = nil, nil // pull side: bytes come off the wire
-
-	merger := core.NewStripeMerger(opts.Sink)
-	outs := make([]StripeOutcome, len(plan))
-	var wg sync.WaitGroup
-	start := time.Now()
-	for i, s := range plan {
-		scfg := core.StripeConfig(cfg, s)
-		scfg.Sink = merger.StripeSink(s)
-		outs[i].Stripe = s
-		wg.Add(1)
-		go func(i int, scfg core.Config) {
-			defer wg.Done()
-			outs[i].Err = pullStripe(addr, scfg, opts, i, &outs[i].Recv)
-		}(i, scfg)
-	}
-	wg.Wait()
-	res := StripedResult{Elapsed: time.Since(start), Stripes: outs}
-	sums := make([]uint16, len(plan))
-	for i := range outs {
-		res.Bytes += outs[i].Recv.Bytes
-		sums[i] = outs[i].Recv.Checksum
-	}
-	res.Checksum = core.MergeStripeChecksums(plan, sums)
-	for i := range outs {
-		if outs[i].Err != nil {
-			return res, fmt.Errorf("udplan: stripe %d of %d: %w", i, len(outs), outs[i].Err)
-		}
-	}
-	return res, nil
+	f := &stripeFabric{addr: addr, opts: opts}
+	return session.PullStriped(f, cfg, session.StripeOptions{
+		Streams: opts.Streams,
+		Sink:    opts.Sink,
+	})
 }
 
-// pullStripe runs one stripe session on its own endpoint.
-func pullStripe(addr string, scfg core.Config, opts StripeOptions, i int, out *core.RecvResult) error {
-	e, err := Dial(addr)
-	if err != nil {
-		return err
+// stripeFabric implements transport.Fabric over dialed UDP endpoints: one
+// fresh socket per stripe body, configured from StripeOptions.
+type stripeFabric struct {
+	addr string
+	opts StripeOptions
+}
+
+// Fan runs each stripe body in its own goroutine with its own endpoint.
+func (f *stripeFabric) Fan(n int, body func(i int, c transport.Client) error) []error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := f.dial(i)
+			if err != nil {
+				// The failure still flows through the body (see
+				// transport.Fabric), so a dead stripe cancels its siblings
+				// instead of letting them run their full transfers first.
+				errs[i] = body(i, transport.FailedClient(err))
+				return
+			}
+			defer c.Close()
+			errs[i] = body(i, c)
+		}(i)
 	}
-	defer e.Close()
+	wg.Wait()
+	return errs
+}
+
+// dial opens and configures stripe i's endpoint.
+func (f *stripeFabric) dial(i int) (transport.Client, error) {
+	e, err := Dial(f.addr)
+	if err != nil {
+		return nil, err
+	}
+	opts := f.opts
 	if opts.MTU > 0 {
 		if err := e.SetMTU(opts.MTU); err != nil {
-			return err
+			e.Close()
+			return nil, err
 		}
 	}
 	if opts.SocketBuf > 0 {
@@ -147,7 +127,8 @@ func pullStripe(addr string, scfg core.Config, opts StripeOptions, i int, out *c
 	e.PacketGap = opts.PacketGap
 	if opts.Adversary.Active() {
 		if err := e.SetAdversary(opts.Adversary, opts.AdversarySeed+int64(i)); err != nil {
-			return err
+			e.Close()
+			return nil, err
 		}
 	}
 	if opts.MangleTx != nil {
@@ -156,7 +137,14 @@ func pullStripe(addr string, scfg core.Config, opts StripeOptions, i int, out *c
 	if opts.MangleRx != nil {
 		e.MangleRx = opts.MangleRx(i)
 	}
-	res, err := Pull(e, scfg)
-	*out = res
-	return err
+	return &clientConn{e}, nil
 }
+
+// clientConn adapts a dialed endpoint to transport.Client.
+type clientConn struct{ *Endpoint }
+
+// Abort closes the underlying socket from a sibling's goroutine: the
+// owning engine's pending or next socket operation fails with
+// net.ErrClosed. Socket close is the only cross-goroutine-safe operation
+// on an Endpoint, which is exactly why cancellation uses it.
+func (c *clientConn) Abort() { c.conn.Close() }

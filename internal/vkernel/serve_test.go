@@ -1,0 +1,114 @@
+package vkernel
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"blastlan/internal/core"
+	"blastlan/internal/session"
+	"blastlan/internal/sim"
+	"blastlan/internal/wire"
+)
+
+// TestClusterServeManyKernels pins the V-kernel face of the shared session
+// layer: one file-server kernel serves six client kernels concurrently
+// (Concurrency=3, so half the herd recovers through REQ retry), each client
+// pulling a segment of the server process's address space into its own
+// process — a MoveFrom fan-out the two-kernel paths cannot express.
+func TestClusterServeManyKernels(t *testing.T) {
+	c, err := NewCluster(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		clients = 6
+		segment = 24 << 10
+	)
+
+	// The served process: one address space holding every client's segment.
+	data := make([]byte, clients*segment)
+	for i := range data {
+		data[i] = byte(i*2654435761 + i>>8)
+	}
+	src := c.B.CreateProcess(len(data), false)
+	copy(src.Bytes(), data)
+
+	srv := &session.Server{
+		Idle:        time.Minute,
+		Concurrency: 3,
+		// Pulls resolve byte ranges of the served segment through the REQ's
+		// stripe fields, exactly like a striped udplan pull.
+		Source: func(r wire.Req) (core.ChunkSource, bool) {
+			if r.Chunk == 0 {
+				return nil, false
+			}
+			off := int(r.Offset())
+			if off+int(r.Bytes) > len(data) {
+				return nil, false
+			}
+			seg := data[off : off+int(r.Bytes)]
+			chunk := int(r.Chunk)
+			return func(seq int, dst []byte) []byte {
+				lo := seq * chunk
+				hi := lo + chunk
+				if hi > len(seg) {
+					hi = len(seg)
+				}
+				return seg[lo:hi]
+			}, true
+		},
+	}
+	h := c.Serve(c.B, srv)
+
+	kernels := make([]*Kernel, clients)
+	dsts := make([]*Process, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		kernels[i] = c.AddKernel(fmt.Sprintf("client%d", i))
+		dsts[i] = kernels[i].CreateProcess(segment, true)
+	}
+	for i := 0; i < clients; i++ {
+		i := i
+		c.Sim.Go(fmt.Sprintf("pull%d", i), func(p *sim.Proc) {
+			env := sim.NewEndpoint(p, kernels[i].Station, c.B.Station)
+			cfg := core.Config{
+				TransferID:     uint32(1 + i),
+				Bytes:          segment,
+				ChunkSize:      1024,
+				Protocol:       core.Blast,
+				Strategy:       core.GoBackN,
+				RetransTimeout: 100 * time.Millisecond,
+				MaxAttempts:    50,
+				Linger:         50 * time.Millisecond,
+				ReceiverIdle:   2 * time.Second,
+				StripeOffset:   i * segment,
+				StripeTotal:    len(data),
+			}
+			res, err := core.Request(env, cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			copy(dsts[i].Bytes(), res.Data)
+		})
+	}
+	if err := c.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Err(); err != nil {
+		t.Fatalf("server exited with %v", err)
+	}
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client kernel %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(dsts[i].Bytes(), data[i*segment:(i+1)*segment]) {
+			t.Errorf("client kernel %d received the wrong segment", i)
+		}
+	}
+	if got := srv.Served(); got != clients {
+		t.Errorf("server served %d transfers, want %d", got, clients)
+	}
+}

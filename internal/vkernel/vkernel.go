@@ -24,6 +24,7 @@ import (
 
 	"blastlan/internal/core"
 	"blastlan/internal/params"
+	"blastlan/internal/session"
 	"blastlan/internal/sim"
 	"blastlan/internal/wire"
 )
@@ -129,6 +130,39 @@ func NewCluster(opts Options) (*Cluster, error) {
 	c.A = &Kernel{Name: "alpha", Station: net.AddStation("src"), cluster: c, procs: map[PID]*Process{}}
 	c.B = &Kernel{Name: "beta", Station: net.AddStation("dst"), cluster: c, procs: map[PID]*Process{}}
 	return c, nil
+}
+
+// AddKernel attaches another kernel to the cluster's network — the paper's
+// configuration generalised beyond two workstations, so a file-server
+// kernel can serve many client kernels at once through the shared session
+// layer (see Serve).
+func (c *Cluster) AddKernel(name string) *Kernel {
+	return &Kernel{Name: name, Station: c.Net.AddStation(name), cluster: c, procs: map[PID]*Process{}}
+}
+
+// ServeHandle reports a session-layer daemon started with Serve. Err is
+// meaningful once the simulation has quiesced (Sim.Run returned).
+type ServeHandle struct {
+	Proc *sim.Proc
+	err  error
+}
+
+// Err reports how the server exited (nil: clean close or idle bound).
+func (h *ServeHandle) Err() error { return h.err }
+
+// Serve runs a session-layer daemon on kernel k: the substrate-agnostic
+// sharded server of internal/session (the same demux loop, session table
+// and handlers that drive udplan's UDP daemon) listening on this kernel's
+// station. Client kernels reach it with ordinary REQ-initiated pulls
+// (core.Request on an endpoint bound to their own station), so a V file
+// server can serve a whole cluster of concurrently pulling clients — the
+// scale configuration the two-kernel MoveTo/MoveFrom paths cannot express.
+// The daemon completes when the server stops (its Idle bound expires with
+// no session in flight); check the handle's Err after the simulation runs.
+func (c *Cluster) Serve(k *Kernel, srv *session.Server) *ServeHandle {
+	h := &ServeHandle{}
+	h.Proc = sim.Serve(c.Net, k.Station, func(l *sim.Listener) { h.err = srv.Run(l) })
+	return h
 }
 
 // MoveOptions selects the transfer protocol for a MoveTo/MoveFrom.

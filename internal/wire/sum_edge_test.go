@@ -1,0 +1,71 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Targeted AddChecksumAt edge cases: the randomized suites cover typical
+// cuts, these pin the boundaries a striped transfer can actually produce —
+// odd-offset stripe starts, a zero-length final stripe, single-byte and
+// single-chunk stripes — plus fold-order independence (a striped merger
+// folds per-stripe checksums in whatever order stripes complete).
+func TestAddChecksumAtEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	data := make([]byte, 257) // odd length: the final range ends on an odd byte
+	rng.Read(data)
+
+	cases := []struct {
+		name string
+		cuts []int // range boundaries; consecutive pairs are [lo, hi)
+	}{
+		{"odd-boundaries", []int{0, 7, 8, 21, 21, 100, 257}},  // odd starts + an empty mid-range
+		{"zero-length-final", []int{0, 257, 257}},             // empty final stripe
+		{"single-byte-stripes", []int{0, 1, 2, 3, 4, 5, 257}}, // 1-byte ranges at even and odd offsets
+		{"whole-stream", []int{0, 257}},                       // one stripe
+		{"empty-leading", []int{0, 0, 0, 128, 257}},           // empty ranges at offset 0
+	}
+	want := Checksum(data)
+	for _, tc := range cases {
+		type rng16 struct {
+			off int
+			sum uint16
+		}
+		ranges := make([]rng16, 0, len(tc.cuts)-1)
+		for i := 0; i+1 < len(tc.cuts); i++ {
+			lo, hi := tc.cuts[i], tc.cuts[i+1]
+			ranges = append(ranges, rng16{lo, Checksum(data[lo:hi])})
+		}
+		// Forward, reverse and shuffled fold orders must all agree: the
+		// one's-complement sum is commutative, and the merger relies on it.
+		orders := [][]int{make([]int, len(ranges)), make([]int, len(ranges)), rand.New(rand.NewSource(3)).Perm(len(ranges))}
+		for i := range ranges {
+			orders[0][i] = i
+			orders[1][i] = len(ranges) - 1 - i
+		}
+		for oi, order := range orders {
+			var acc SumAcc
+			for _, i := range order {
+				acc.AddChecksumAt(ranges[i].off, ranges[i].sum)
+			}
+			if got := acc.Sum16(); got != want {
+				t.Errorf("%s order %d: merged %04x, want %04x", tc.name, oi, got, want)
+			}
+		}
+	}
+
+	// A zero-length range is a no-op whether its checksum arrives as the
+	// empty stream's checksum or as a zero value (an engine that never ran
+	// reports RecvResult.Checksum == 0).
+	var acc SumAcc
+	acc.AddAt(0, data)
+	base := acc.Sum16()
+	acc.AddChecksumAt(100, Checksum(nil))
+	if got := acc.Sum16(); got != base {
+		t.Errorf("empty-range checksum changed the sum: %04x vs %04x", got, base)
+	}
+	acc.AddChecksumAt(101, 0)
+	if got := acc.Sum16(); got != base {
+		t.Errorf("zero-value checksum changed the sum: %04x vs %04x", got, base)
+	}
+}
