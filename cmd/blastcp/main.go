@@ -50,6 +50,7 @@ func main() {
 		id        = flag.Uint("id", 1, "transfer id")
 		gap       = flag.Duration("gap", 0, "pace data packets with this inter-packet gap")
 		batch     = flag.Int("batch", 32, "syscall batch size (sendmmsg/recvmmsg frame rings; 1 = single-syscall)")
+		tierName  = flag.String("tier", "auto", "cap the batched datapath tier: gso, mmsg, writeto, auto")
 		mtu       = flag.Int("mtu", 0, "max datagram size for jumbo chunks (0: default 2048)")
 		sockbuf   = flag.Int("sockbuf", 4<<20, "kernel socket buffer size (large windows overflow the default)")
 		streams   = flag.Int("streams", 1, "stripe a pull across this many parallel sessions")
@@ -73,6 +74,10 @@ func main() {
 	if *streams > 1 && *pushFile != "" {
 		log.Fatal("blastcp: -streams applies to pulls only")
 	}
+	tier, err := udplan.ParseTier(*tierName)
+	if err != nil {
+		log.Fatalf("blastcp: %v", err)
+	}
 
 	cfg := core.Config{
 		TransferID:     uint32(*id),
@@ -94,6 +99,7 @@ func main() {
 		opts := udplan.StripeOptions{
 			Streams:   *streams,
 			Batch:     *batch,
+			Tier:      tier,
 			MTU:       *mtu,
 			SocketBuf: *sockbuf,
 			PacketGap: *gap,
@@ -150,7 +156,11 @@ func main() {
 	if *sockbuf > 0 {
 		e.SetSocketBuffers(*sockbuf)
 	}
+	e.MaxTier = tier
 	e.SetBatch(*batch)
+	if *batch > 1 {
+		log.Printf("blastcp: datapath tier %s (gro %v)", e.Tier(), e.GRO())
+	}
 	if *lossTx > 0 {
 		e.MangleTx = udplan.SeededDrop(*lossTx, 1)
 	}

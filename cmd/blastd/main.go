@@ -31,7 +31,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -53,6 +52,8 @@ func main() {
 		maxBytes    = flag.Int("max-bytes", 1<<30, "reject transfers larger than this")
 		concurrency = flag.Int("concurrency", 8, "session cap: concurrent transfers served at once (1 = serial)")
 		batch       = flag.Int("batch", 32, "syscall batch size for sendmmsg/recvmmsg frame rings (1 = single-syscall)")
+		sockets     = flag.Int("sockets", 1, "SO_REUSEPORT demux sockets sharing the listen port, one demux loop each (Linux; 1 = single socket)")
+		tierName    = flag.String("tier", "auto", "cap the batched datapath tier: gso, mmsg, writeto, auto")
 		mtu         = flag.Int("mtu", 0, "max datagram size for jumbo-frame chunks (0: default 2048)")
 		sockbuf     = flag.Int("sockbuf", 4<<20, "kernel socket buffer size (large windows overflow the default)")
 		drain       = flag.Duration("drain", 10*time.Second,
@@ -60,22 +61,29 @@ func main() {
 	)
 	flag.Parse()
 
-	conn, err := net.ListenPacket("udp", *listen)
+	tier, err := udplan.ParseTier(*tierName)
 	if err != nil {
 		log.Fatalf("blastd: %v", err)
 	}
-	defer conn.Close()
-	if *sockbuf > 0 {
-		udplan.SetConnBuffers(conn, *sockbuf)
+	conns, err := udplan.ListenReuseport("udp", *listen, *sockets)
+	if err != nil {
+		log.Fatalf("blastd: %v", err)
 	}
-	log.Printf("blastd: serving on %s (concurrency %d, batch %d)",
-		conn.LocalAddr(), *concurrency, *batch)
+	if *sockbuf > 0 {
+		for _, c := range conns {
+			udplan.SetConnBuffers(c, *sockbuf)
+		}
+	}
 
-	srv := udplan.NewServer(conn)
+	srv := udplan.NewMultiServer(conns...)
+	defer srv.Close()
 	srv.Concurrency = *concurrency
 	srv.Batch = *batch
 	srv.MTU = *mtu
+	srv.MaxTier = tier
 	srv.Logf = log.Printf
+	log.Printf("blastd: serving on %s (concurrency %d, batch %d, %d socket(s), tier %s)",
+		conns[0].LocalAddr(), *concurrency, *batch, len(conns), srv.Tier())
 	// Per-peer rate log (one line per completed transfer) plus the per-peer
 	// totals the shutdown summary prints.
 	summary := newPeerSummary()
@@ -191,11 +199,11 @@ func main() {
 			timer.Stop()
 		case <-timer.C:
 			log.Printf("blastd: drain bound expired; dropping %d session(s)", srv.Active())
-			conn.Close()
+			srv.Close()
 			runErr = <-runDone
 		case <-sigc:
 			log.Printf("blastd: forced; dropping %d session(s)", srv.Active())
-			conn.Close()
+			srv.Close()
 			runErr = <-runDone
 		}
 	}

@@ -48,6 +48,8 @@ func main() {
 			"with -udp: restrict the striped sweep to this stream count (0: full {1,2,4,8} sweep plus the classic single-stream cases)")
 		adaptive = flag.Bool("adaptive", false,
 			"with -udp: restrict the striped sweep to adaptive rate control only")
+		tier = flag.String("tier", "auto",
+			"with -udp: cap the datapath tier of the classic pull cases (gso, mmsg, writeto, auto); the snapshot records the tier that actually ran")
 	)
 	flag.Parse()
 	if *format != "text" && *format != "csv" {
@@ -56,7 +58,7 @@ func main() {
 	}
 
 	if *udp {
-		if err := runUDPBench(*benchjson, *quick, *streams, *adaptive); err != nil {
+		if err := runUDPBench(*benchjson, *quick, *streams, *adaptive, *tier); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -116,6 +118,7 @@ type benchEntry struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	MBps        float64 `json:"mbps,omitempty"` // end-to-end throughput cases only
+	Tier        string  `json:"tier,omitempty"` // datapath tier that actually ran (UDP pull cases)
 }
 
 // benchSnapshot is the machine-readable perf record CI archives as

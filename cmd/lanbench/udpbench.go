@@ -30,16 +30,32 @@ type udpPullCase struct {
 	bytes  int
 	batch  int // sendmmsg/recvmmsg ring size; 1 = single-syscall
 	window int
-	legacy bool // pre-PR pipeline: serial server, materialised payload, no streaming
+	legacy bool        // pre-PR pipeline: serial server, materialised payload, no streaming
+	tier   udplan.Tier // datapath tier cap (TierAuto: probe for the best)
+}
+
+// minTier combines a case's tier cap with the -tier flag: the stricter of
+// the two wins, TierAuto caps nothing.
+func minTier(a, b udplan.Tier) udplan.Tier {
+	if a == udplan.TierAuto {
+		return b
+	}
+	if b != udplan.TierAuto && b < a {
+		return b
+	}
+	return a
 }
 
 const udpSocketBuf = 4 << 20 // sized so a full window survives skb truesize accounting
 
-// runUDPPull executes one measured pull and returns the elapsed wall time.
-func runUDPPull(c udpPullCase) (time.Duration, error) {
+// runUDPPull executes one measured pull and returns the elapsed wall time
+// plus the datapath tier the client actually engaged (a gso-capped case
+// degrades to mmsg on kernels without UDP_SEGMENT; the snapshot records
+// which tier the number belongs to).
+func runUDPPull(c udpPullCase) (time.Duration, udplan.Tier, error) {
 	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer conn.Close()
 	setSocketBufs(conn)
@@ -53,6 +69,7 @@ func runUDPPull(c udpPullCase) (time.Duration, error) {
 	} else {
 		srv.Concurrency = 2
 		srv.Batch = c.batch
+		srv.MaxTier = c.tier
 		srv.Source = func(r wire.Req) (core.ChunkSource, bool) {
 			return core.SeededSource(int64(r.Bytes), int(r.Bytes), int(r.Chunk)), true
 		}
@@ -61,13 +78,15 @@ func runUDPPull(c udpPullCase) (time.Duration, error) {
 
 	e, err := udplan.Dial(conn.LocalAddr().String())
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer e.Close()
 	e.SetSocketBuffers(udpSocketBuf)
 	if !c.legacy {
+		e.MaxTier = c.tier
 		e.SetBatch(c.batch)
 	}
+	engaged := e.Tier()
 	cfg := core.Config{
 		TransferID:     1,
 		Bytes:          c.bytes,
@@ -87,12 +106,12 @@ func runUDPPull(c udpPullCase) (time.Duration, error) {
 	res, err := udplan.Pull(e, cfg)
 	elapsed := time.Since(t0)
 	if err != nil {
-		return elapsed, err
+		return elapsed, engaged, err
 	}
 	if res.Bytes != c.bytes {
-		return elapsed, fmt.Errorf("pull delivered %d of %d bytes", res.Bytes, c.bytes)
+		return elapsed, engaged, fmt.Errorf("pull delivered %d of %d bytes", res.Bytes, c.bytes)
 	}
-	return elapsed, nil
+	return elapsed, engaged, nil
 }
 
 // setSocketBufs raises the kernel socket buffers so a whole blast window
@@ -165,24 +184,31 @@ func runStripedPull(c stripedCase) (time.Duration, error) {
 // (minimum) elapsed time: wall-clock loopback runs jitter with scheduler
 // noise, and the minimum is the repeatable hardware-bound figure. The row
 // is printed and appended to the snapshot.
-func measurePull(snap *benchSnapshot, name string, bytes, reps int, run func() (time.Duration, error)) error {
+func measurePull(snap *benchSnapshot, name string, bytes, reps int, run func() (time.Duration, string, error)) error {
 	best := time.Duration(0)
+	tier := ""
 	for i := 0; i < reps; i++ {
-		el, err := run()
+		el, tr, err := run()
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
+		tier = tr
 		if best == 0 || el < best {
 			best = el
 		}
 	}
 	mbps := float64(bytes) / best.Seconds() / 1e6
-	fmt.Printf("%-32s %10.1f %12v\n", name, mbps, best.Round(time.Millisecond))
+	label := name
+	if tier != "" {
+		label = fmt.Sprintf("%s [%s]", name, tier)
+	}
+	fmt.Printf("%-32s %10.1f %12v\n", label, mbps, best.Round(time.Millisecond))
 	snap.Benchmarks = append(snap.Benchmarks, benchEntry{
 		Name:       name,
 		NsPerOp:    float64(best.Nanoseconds()),
 		BytesPerOp: int64(bytes),
 		MBps:       mbps,
+		Tier:       tier,
 	})
 	return nil
 }
@@ -191,7 +217,11 @@ func measurePull(snap *benchSnapshot, name string, bytes, reps int, run func() (
 // (when non-empty), printing a human-readable table either way. streams > 0
 // restricts the striped sweep to that stream count and skips the classic
 // cases; adaptiveOnly restricts it to adaptive rate control.
-func runUDPBench(path string, quick bool, streams int, adaptiveOnly bool) error {
+func runUDPBench(path string, quick bool, streams int, adaptiveOnly bool, tierName string) error {
+	tierCap, err := udplan.ParseTier(tierName)
+	if err != nil {
+		return err
+	}
 	sizes := []int{1 << 20, 16 << 20, 64 << 20}
 	if quick {
 		sizes = []int{1 << 20, 4 << 20}
@@ -201,15 +231,25 @@ func runUDPBench(path string, quick bool, streams int, adaptiveOnly bool) error 
 	if streams == 0 {
 		for _, size := range sizes {
 			mb := size >> 20
+			// batch32 stays pinned at the sendmmsg tier it has always
+			// measured (so its floors keep meaning across kernels); _gso is
+			// the segmentation-offload tier, degrading to mmsg where
+			// UDP_SEGMENT is unsupported — the snapshot's tier column says
+			// which actually ran.
 			cases := []udpPullCase{
-				{fmt.Sprintf("udp_pull_%dmb_legacy", mb), size, 1, 128, true},
-				{fmt.Sprintf("udp_pull_%dmb_batch1", mb), size, 1, 128, false},
-				{fmt.Sprintf("udp_pull_%dmb_batch32", mb), size, 32, 128, false},
+				{fmt.Sprintf("udp_pull_%dmb_legacy", mb), size, 1, 128, true, udplan.TierAuto},
+				{fmt.Sprintf("udp_pull_%dmb_batch1", mb), size, 1, 128, false, udplan.TierAuto},
+				{fmt.Sprintf("udp_pull_%dmb_batch32", mb), size, 32, 128, false, udplan.TierMmsg},
+				{fmt.Sprintf("udp_pull_%dmb_gso", mb), size, 32, 128, false, udplan.TierGSO},
 			}
 			for _, c := range cases {
 				c := c
+				c.tier = minTier(c.tier, tierCap)
 				if err := measurePull(&snap, c.name, c.bytes, 3,
-					func() (time.Duration, error) { return runUDPPull(c) }); err != nil {
+					func() (time.Duration, string, error) {
+						el, tr, err := runUDPPull(c)
+						return el, tr.String(), err
+					}); err != nil {
 					return err
 				}
 			}
@@ -252,7 +292,10 @@ func runUDPBench(path string, quick bool, streams int, adaptiveOnly bool) error 
 					drop:     nets.drop,
 				}
 				if err := measurePull(&snap, c.name, c.bytes, nets.reps,
-					func() (time.Duration, error) { return runStripedPull(c) }); err != nil {
+					func() (time.Duration, string, error) {
+						el, err := runStripedPull(c)
+						return el, "", err
+					}); err != nil {
 					return err
 				}
 			}

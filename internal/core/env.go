@@ -51,12 +51,21 @@ type Env interface {
 }
 
 // BatchFlusher is optionally implemented by substrates that queue outbound
-// packets for batched transmission (e.g. a sendmmsg-backed UDP endpoint,
-// which amortises one syscall across a whole blast window). FlushBatch
-// writes every queued packet to the wire, in the order it was queued.
-// Substrates must also flush implicitly before blocking in Recv and on
-// close, so the explicit hook is a latency optimisation, never a
+// packets for batched transmission (e.g. a sendmmsg- or UDP_SEGMENT-backed
+// UDP endpoint, which amortises one syscall across a whole blast window).
+// FlushBatch writes every queued packet to the wire, in the order it was
+// queued. Substrates must also flush implicitly before blocking in Recv and
+// on close, so the explicit hook is a latency optimisation, never a
 // correctness requirement.
+//
+// The engines guarantee batching substrates a useful geometry: every
+// mid-window data frame of a transfer is the same size (ChunkSize), and the
+// one shorter data frame — the transfer's tail chunk — always carries
+// FlagLast (fillData marks seq == total-1 as last even mid-window), which
+// substrates flush separately along with all control traffic. A flush
+// therefore carries equal-sized frames with at most one shorter trailing
+// frame, exactly the segment layout a GSO superbuffer may carry — see
+// wire.FrameBytes and TestFlushGeometryGSOCompatible.
 type BatchFlusher interface {
 	FlushBatch() error
 }

@@ -244,6 +244,35 @@ func (s *Server) Run(l transport.Listener) error {
 	}
 }
 
+// RunAll runs one demux loop per listener over the same server state — the
+// SO_REUSEPORT multi-queue daemon. The kernel hashes each client flow to
+// exactly one socket, so every loop owns its sessions outright (per-loop
+// session tables, no cross-loop lookups), while the admission cap, drain
+// flag and Served/Done accounting are shared atomics and mutexes — N loops
+// never double-count a transfer or race the Done hook. Blocks until every
+// loop has returned; the first loop error wins (nil on clean closes).
+func (s *Server) RunAll(ls ...transport.Listener) error {
+	if len(ls) == 1 {
+		return s.Run(ls[0])
+	}
+	errs := make([]error, len(ls))
+	var wg sync.WaitGroup
+	for i := range ls {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = s.Run(ls[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // runSession drives one client conversation to completion.
 func (s *Server) runSession(env core.Env, peer transport.Peer) {
 	idle := s.Idle

@@ -1,0 +1,160 @@
+package simrun
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"blastlan/internal/core"
+	"blastlan/internal/params"
+	"blastlan/internal/udplan"
+	"blastlan/internal/wire"
+)
+
+// gsoAvailable reports whether the GSO tier actually engages on this
+// kernel, by probing a scratch endpoint pair the same way RunUDP does.
+func gsoAvailable() bool {
+	cs, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return false
+	}
+	defer cs.Close()
+	ss, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return false
+	}
+	defer ss.Close()
+	e := udplan.NewEndpoint(cs, ss.LocalAddr())
+	e.SetBatch(32)
+	return e.Tier() == udplan.TierGSO
+}
+
+// TestGSOTierConformance reruns the scripted hostile-network scenarios —
+// drops, corruption, duplicates and reordering holds — with the UDP
+// datapath pinned at each transmit tier, and asserts identical protocol
+// counters and byte-identical payloads against the discrete-event
+// simulator. This is the contract that segmentation offload is invisible
+// to the protocol: whether a blast window leaves as one UDP_SEGMENT
+// superbuffer, a sendmmsg batch or a WriteTo loop, the adversary sees the
+// same frames and the engines count the same events.
+func TestGSOTierConformance(t *testing.T) {
+	if !udpAvailable() {
+		t.Skip("no UDP loopback")
+	}
+	if !gsoAvailable() {
+		t.Skip("GSO tier unavailable (needs Linux >= 4.18)")
+	}
+	payload := advPayload(16000, 9)
+	baseCfg := func(p core.Protocol, s core.Strategy) core.Config {
+		return core.Config{
+			TransferID:     1,
+			Bytes:          len(payload),
+			ChunkSize:      1000, // 16 packets
+			Protocol:       p,
+			Strategy:       s,
+			RetransTimeout: 500 * time.Millisecond,
+			MaxAttempts:    50,
+			Linger:         150 * time.Millisecond,
+			ReceiverIdle:   2 * time.Second,
+			Payload:        payload,
+		}
+	}
+	cases := []struct {
+		name   string
+		cfg    core.Config
+		script func(*wire.Packet) params.Mangle
+	}{
+		{"blast/full-nak", baseCfg(core.Blast, core.FullNak), hostileNakScript},
+		{"blast/go-back-n", baseCfg(core.Blast, core.GoBackN), hostileNakScript},
+		{"blast/selective", baseCfg(core.Blast, core.Selective), hostileNakScript},
+		{"blast/go-back-n-adjacent", baseCfg(core.Blast, core.GoBackN), hostileAdjacentScript},
+		{"blast/full-no-nak", baseCfg(core.Blast, core.FullNoNak), hostileLosslessScript},
+	}
+	// Batch 32 holds the whole 16-packet window in one flush — the geometry
+	// where the GSO tier really sends one superbuffer per window.
+	tiers := []udplan.Tier{udplan.TierWriteTo, udplan.TierMmsg, udplan.TierGSO}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sc := Scenario{
+				Name:      c.name,
+				Adversary: params.Adversary{Script: c.script},
+				Config:    c.cfg,
+				Seed:      7,
+				Batch:     32,
+			}
+			simOut, err := sc.RunSim()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tier := range tiers {
+				tsc := sc
+				tsc.Tier = tier
+				out, err := tsc.RunUDP()
+				if err != nil {
+					t.Fatalf("tier=%s: %v", tier, err)
+				}
+				if !out.Completed || !out.IntactPayload(payload) {
+					t.Errorf("tier=%s: completed=%v intact=%v", tier, out.Completed, out.IntactPayload(payload))
+				}
+				if out.Counts != simOut.Counts {
+					t.Errorf("tier=%s counters diverge from sim:\nsim  %+v\ntier %+v", tier, simOut.Counts, out.Counts)
+				}
+			}
+		})
+	}
+}
+
+// TestGSOTierSeededAdversaryIdenticalPayload drives the GSO-pinned datapath
+// through one seeded adversary combining loss, deep reordering, duplication,
+// corruption and jitter, for all four blast strategies: the receiver must
+// reassemble a byte-identical payload even when the kernel is both
+// segmenting outbound superbuffers and coalescing inbound ones. (Counters
+// are timing-dependent under seeded adversaries on a wall clock, so — as in
+// the batched seeded test — payload integrity is the pinned property.)
+func TestGSOTierSeededAdversaryIdenticalPayload(t *testing.T) {
+	if !udpAvailable() {
+		t.Skip("no UDP loopback")
+	}
+	if !gsoAvailable() {
+		t.Skip("GSO tier unavailable (needs Linux >= 4.18)")
+	}
+	adv := params.Adversary{
+		Loss:          params.LossModel{PNet: 0.01},
+		ReorderProb:   0.05,
+		ReorderDepth:  2,
+		DuplicateProb: 0.04,
+		CorruptProb:   0.03,
+		JitterMax:     300 * time.Microsecond,
+	}
+	payload := advPayload(16000, 3)
+	for _, s := range []core.Strategy{core.FullNoNak, core.FullNak, core.GoBackN, core.Selective} {
+		t.Run(s.String(), func(t *testing.T) {
+			sc := Scenario{
+				Name:      "gso-seeded-" + s.String(),
+				Adversary: adv,
+				Config: core.Config{
+					TransferID:     1,
+					Bytes:          len(payload),
+					ChunkSize:      1000,
+					Protocol:       core.Blast,
+					Strategy:       s,
+					RetransTimeout: 80 * time.Millisecond,
+					MaxAttempts:    200,
+					Linger:         120 * time.Millisecond,
+					ReceiverIdle:   3 * time.Second,
+					Payload:        payload,
+				},
+				Seed:  int64(s) + 17,
+				Batch: 32,
+				Tier:  udplan.TierGSO,
+			}
+			out, err := sc.RunUDP()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !out.IntactPayload(payload) {
+				t.Error("payload differs after GSO-tier transfer")
+			}
+		})
+	}
+}

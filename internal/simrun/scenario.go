@@ -37,10 +37,15 @@ type Scenario struct {
 	// Seed directly.
 	Seed int64
 	// Batch, when > 1, runs RunUDP over the batched syscall datapath
-	// (sendmmsg/recvmmsg frame rings of this size) on both endpoints.
-	// Ignored by the virtual-time substrates. The conformance suite pins
-	// that every batch size produces identical protocol behaviour.
+	// (frame rings of this size) on both endpoints. Ignored by the
+	// virtual-time substrates. The conformance suite pins that every batch
+	// size produces identical protocol behaviour.
 	Batch int
+	// Tier, when non-zero, caps the batched datapath tier RunUDP probes up
+	// to (udplan.Endpoint.MaxTier): the GSO conformance suite pins that the
+	// same scenario script behaves identically whether frames ride
+	// UDP_SEGMENT superbuffers, sendmmsg batches or WriteTo loops.
+	Tier udplan.Tier
 }
 
 // withDefaults fills the zero fields.
@@ -216,6 +221,7 @@ func (sc Scenario) RunUDP() (Outcome, error) {
 
 	ce := udplan.NewEndpoint(cs, ss.LocalAddr())
 	se := udplan.NewEndpoint(ss, cs.LocalAddr())
+	ce.MaxTier, se.MaxTier = sc.Tier, sc.Tier
 	if sc.Batch > 1 {
 		ce.SetBatch(sc.Batch)
 		se.SetBatch(sc.Batch)

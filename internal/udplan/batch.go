@@ -98,23 +98,53 @@ func (t *txBatch) Flush() error {
 	return t.flush(t.frames, t.lens, n)
 }
 
+// GRO ring geometry. A GRO-enabled socket can deliver a coalesced
+// superbuffer up to the full UDP payload space per message, so the ring
+// trades message count for message size: a few superbuffer-sized slots hold
+// far more frames than an MTU-sized ring of any width.
+const (
+	groBufBytes  = 65535 // one coalesced superbuffer can span the whole UDP payload space
+	groCtrlBytes = 64    // cmsg space per message: one gso_size cmsg plus headroom
+	groRingMsgs  = 4     // messages per fill; each can carry ~a window of frames
+)
+
 // rxBatch is the receive ring recvmmsg drains into: raw datagrams plus the
 // raw source sockaddr of each, consumed FIFO by the endpoint's Recv loop.
+// A GRO ring additionally carries per-message control buffers and segment
+// sizes, and pop splits coalesced superbuffers back into frames.
 type rxBatch struct {
 	bufs        [][]byte
 	names       [][]byte
+	ctrls       [][]byte // GRO mode only: per-message cmsg space (gso_size)
 	lens        []int
+	segs        []int // GRO mode only: per-message gso_size (0 = one plain datagram)
 	count, next int
+	segOff      int // byte cursor inside the current coalesced message
 	recv        mmsgReceiver
 }
 
-func newRxBatch(n, mtu int) *rxBatch {
-	backing := make([]byte, n*mtu)
+func newRxBatch(n, mtu int, gro bool) *rxBatch {
+	bufSize := mtu
+	if gro {
+		if n > groRingMsgs {
+			n = groRingMsgs
+		}
+		bufSize = groBufBytes
+	}
+	backing := make([]byte, n*bufSize)
 	names := make([]byte, n*rawNameLen)
 	r := &rxBatch{bufs: make([][]byte, n), names: make([][]byte, n), lens: make([]int, n)}
 	for i := 0; i < n; i++ {
-		r.bufs[i] = backing[i*mtu : (i+1)*mtu]
+		r.bufs[i] = backing[i*bufSize : (i+1)*bufSize]
 		r.names[i] = names[i*rawNameLen : (i+1)*rawNameLen]
+	}
+	if gro {
+		ctrls := make([]byte, n*groCtrlBytes)
+		r.ctrls = make([][]byte, n)
+		r.segs = make([]int, n)
+		for i := 0; i < n; i++ {
+			r.ctrls[i] = ctrls[i*groCtrlBytes : (i+1)*groCtrlBytes]
+		}
 	}
 	return r
 }
@@ -124,9 +154,24 @@ func (r *rxBatch) pending() bool { return r.next < r.count }
 
 // pop returns the next drained datagram and its raw source sockaddr. Both
 // slices are valid until the ring's next drain (which only happens after
-// every pending datagram has been popped).
+// every pending datagram has been popped). A message delivered coalesced
+// (gso_size attached) pops one segment at a time: gso_size bytes each, the
+// final one possibly shorter — the inverse of the GSO transmit packing.
 func (r *rxBatch) pop() (data, name []byte) {
 	i := r.next
+	if r.segs != nil && r.segs[i] > 0 {
+		end := r.segOff + r.segs[i]
+		if end > r.lens[i] {
+			end = r.lens[i]
+		}
+		data, name = r.bufs[i][r.segOff:end], r.names[i]
+		r.segOff = end
+		if r.segOff >= r.lens[i] {
+			r.next++
+			r.segOff = 0
+		}
+		return data, name
+	}
 	r.next++
 	return r.bufs[i][:r.lens[i]], r.names[i]
 }
@@ -137,14 +182,38 @@ func (r *rxBatch) drain(raw syscall.RawConn) {
 	if raw == nil {
 		return
 	}
-	if n, ok := recvBatch(raw, &r.recv, r.bufs, r.names, r.lens); ok {
-		r.count, r.next = n, 0
+	if n, ok := recvBatch(raw, r); ok {
+		r.count, r.next, r.segOff = n, 0, 0
 	}
 }
 
-// flushFramesTo writes frames[0:n] to peer over conn, batched with one
-// sendmmsg where the platform supports it — the single implementation
-// behind every batched writer (Endpoint, server sessions).
+// flushFramesTiered writes frames[0:n] to peer through the highest rung of
+// the datapath ladder the writer's tier allows, degrading per flush when a
+// rung cannot take the frames (an unroutable peer, a platform stub): GSO
+// superbuffer → sendmmsg → WriteTo loop. The single implementation behind
+// every batched writer (Endpoint, server sessions).
+func flushFramesTiered(tier Tier, raw syscall.RawConn, gs *gsoSender, ms *mmsgSender, conn net.PacketConn, peer net.Addr, frames [][]byte, lens []int, n int) error {
+	if tier >= TierGSO {
+		if handled, err := sendGSO(raw, gs, peer, frames, lens, n); handled {
+			return err
+		}
+	}
+	if tier >= TierMmsg {
+		if handled, err := sendBatch(raw, ms, peer, frames, lens, n); handled {
+			return err
+		}
+	}
+	var firstErr error
+	for i := 0; i < n; i++ {
+		if _, err := conn.WriteTo(frames[i][:lens[i]], peer); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// flushFramesTo is flushFramesTiered at the sendmmsg rung — the pre-GSO
+// entry point, kept for writers that never probe a tier.
 func flushFramesTo(raw syscall.RawConn, ms *mmsgSender, conn net.PacketConn, peer net.Addr, frames [][]byte, lens []int, n int) error {
 	if handled, err := sendBatch(raw, ms, peer, frames, lens, n); handled {
 		return err

@@ -26,6 +26,7 @@ type serverListener struct {
 	raw   syscall.RawConn // non-nil when the socket supports raw batched I/O
 	mtu   int
 	batch int
+	tier  Tier // transmit tier for session frame rings, probed once per socket
 	rx    *rxBatch
 	rbuf  []byte
 	pool  *sync.Pool
@@ -37,17 +38,23 @@ type serverListener struct {
 	wg sync.WaitGroup
 }
 
-func newServerListener(conn net.PacketConn, batch, mtu int) *serverListener {
+func newServerListener(conn net.PacketConn, batch, mtu int, maxTier Tier) *serverListener {
 	l := &serverListener{
 		conn:  conn,
 		raw:   rawConnOf(conn),
 		mtu:   mtu,
 		batch: batch,
+		tier:  pickTxTier(rawConnOf(conn), batch, maxTier),
 		rbuf:  make([]byte, mtu),
 		pool:  &sync.Pool{New: func() any { b := make([]byte, mtu); return &b }},
 	}
 	if batch > 1 && l.raw != nil {
-		l.rx = newRxBatch(batch, mtu)
+		// The demux ring stays plain (no UDP_GRO): session datagrams copy
+		// into MTU-sized pooled buffers, which a coalesced superbuffer would
+		// overflow. GSO-tier clients still work — the kernel segments an
+		// inbound GSO skb for a socket without GRO — so only the transmit
+		// side of the server rides the GSO tier.
+		l.rx = newRxBatch(batch, mtu, false)
 	}
 	return l
 }
@@ -175,6 +182,7 @@ func (c *serverConn) Spawn(name string, body func(env core.Env)) {
 	go func() {
 		defer c.l.wg.Done()
 		env := newSessionEnv(c.l.conn, c.l.raw, c.peer, c.inbox, c.l.pool)
+		env.tier = c.l.tier
 		if c.l.batch > 1 {
 			env.tx = newTxBatch(c.l.batch, c.l.mtu, env.flushFrames)
 		}
@@ -200,6 +208,8 @@ type sessionEnv struct {
 	wbuf  []byte
 	tx    *txBatch
 	ms    mmsgSender
+	gs    gsoSender
+	tier  Tier          // transmit tier, inherited from the listener's probe
 	gap   time.Duration // adaptive pacing between data packets (core.Pacer)
 }
 
@@ -253,9 +263,10 @@ func (se *sessionEnv) FlushBatch() error {
 	return se.tx.Flush()
 }
 
-// flushFrames writes the session's queued frames, batched where possible.
+// flushFrames writes the session's queued frames through the listener's
+// probed datapath tier (GSO superbuffer, sendmmsg or WriteTo loop).
 func (se *sessionEnv) flushFrames(frames [][]byte, lens []int, n int) error {
-	return flushFramesTo(se.raw, &se.ms, se.conn, se.peer, frames, lens, n)
+	return flushFramesTiered(se.tier, se.raw, &se.gs, &se.ms, se.conn, se.peer, frames, lens, n)
 }
 
 // Send encodes and transmits one packet to the session's peer. A non-zero

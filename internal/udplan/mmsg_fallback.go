@@ -16,6 +16,9 @@ import (
 // platform-independent.
 const rawNameLen = 28
 
+// mmsgSupported reports whether this build has the sendmmsg/recvmmsg tier.
+const mmsgSupported = false
+
 type mmsgSender struct{}
 
 type mmsgReceiver struct{}
@@ -24,7 +27,7 @@ func sendBatch(syscall.RawConn, *mmsgSender, net.Addr, [][]byte, []int, int) (bo
 	return false, nil
 }
 
-func recvBatch(syscall.RawConn, *mmsgReceiver, [][]byte, [][]byte, []int) (int, bool) {
+func recvBatch(syscall.RawConn, *rxBatch) (int, bool) {
 	return 0, false
 }
 

@@ -19,6 +19,9 @@ import (
 // rawNameLen is the raw sockaddr slot size: big enough for sockaddr_in6.
 const rawNameLen = syscall.SizeofSockaddrInet6
 
+// mmsgSupported reports whether this build has the sendmmsg/recvmmsg tier.
+const mmsgSupported = true
+
 // mmsgHdr mirrors the kernel's struct mmsghdr on 64-bit Linux: a msghdr
 // plus the per-message transferred length, padded to 8 bytes.
 type mmsgHdr struct {
@@ -40,26 +43,34 @@ type mmsgSender struct {
 // of the batch points at. Reports false for addresses this path cannot
 // target (the caller then falls back to WriteTo).
 func (s *mmsgSender) setName(ua *net.UDPAddr) bool {
+	return encodeUDPName(&s.name, &s.nameLen, ua)
+}
+
+// encodeUDPName writes a UDP address as a raw sockaddr into the shared name
+// slot every batched writer (sendmmsg and GSO sendmsg alike) points its
+// msghdrs at. Reports false for addresses the raw path cannot target (the
+// caller then falls back to WriteTo).
+func encodeUDPName(name *[rawNameLen]byte, nameLen *uint32, ua *net.UDPAddr) bool {
 	if ua.Zone != "" {
 		return false // link-local zones need an interface lookup
 	}
 	if ip4 := ua.IP.To4(); ip4 != nil {
-		*(*uint16)(unsafe.Pointer(&s.name[0])) = syscall.AF_INET
-		s.name[2], s.name[3] = byte(ua.Port>>8), byte(ua.Port)
-		copy(s.name[4:8], ip4)
+		*(*uint16)(unsafe.Pointer(&name[0])) = syscall.AF_INET
+		name[2], name[3] = byte(ua.Port>>8), byte(ua.Port)
+		copy(name[4:8], ip4)
 		for i := 8; i < rawNameLen; i++ {
-			s.name[i] = 0
+			name[i] = 0
 		}
-		s.nameLen = syscall.SizeofSockaddrInet4
+		*nameLen = syscall.SizeofSockaddrInet4
 		return true
 	}
 	if ip16 := ua.IP.To16(); ip16 != nil {
-		*(*uint16)(unsafe.Pointer(&s.name[0])) = syscall.AF_INET6
-		s.name[2], s.name[3] = byte(ua.Port>>8), byte(ua.Port)
-		s.name[4], s.name[5], s.name[6], s.name[7] = 0, 0, 0, 0 // flowinfo
-		copy(s.name[8:24], ip16)
-		s.name[24], s.name[25], s.name[26], s.name[27] = 0, 0, 0, 0 // scope
-		s.nameLen = syscall.SizeofSockaddrInet6
+		*(*uint16)(unsafe.Pointer(&name[0])) = syscall.AF_INET6
+		name[2], name[3] = byte(ua.Port>>8), byte(ua.Port)
+		name[4], name[5], name[6], name[7] = 0, 0, 0, 0 // flowinfo
+		copy(name[8:24], ip16)
+		name[24], name[25], name[26], name[27] = 0, 0, 0, 0 // scope
+		*nameLen = syscall.SizeofSockaddrInet6
 		return true
 	}
 	return false
@@ -126,45 +137,26 @@ func sendBatch(raw syscall.RawConn, s *mmsgSender, peer net.Addr, frames [][]byt
 	return true, nil
 }
 
-// recvBatch performs one non-blocking recvmmsg into bufs, recording each
-// datagram's length and raw source sockaddr. It never waits: an empty
-// socket returns (0, true). ok is false when the platform path failed and
-// the caller should not trust the ring.
-func recvBatch(raw syscall.RawConn, r *mmsgReceiver, bufs, names [][]byte, lens []int) (got int, ok bool) {
+// recvBatch performs one non-blocking recvmmsg into the ring, recording
+// each datagram's length, raw source sockaddr and (on GRO rings) segment
+// size. It never waits: an empty socket returns (0, true). ok is false when
+// the platform path failed and the caller should not trust the ring. The
+// blocking variant is gso_linux.go's fillBatch; both share recvmmsgInto.
+func recvBatch(raw syscall.RawConn, r *rxBatch) (got int, ok bool) {
 	if raw == nil {
 		return 0, false
 	}
-	n := len(bufs)
-	if cap(r.hdrs) < n {
-		r.hdrs = make([]mmsgHdr, n)
-		r.iovs = make([]syscall.Iovec, n)
-	}
-	hdrs, iovs := r.hdrs[:n], r.iovs[:n]
-	for i := 0; i < n; i++ {
-		iovs[i].Base = &bufs[i][0]
-		iovs[i].SetLen(len(bufs[i]))
-		hdrs[i] = mmsgHdr{}
-		hdrs[i].hdr.Name = &names[i][0]
-		hdrs[i].hdr.Namelen = rawNameLen
-		hdrs[i].hdr.Iov = &iovs[i]
-		hdrs[i].hdr.Iovlen = 1
-	}
 	rerr := raw.Read(func(fd uintptr) bool {
-		r0, _, errno := syscall.Syscall6(sysRECVMMSG, fd,
-			uintptr(unsafe.Pointer(&hdrs[0])), uintptr(n),
-			uintptr(syscall.MSG_DONTWAIT), 0, 0)
+		n, errno := recvmmsgInto(fd, r)
 		if errno != 0 {
 			got = 0 // EAGAIN (socket empty) or transient: drain nothing
 		} else {
-			got = int(r0)
+			got = n
 		}
 		return true // opportunistic: never block the drain
 	})
 	if rerr != nil {
 		return 0, false
-	}
-	for i := 0; i < got; i++ {
-		lens[i] = int(hdrs[i].n)
 	}
 	return got, true
 }

@@ -59,7 +59,7 @@ func TestMmsgFastPath(t *testing.T) {
 	if _, _, err := b.ReadFrom(buf); err != nil { // blocking read consumes one
 		t.Fatal(err)
 	}
-	rx := newRxBatch(4, 128)
+	rx := newRxBatch(4, 128, false)
 	rx.drain(eb.raw)
 	if rx.count != 2 {
 		t.Fatalf("drained %d datagrams, want 2", rx.count)

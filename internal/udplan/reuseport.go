@@ -1,0 +1,48 @@
+package udplan
+
+import (
+	"context"
+	"fmt"
+	"net"
+)
+
+// ListenReuseport opens n UDP sockets all bound to the same address with
+// SO_REUSEPORT — the multi-queue server substrate. The kernel hashes each
+// client flow's 4-tuple to exactly one of the sockets, so NewMultiServer
+// can run n independent demux loops with no shared receive path: once the
+// per-packet cost is amortised (sendmmsg, GSO), the single recvmmsg demux
+// loop is the next bottleneck, and this removes it. With an ephemeral port
+// request (":0") the first socket picks the port and the siblings join it.
+//
+// n <= 1 opens one plain socket. On platforms without SO_REUSEPORT
+// load-balancing semantics (Windows; macOS accepts the option but steers
+// all traffic to one socket) n > 1 returns an error rather than a server
+// that silently serves on one queue.
+func ListenReuseport(network, addr string, n int) ([]net.PacketConn, error) {
+	if n <= 1 {
+		conn, err := net.ListenPacket(network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return []net.PacketConn{conn}, nil
+	}
+	if !reuseportSharding {
+		return nil, fmt.Errorf("udplan: SO_REUSEPORT multi-queue (%d sockets) unsupported on this platform", n)
+	}
+	lc := net.ListenConfig{Control: reuseportControl}
+	conns := make([]net.PacketConn, 0, n)
+	for i := 0; i < n; i++ {
+		conn, err := lc.ListenPacket(context.Background(), network, addr)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, fmt.Errorf("udplan: reuseport socket %d/%d: %w", i+1, n, err)
+		}
+		if i == 0 {
+			addr = conn.LocalAddr().String() // pin an ephemeral port for the siblings
+		}
+		conns = append(conns, conn)
+	}
+	return conns, nil
+}

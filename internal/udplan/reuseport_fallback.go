@@ -1,0 +1,15 @@
+//go:build !linux
+
+package udplan
+
+import "syscall"
+
+// reuseportSharding: only Linux guarantees SO_REUSEPORT load-balancing for
+// UDP (macOS accepts the option but delivers all traffic to one socket;
+// Windows has no equivalent semantics), so multi-queue listening is
+// refused rather than silently degraded to one queue.
+const reuseportSharding = false
+
+func reuseportControl(network, address string, c syscall.RawConn) error {
+	return syscall.EINVAL // unreachable: ListenReuseport gates on reuseportSharding
+}

@@ -1,0 +1,25 @@
+//go:build linux
+
+package udplan
+
+import "syscall"
+
+// reuseportSharding: Linux SO_REUSEPORT load-balances UDP across the
+// sockets by 4-tuple hash, so each client flow lands on exactly one demux
+// loop for its whole lifetime — the property the multi-queue server needs.
+const reuseportSharding = true
+
+// soReusePort is Linux's SO_REUSEPORT, which the stdlib syscall package
+// predates (it is wrapped only in golang.org/x/sys).
+const soReusePort = 0xf
+
+// reuseportControl sets SO_REUSEPORT before bind.
+func reuseportControl(network, address string, c syscall.RawConn) error {
+	var serr error
+	if err := c.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+	}); err != nil {
+		return err
+	}
+	return serr
+}

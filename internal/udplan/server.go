@@ -13,24 +13,28 @@ import (
 	"blastlan/internal/wire"
 )
 
-// Server answers transfer requests on one socket. With Concurrency <= 1 it
-// serves serially, the paper's world of two matched machines where a
-// transfer in progress owns the link. With Concurrency > 1 it becomes a
-// sharded daemon: the substrate-agnostic session layer (internal/session)
-// runs its demux loop over this socket's transport.Listener, routing
-// datagrams by source address into per-session goroutines — each running
-// the unmodified core protocol engines over its own channel-fed Env, with
-// its own sendmmsg frame ring. All the serving machinery (sharded session
-// table, REQ-only admission, streaming handlers, stripe-range resolution,
-// graceful drain) is shared with the simulator substrate; only the
-// socket/mmsg specifics live here.
+// Server answers transfer requests on one socket (or several SO_REUSEPORT
+// siblings). With Concurrency <= 1 it serves serially, the paper's world of
+// two matched machines where a transfer in progress owns the link. With
+// Concurrency > 1 it becomes a sharded daemon: the substrate-agnostic
+// session layer (internal/session) runs its demux loop over this socket's
+// transport.Listener, routing datagrams by source address into per-session
+// goroutines — each running the unmodified core protocol engines over its
+// own channel-fed Env, with its own tiered frame ring (GSO superbuffers,
+// sendmmsg, or a WriteTo loop; see Tier). Given multiple sockets
+// (NewMultiServer over ListenReuseport), it runs one independent demux loop
+// per socket with kernel-hashed flow steering — the single-demux bottleneck
+// removed once per-packet cost is amortised. All the serving machinery
+// (sharded session table, REQ-only admission, streaming handlers,
+// stripe-range resolution, graceful drain) is shared with the simulator
+// substrate; only the socket/syscall specifics live here.
 type Server struct {
 	// The shared serving machinery and its handler hooks: Data, Source,
 	// Sink, SinkStream, Idle, Concurrency, Logf, Done, BeginDrain, Served —
 	// see session.Server.
 	session.Server
 
-	// Batch enables batched syscall I/O (sendmmsg frame rings per session,
+	// Batch enables batched syscall I/O (tiered frame rings per session,
 	// recvmmsg demux drain) with the given batch size; <= 1 stays on the
 	// single-syscall path.
 	Batch int
@@ -40,20 +44,53 @@ type Server struct {
 	// with a clear log line instead of stalling on truncated reads.
 	MTU int
 
-	conn net.PacketConn
+	// MaxTier, when non-zero, caps the datapath tier the server probes up
+	// to (blastd's -tier flag lands here); the BLASTLAN_TIER environment
+	// override applies on top.
+	MaxTier Tier
+
+	conns []net.PacketConn
 }
 
 // TransferStats reports one completed transfer for the Done hook.
 type TransferStats = session.TransferStats
 
 // NewServer wraps a socket in a transfer server.
-func NewServer(conn net.PacketConn) *Server { return &Server{conn: conn} }
+func NewServer(conn net.PacketConn) *Server {
+	return &Server{conns: []net.PacketConn{conn}}
+}
+
+// NewMultiServer wraps several sockets bound to the same address
+// (ListenReuseport) in one transfer server: Run drives an independent demux
+// loop per socket, with the kernel steering each client flow to exactly one
+// of them. Requires Concurrency > 1 to be useful; accounting (Served, Done)
+// is shared across the loops.
+func NewMultiServer(conns ...net.PacketConn) *Server {
+	return &Server{conns: conns}
+}
+
+// Close closes every socket the server owns (Run then returns).
+func (s *Server) Close() error {
+	var firstErr error
+	for _, c := range s.conns {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
 
 func (s *Server) mtu() int {
 	if s.MTU > 0 {
 		return s.MTU
 	}
 	return MaxDatagram
+}
+
+// Tier reports the datapath tier the server's first socket probes to at
+// the configured batch size — what Run's sessions will use.
+func (s *Server) Tier() Tier {
+	return pickTxTier(rawConnOf(s.conns[0]), s.Batch, s.MaxTier)
 }
 
 // Run serves requests until the socket is closed (or Idle expires with no
@@ -63,8 +100,15 @@ func (s *Server) Run() error {
 	if s.Validate == nil {
 		s.Validate = func(c core.Config) error { return validateConfigMTU(c, mtu) }
 	}
+	if len(s.conns) > 1 {
+		ls := make([]transport.Listener, len(s.conns))
+		for i, conn := range s.conns {
+			ls[i] = newServerListener(conn, s.Batch, mtu, s.MaxTier)
+		}
+		return s.Server.RunAll(ls...)
+	}
 	if s.Concurrency > 1 {
-		return s.Server.Run(newServerListener(s.conn, s.Batch, mtu))
+		return s.Server.Run(newServerListener(s.conns[0], s.Batch, mtu, s.MaxTier))
 	}
 	var e *Endpoint
 	for {
@@ -105,9 +149,10 @@ func (s *Server) Run() error {
 // reused across idle wait-polls (only a completed transfer retires it), so
 // an idle server allocates nothing while it waits.
 func (s *Server) serveEndpoint() (*Endpoint, error) {
-	e := NewEndpoint(s.conn, nil)
+	e := NewEndpoint(s.conns[0], nil)
 	e.LockPeer = true
 	e.LearnReqOnly = true
+	e.MaxTier = s.MaxTier
 	if s.MTU > 0 {
 		if err := e.SetMTU(s.MTU); err != nil {
 			return nil, err

@@ -190,7 +190,7 @@ func TestConcurrentServerCleanShutdown(t *testing.T) {
 	done := make(chan error, 1)
 	go func() { done <- srv.Run() }()
 	time.Sleep(50 * time.Millisecond)
-	srv.conn.Close()
+	srv.Close()
 	select {
 	case err := <-done:
 		if err != nil {

@@ -25,6 +25,9 @@ type StripeOptions struct {
 	Streams int
 	// Batch is the per-endpoint syscall batch size (<= 1: single-syscall).
 	Batch int
+	// Tier caps the batched-datapath tier each stripe endpoint probes up to
+	// (see Endpoint.MaxTier); the zero value probes for the best supported.
+	Tier Tier
 	// MTU overrides each endpoint's maximum datagram size (0: default).
 	MTU int
 	// SocketBuf, when positive, raises each endpoint's kernel buffers.
@@ -121,6 +124,7 @@ func (f *stripeFabric) dial(i int) (transport.Client, error) {
 	if opts.SocketBuf > 0 {
 		e.SetSocketBuffers(opts.SocketBuf)
 	}
+	e.MaxTier = opts.Tier
 	if opts.Batch > 1 {
 		e.SetBatch(opts.Batch)
 	}

@@ -63,6 +63,15 @@ type Endpoint struct {
 	tx      *txBatch
 	rx      *rxBatch
 	msender mmsgSender
+	gsender gsoSender
+	tier    Tier // active transmit tier, probed by SetBatch
+	gro     bool // receive side is UDP_GRO-coalesced (GSO tier only)
+
+	// MaxTier, when non-zero, caps the datapath tier SetBatch may probe up
+	// to (the -tier flags of blastd/blastcp/lanbench land here). Set it
+	// before SetBatch. The process-wide BLASTLAN_TIER environment override
+	// applies on top, whichever is lower.
+	MaxTier Tier
 
 	// MangleTx and MangleRx, when non-nil, judge every packet before the
 	// socket write / after the socket read, and the endpoint implements the
@@ -125,6 +134,7 @@ func NewEndpoint(conn net.PacketConn, peer net.Addr) *Endpoint {
 		start: time.Now(),
 		mtu:   MaxDatagram,
 		rbuf:  make([]byte, MaxDatagram),
+		tier:  TierWriteTo,
 	}
 	e.raw = rawConnOf(conn)
 	if peer != nil {
@@ -156,6 +166,13 @@ func (e *Endpoint) SetMTU(n int) error {
 	if n < wire.HeaderSize+1 || n > MaxMTU {
 		return fmt.Errorf("udplan: MTU %d out of range [%d, %d]", n, wire.HeaderSize+1, MaxMTU)
 	}
+	// Frames already queued (possibly a GSO superbuffer in formation) were
+	// encoded against the old slot geometry: they must reach the wire
+	// before the rings are rebuilt, and a flush failure must surface here
+	// rather than vanish into the resize.
+	if err := e.FlushBatch(); err != nil {
+		return err
+	}
 	e.mtu = n
 	e.rbuf = make([]byte, n)
 	if e.tx != nil {
@@ -184,13 +201,16 @@ func SetConnBuffers(conn net.PacketConn, bytes int) {
 // SetConnBuffers.
 func (e *Endpoint) SetSocketBuffers(bytes int) { SetConnBuffers(e.conn, bytes) }
 
-// SetBatch enables batched syscall I/O: up to n outbound frames are queued
-// in a frame ring and flushed with a single sendmmsg (FlushBatch, a full
-// ring, a blocking Recv, a non-data or FlagLast packet, or Close), and each
-// blocking receive drains up to n already-arrived datagrams with one
-// recvmmsg. n <= 1 restores the single-syscall path. On platforms without
-// sendmmsg/recvmmsg the queue still forms and flushes as a WriteTo loop,
-// preserving semantics.
+// SetBatch enables batched syscall I/O and probes the best datapath tier
+// the socket supports (GSO superbuffers → sendmmsg → WriteTo loop; see
+// Tier): up to n outbound frames are queued in a frame ring and flushed
+// with a single sendmsg+UDP_SEGMENT or sendmmsg (FlushBatch, a full ring, a
+// blocking Recv, a non-data or FlagLast packet, or Close), and each
+// blocking receive drains already-arrived datagrams in one recvmmsg — on
+// the GSO tier with UDP_GRO enabled, so a whole window can arrive as one
+// coalesced superbuffer split back into frames in user space. n <= 1
+// restores the single-syscall path. On platforms without the fast paths the
+// queue still forms and flushes as a WriteTo loop, preserving semantics.
 //
 // SetBatch is a configuration call: make it before the transfer starts
 // (queued outbound frames are flushed first, but rebuilding the receive
@@ -201,13 +221,35 @@ func (e *Endpoint) SetBatch(n int) {
 	if e.tx != nil {
 		e.tx.Flush() // socket errors resurface on the next Send/Recv
 	}
+	e.tier = pickTxTier(e.raw, n, e.MaxTier)
+	wantGRO := e.tier >= TierGSO
+	switch {
+	case wantGRO && !e.gro:
+		// GRO may be refused (UDP_SEGMENT without UDP_GRO, kernels
+		// 4.18–4.20): the transmit side still rides GSO, receives stay plain
+		// datagrams — the kernel segments inbound GSO skbs for non-GRO
+		// sockets.
+		e.gro = setGRO(e.raw, true)
+	case !wantGRO && e.gro:
+		// GRO is sticky on the socket: left on, a later plain ReadFrom
+		// would misread a coalesced superbuffer as one giant datagram.
+		setGRO(e.raw, false)
+		e.gro = false
+	}
 	if n <= 1 {
 		e.tx, e.rx = nil, nil
 		return
 	}
 	e.tx = newTxBatch(n, e.mtu, e.flushFrames)
-	e.rx = newRxBatch(n, e.mtu)
+	e.rx = newRxBatch(n, e.mtu, e.gro)
 }
+
+// Tier reports the active transmit tier of the batched datapath
+// (TierWriteTo when batching is off). Probed by SetBatch.
+func (e *Endpoint) Tier() Tier { return e.tier }
+
+// GRO reports whether the receive side is UDP_GRO-coalesced.
+func (e *Endpoint) GRO() bool { return e.gro }
 
 // Batch reports the configured batch size (1 when batching is off).
 func (e *Endpoint) Batch() int {
@@ -266,10 +308,10 @@ func (e *Endpoint) FlushBatch() error {
 // before returning, so senders may reuse one Packet value.
 func (e *Endpoint) PacketConsumedOnSend() {}
 
-// flushFrames writes frames[0:n] to the peer, batched with sendmmsg where
-// the platform supports it.
+// flushFrames writes frames[0:n] to the peer through the endpoint's active
+// datapath tier (GSO superbuffer, sendmmsg or WriteTo loop).
 func (e *Endpoint) flushFrames(frames [][]byte, lens []int, n int) error {
-	return flushFramesTo(e.raw, &e.msender, e.conn, e.peer, frames, lens, n)
+	return flushFramesTiered(e.tier, e.raw, &e.gsender, &e.msender, e.conn, e.peer, frames, lens, n)
 }
 
 // Dial opens an ephemeral UDP socket talking to remote.
@@ -622,6 +664,21 @@ func (e *Endpoint) readDatagram() (data []byte, addr net.Addr, name []byte, err 
 	if e.rx != nil && e.rx.pending() {
 		data, name = e.rx.pop()
 		return data, nil, name, nil
+	}
+	if e.gro && e.rx != nil {
+		// GRO tier: the blocking read itself is a recvmmsg-with-control, so
+		// a coalesced superbuffer arrives with its gso_size attached and pop
+		// splits it back into frames. Deadline and close semantics come from
+		// the raw read's wait, same as ReadFrom.
+		for {
+			if err := fillBatch(e.raw, e.rx); err != nil {
+				return nil, nil, nil, err
+			}
+			if e.rx.pending() {
+				data, name = e.rx.pop()
+				return data, nil, name, nil
+			}
+		}
 	}
 	n, a, err := e.conn.ReadFrom(e.rbuf)
 	if err != nil {

@@ -71,7 +71,7 @@ func TestPullOverLoopback(t *testing.T) {
 	if res.Checksum != core.TransferChecksum(payload) {
 		t.Error("checksum mismatch")
 	}
-	srv.conn.Close()
+	srv.Close()
 	if err := <-done; err != nil {
 		t.Errorf("server: %v", err)
 	}

@@ -95,6 +95,17 @@ const (
 	AbsMaxPayload = 65507 - HeaderSize
 )
 
+// FrameBytes returns the packet's on-wire datagram size: header plus
+// payload, exactly what Encode/EncodeInto produce. It names the segment-size
+// invariant the GSO datapath relies on: every mid-window data frame of a
+// transfer has the same FrameBytes (HeaderSize + ChunkSize), and the only
+// shorter data frame — the transfer's tail chunk — always carries FlagLast,
+// which batching substrates flush separately. A flushed frame ring is
+// therefore runs of equal-sized frames with at most one shorter trailing
+// frame: precisely the shape a UDP_SEGMENT superbuffer may carry (see
+// internal/udplan's GSO tier and core's geometry test).
+func FrameBytes(p *Packet) int { return HeaderSize + len(p.Payload) }
+
 // Codec errors.
 var (
 	ErrShort    = errors.New("wire: buffer too short")
