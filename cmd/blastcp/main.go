@@ -9,6 +9,12 @@
 //	blastcp -to 127.0.0.1:7025 -pull 1048576 -chunk 8000 -mtu 9000   # jumbo frames
 //	blastcp -to 127.0.0.1:7025 -pull 268435456 -streams 4            # striped parallel pull
 //	blastcp -to 127.0.0.1:7025 -pull 67108864 -adaptive              # AIMD rate control
+//	blastcp -to 127.0.0.1:7025 -get data.bin -o local.bin            # named pull from -serve
+//	blastcp -to 127.0.0.1:7025 -get data.bin -streams 4              # striped named pull
+//
+// A named pull (-get) stats the remote object first — the daemon answers
+// with its size from the file store — then pulls exactly that many bytes by
+// name, striped or not. -o writes the pulled bytes to a local file.
 package main
 
 import (
@@ -42,6 +48,8 @@ func main() {
 		to        = flag.String("to", "127.0.0.1:7025", "blastd address")
 		pushFile  = flag.String("push", "", "file to push (MoveTo)")
 		pullBytes = flag.Int("pull", 0, "bytes to pull (MoveFrom)")
+		getName   = flag.String("get", "", "remote file to pull by name from the daemon's -serve store")
+		outFile   = flag.String("o", "", "write pulled bytes to this local file")
 		protoName = flag.String("proto", "blast", "protocol: saw, sw, blast")
 		stratName = flag.String("strategy", "go-back-n", "blast strategy")
 		chunk     = flag.Int("chunk", 1000, "payload bytes per packet")
@@ -68,11 +76,20 @@ func main() {
 	if !ok {
 		log.Fatalf("blastcp: unknown strategy %q", *stratName)
 	}
-	if (*pushFile == "") == (*pullBytes == 0) {
-		log.Fatal("blastcp: exactly one of -push or -pull is required")
+	modes := 0
+	for _, on := range []bool{*pushFile != "", *pullBytes != 0, *getName != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		log.Fatal("blastcp: exactly one of -push, -pull or -get is required")
 	}
 	if *streams > 1 && *pushFile != "" {
 		log.Fatal("blastcp: -streams applies to pulls only")
+	}
+	if *outFile != "" && *pushFile != "" {
+		log.Fatal("blastcp: -o applies to pulls only")
 	}
 	tier, err := udplan.ParseTier(*tierName)
 	if err != nil {
@@ -96,6 +113,16 @@ func main() {
 		// Striped pull: the fan-out dials its own endpoints, so the loss
 		// knobs install per-stripe hooks (independent seeds per stripe).
 		cfg.Bytes = *pullBytes
+		if *getName != "" {
+			// Stat on a throwaway endpoint; the stripes dial their own.
+			size, err := statRemote(*to, cfg, *getName)
+			if err != nil {
+				log.Fatalf("blastcp: stat %q: %v", *getName, err)
+			}
+			log.Printf("blastcp: remote %q is %d bytes", *getName, size)
+			cfg.Name, cfg.Bytes = *getName, int(size)
+		}
+		var out *os.File
 		opts := udplan.StripeOptions{
 			Streams:   *streams,
 			Batch:     *batch,
@@ -112,6 +139,17 @@ func main() {
 		if *lossRx > 0 {
 			opts.MangleRx = func(i int) func(*wire.Packet) params.Mangle {
 				return udplan.SeededDrop(*lossRx, int64(2+2*i))
+			}
+		}
+		if *outFile != "" {
+			var err error
+			if out, err = os.Create(*outFile); err != nil {
+				log.Fatalf("blastcp: %v", err)
+			}
+			opts.Sink = func(off int, b []byte) {
+				if _, werr := out.WriteAt(b, int64(off)); werr != nil {
+					log.Printf("blastcp: writing %s: %v", *outFile, werr)
+				}
 			}
 		}
 		res, err := udplan.PullStriped(*to, cfg, opts)
@@ -139,6 +177,12 @@ func main() {
 		fmt.Printf("pulled %d bytes over %d stripes in %v (%.2f MB/s), checksum %04x\n",
 			res.Bytes, len(res.Stripes), res.Elapsed.Round(time.Microsecond),
 			res.MBps(), res.Checksum)
+		if out != nil {
+			if err := out.Close(); err != nil {
+				log.Fatalf("blastcp: closing %s: %v", *outFile, err)
+			}
+			fmt.Printf("wrote %s\n", *outFile)
+		}
 		return
 	}
 
@@ -187,9 +231,32 @@ func main() {
 	}
 
 	cfg.Bytes = *pullBytes
-	// Stream the pull: chunks are checksummed incrementally and discarded,
-	// so pulling 1 GB costs no 1 GB buffer on this side either.
+	if *getName != "" {
+		// Stat then pull on the same endpoint: the daemon's session answers
+		// the stat and stays open for the pull that follows.
+		size, err := core.Stat(e, cfg, *getName)
+		if err != nil {
+			log.Fatalf("blastcp: stat %q: %v", *getName, err)
+		}
+		log.Printf("blastcp: remote %q is %d bytes", *getName, size)
+		cfg.Name, cfg.Bytes = *getName, int(size)
+	}
+	// Stream the pull: chunks are checksummed incrementally and discarded
+	// (or written through to -o), so pulling 1 GB costs no 1 GB buffer on
+	// this side either.
+	var out *os.File
 	cfg.Sink = func(off int, b []byte) {}
+	if *outFile != "" {
+		var err error
+		if out, err = os.Create(*outFile); err != nil {
+			log.Fatalf("blastcp: %v", err)
+		}
+		cfg.Sink = func(off int, b []byte) {
+			if _, werr := out.WriteAt(b, int64(off)); werr != nil {
+				log.Printf("blastcp: writing %s: %v", *outFile, werr)
+			}
+		}
+	}
 	res, err := udplan.Pull(e, cfg)
 	if err != nil {
 		log.Fatalf("blastcp: pull: %v", err)
@@ -198,4 +265,21 @@ func main() {
 		res.Bytes, res.Elapsed.Round(time.Microsecond),
 		float64(res.Bytes)/res.Elapsed.Seconds()/1e6,
 		res.DataPackets, res.Duplicates, res.Checksum)
+	if out != nil {
+		if err := out.Close(); err != nil {
+			log.Fatalf("blastcp: closing %s: %v", *outFile, err)
+		}
+		fmt.Printf("wrote %s\n", *outFile)
+	}
+}
+
+// statRemote asks the daemon for a named object's size on a throwaway
+// endpoint (striped pulls dial their own endpoints per stripe).
+func statRemote(addr string, cfg core.Config, name string) (int64, error) {
+	e, err := udplan.Dial(addr)
+	if err != nil {
+		return 0, err
+	}
+	defer e.Close()
+	return core.Stat(e, cfg, name)
 }

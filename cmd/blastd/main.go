@@ -10,9 +10,17 @@
 //
 // Pushed transfers stream to numbered files under -out, or are verified
 // against their incremental checksum and discarded when -out is empty.
-// Pull requests are served deterministic pseudo-random data generated chunk
-// by chunk — a 1 GB pull never allocates a 1 GB buffer — with a running
-// whole-transfer checksum logged so blastcp can verify end to end.
+// Aborted pushes (a client that vanished mid-blast, a force-closed session
+// at shutdown) release their file and discard the partial. Pull requests
+// are served deterministic pseudo-random data generated chunk by chunk — a
+// 1 GB pull never allocates a 1 GB buffer — with a running whole-transfer
+// checksum logged so blastcp can verify end to end.
+//
+// With -serve, named pulls (blastcp -get NAME) are answered from real files
+// under the given directory through the disk-backed store: a sharded
+// hot-object cache with single-flight fills and pipelined read-ahead
+// (-cache-mb, -readahead), so N clients pulling the same file cost one pass
+// over the disk. Anonymous pulls still hit the seeded generator.
 //
 // Striped pulls (blastcp -streams N) arrive as N concurrent sessions each
 // requesting a byte range of one logical stream; the daemon resolves each
@@ -29,18 +37,16 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
 	"blastlan/internal/core"
+	"blastlan/internal/store"
 	"blastlan/internal/udplan"
 	"blastlan/internal/wire"
 )
@@ -49,6 +55,9 @@ func main() {
 	var (
 		listen      = flag.String("listen", "127.0.0.1:7025", "UDP address to listen on")
 		outDir      = flag.String("out", "", "directory for pushed transfers (empty: verify and discard)")
+		serveDir    = flag.String("serve", "", "directory of real files served to named pulls (blastcp -get) through the disk-backed store")
+		cacheMB     = flag.Int("cache-mb", 256, "hot-object cache budget for -serve, in MiB")
+		readAhead   = flag.Int("readahead", 8, "chunks of pipelined read-ahead for -serve (0 disables)")
 		maxBytes    = flag.Int("max-bytes", 1<<30, "reject transfers larger than this")
 		concurrency = flag.Int("concurrency", 8, "session cap: concurrent transfers served at once (1 = serial)")
 		batch       = flag.Int("batch", 32, "syscall batch size for sendmmsg/recvmmsg frame rings (1 = single-syscall)")
@@ -106,7 +115,7 @@ func main() {
 	// the client's reassembly is byte-identical to an unstriped pull. The
 	// running checksum of the served range is logged the first time it
 	// completes in order.
-	srv.Source = func(r wire.Req) (core.ChunkSource, bool) {
+	seeded := func(r wire.Req) (core.ChunkSource, bool) {
 		if r.Bytes == 0 || r.Chunk == 0 {
 			return nil, false // degenerate request: the generator needs both
 		}
@@ -137,45 +146,42 @@ func main() {
 			return b
 		}, true
 	}
+	srv.Source = seeded
+
+	// Named pulls come from real files through the disk-backed store; the
+	// store refuses anonymous REQs, so those fall back to the generator.
+	if *serveDir != "" {
+		ra := *readAhead
+		if ra == 0 {
+			ra = -1 // Options treats 0 as "default"; the flag's 0 means off
+		}
+		st := store.Open(*serveDir, store.Options{
+			CacheBytes: int64(*cacheMB) << 20,
+			ReadAhead:  ra,
+			Logf:       log.Printf,
+		})
+		defer st.Close()
+		srv.SourceEnv = func(r wire.Req, env core.Env) (core.ChunkSource, bool) {
+			if r.Name == "" {
+				return seeded(r)
+			}
+			if stream := int(r.StreamBytes()); stream > *maxBytes {
+				log.Printf("blastd: rejecting %d-byte named pull (limit %d)", stream, *maxBytes)
+				return nil, false
+			}
+			return st.SourceReq(r, env)
+		}
+		srv.Stat = st.StatReq
+		log.Printf("blastd: serving files from %s (cache %d MiB, read-ahead %d)", *serveDir, *cacheMB, *readAhead)
+	}
 
 	// Pushes stream straight to disk (or into the incremental checksum):
-	// no transfer-sized buffer on the receive side either.
-	var pushes atomic.Int64
-	srv.SinkStream = func(r wire.Req) (core.ChunkSink, func(core.RecvResult), bool) {
-		if int(r.Bytes) > *maxBytes {
-			log.Printf("blastd: rejecting %d-byte push (limit %d)", r.Bytes, *maxBytes)
-			return nil, nil, false
-		}
-		n := pushes.Add(1)
-		if *outDir == "" {
-			return func(int, []byte) {}, func(res core.RecvResult) {
-				log.Printf("blastd: verified %d bytes (push #%d), checksum %04x",
-					res.Bytes, n, res.Checksum)
-			}, true
-		}
-		name := filepath.Join(*outDir, fmt.Sprintf("transfer-%04d.bin", n))
-		f, err := os.Create(name)
-		if err != nil {
-			log.Printf("blastd: creating %s: %v", name, err)
-			return nil, nil, false
-		}
-		return func(off int, b []byte) {
-				if _, err := f.WriteAt(b, int64(off)); err != nil {
-					log.Printf("blastd: writing %s: %v", name, err)
-				}
-			}, func(res core.RecvResult) {
-				if err := f.Close(); err != nil {
-					log.Printf("blastd: closing %s: %v", name, err)
-				}
-				if !res.Completed {
-					// Aborted push: drop the partial file.
-					os.Remove(name)
-					log.Printf("blastd: discarded aborted push %s (%d bytes received)", name, res.Bytes)
-					return
-				}
-				log.Printf("blastd: wrote %s (%d bytes, checksum %04x)", name, res.Bytes, res.Checksum)
-			}, true
-	}
+	// no transfer-sized buffer on the receive side either. FileSink owns
+	// the file lifecycle — close exactly once per push, discard partials
+	// from aborted transfers — and rejects degenerate or oversized REQs at
+	// admission.
+	fsink := &store.FileSink{Dir: *outDir, MaxBytes: *maxBytes, Logf: log.Printf}
+	srv.SinkStream = fsink.SinkStream
 
 	// Graceful shutdown: SIGINT/SIGTERM stops admitting new sessions and
 	// drains the active ones (bounded by -drain) instead of dropping them

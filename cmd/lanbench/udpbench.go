@@ -14,12 +14,15 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
 
 	"blastlan/internal/core"
 	"blastlan/internal/params"
+	"blastlan/internal/store"
 	"blastlan/internal/udplan"
 	"blastlan/internal/wire"
 )
@@ -117,6 +120,98 @@ func runUDPPull(c udpPullCase) (time.Duration, udplan.Tier, error) {
 // setSocketBufs raises the kernel socket buffers so a whole blast window
 // survives skb truesize accounting (see udplan.SetConnBuffers).
 func setSocketBufs(conn net.PacketConn) { udplan.SetConnBuffers(conn, udpSocketBuf) }
+
+// filePullCase is one named pull from a real on-disk file through the
+// disk-backed store (internal/store): stat by name, then pull through the
+// sharded hot-object cache with pipelined read-ahead. cold measures the
+// first pull against a fresh store; hot warms the cache with one pull and
+// measures the second — the figure the bench floor gates, since a warm hot
+// set must cost near what the in-memory generator path costs.
+type filePullCase struct {
+	name  string
+	bytes int
+	hot   bool
+}
+
+// runFilePull executes one file-backed pull case: a fresh store over a
+// fresh temp directory per call, so cold reps really are cold as far as the
+// store is concerned (the OS page cache stays warm across reps — the store
+// cache, not the platter, is what this measures). The stat handshake runs
+// before the timer starts, mirroring the generator cases, which have no
+// stat either.
+func runFilePull(c filePullCase, tier udplan.Tier) (time.Duration, udplan.Tier, error) {
+	dir, err := os.MkdirTemp("", "lanbench-store-")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	const object = "bench.bin"
+	payload := core.SeededPayload(int64(c.bytes), c.bytes, 1000)
+	if err := os.WriteFile(filepath.Join(dir, object), payload, 0o644); err != nil {
+		return 0, 0, err
+	}
+
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer conn.Close()
+	setSocketBufs(conn)
+	srv := udplan.NewServer(conn)
+	srv.Concurrency = 2
+	srv.Batch = 32
+	srv.MaxTier = tier
+	st := store.Open(dir, store.Options{})
+	defer st.Close()
+	srv.SourceEnv = st.SourceReq
+	srv.Stat = st.StatReq
+	go srv.Run()
+
+	pull := func() (time.Duration, udplan.Tier, error) {
+		e, err := udplan.Dial(conn.LocalAddr().String())
+		if err != nil {
+			return 0, 0, err
+		}
+		defer e.Close()
+		e.SetSocketBuffers(udpSocketBuf)
+		e.MaxTier = tier
+		e.SetBatch(32)
+		engaged := e.Tier()
+		cfg := core.Config{
+			TransferID:     1,
+			ChunkSize:      1000,
+			Protocol:       core.Blast,
+			Strategy:       core.GoBackN,
+			Window:         128,
+			RetransTimeout: 250 * time.Millisecond,
+			MaxAttempts:    10000,
+			Linger:         50 * time.Millisecond,
+			ReceiverIdle:   10 * time.Second,
+			Sink:           func(int, []byte) {}, // stream: checksum and discard
+		}
+		size, err := core.Stat(e, cfg, object)
+		if err != nil {
+			return 0, engaged, fmt.Errorf("stat: %w", err)
+		}
+		cfg.Name, cfg.Bytes = object, int(size)
+		t0 := time.Now()
+		res, err := udplan.Pull(e, cfg)
+		elapsed := time.Since(t0)
+		if err != nil {
+			return elapsed, engaged, err
+		}
+		if res.Bytes != c.bytes {
+			return elapsed, engaged, fmt.Errorf("file pull delivered %d of %d bytes", res.Bytes, c.bytes)
+		}
+		return elapsed, engaged, nil
+	}
+	if c.hot {
+		if _, _, err := pull(); err != nil {
+			return 0, 0, fmt.Errorf("warming pull: %w", err)
+		}
+	}
+	return pull()
+}
 
 // stripedCase is one streams×adaptive×network loopback measurement.
 type stripedCase struct {
@@ -248,6 +343,21 @@ func runUDPBench(path string, quick bool, streams int, adaptiveOnly bool, tierNa
 				if err := measurePull(&snap, c.name, c.bytes, 3,
 					func() (time.Duration, string, error) {
 						el, tr, err := runUDPPull(c)
+						return el, tr.String(), err
+					}); err != nil {
+					return err
+				}
+			}
+			// The disk-backed store cases at the same size and tier as _gso,
+			// so cold-vs-hot and store-vs-generator read off one table.
+			for _, fc := range []filePullCase{
+				{fmt.Sprintf("udp_pull_file_cold_%dmb", mb), size, false},
+				{fmt.Sprintf("udp_pull_file_hot_%dmb", mb), size, true},
+			} {
+				fc := fc
+				if err := measurePull(&snap, fc.name, fc.bytes, 3,
+					func() (time.Duration, string, error) {
+						el, tr, err := runFilePull(fc, minTier(udplan.TierGSO, tierCap))
 						return el, tr.String(), err
 					}); err != nil {
 					return err

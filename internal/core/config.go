@@ -141,6 +141,12 @@ type Config struct {
 	StripeOffset int
 	StripeTotal  int
 
+	// Name identifies the remote object a pull addresses — a file the
+	// serving side resolves by name through its store. Empty for anonymous
+	// (seeded or pushed) transfers. Rides the REQ's name extension; must
+	// satisfy wire.ValidReqName when set.
+	Name string
+
 	// MaxAttempts bounds the number of transmission rounds (per window)
 	// before the sender gives up with ErrGiveUp. Defaults to 10000.
 	MaxAttempts int
@@ -238,6 +244,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if err := c.validateStripe(); err != nil {
 		return c, err
+	}
+	if c.Name != "" && !wire.ValidReqName(c.Name) {
+		return c, fmt.Errorf("%w: Name %q does not fit the request encoding", ErrBadConfig, c.Name)
 	}
 	if c.Source != nil {
 		c.srcBuf = make([]byte, c.ChunkSize)

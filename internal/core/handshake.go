@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"time"
 
@@ -32,6 +33,7 @@ func ReqOf(c Config, push bool) wire.Req {
 		Adaptive:     c.Adaptive,
 		OffsetChunks: uint32(c.StripeOffset / chunk),
 		Total:        uint64(c.StripeTotal),
+		Name:         c.Name,
 	}
 }
 
@@ -49,6 +51,7 @@ func ConfigOf(transferID uint32, r wire.Req) Config {
 		Adaptive:       r.Adaptive,
 		StripeOffset:   int(r.Offset()),
 		StripeTotal:    int(r.Total),
+		Name:           r.Name,
 	}
 }
 
@@ -94,6 +97,86 @@ func Request(env Env, cfg Config) (RecvResult, error) {
 		}
 	}
 	return RecvResult{}, fmt.Errorf("request for transfer %d: %w", cfg.TransferID, ErrGiveUp)
+}
+
+// StatReply builds the serving side's answer to a stat request: an
+// ack-sized FIN-flagged ack carrying the named object's size as an 8-byte
+// payload. The FlagDone + 8-byte-payload combination is what
+// distinguishes it from transfer acks (payload-free) on the same session;
+// the reply is idempotent, so retransmitted stat REQs just earn another.
+func StatReply(trans uint32, size int64) *wire.Packet {
+	payload := make([]byte, 8)
+	binary.BigEndian.PutUint64(payload, uint64(size))
+	return &wire.Packet{
+		Type:        wire.TypeAck,
+		Trans:       trans,
+		Flags:       wire.FlagDone,
+		Payload:     payload,
+		VirtualSize: params.AckPacketSize,
+	}
+}
+
+// statSize recognises a stat reply for the given transfer id.
+func statSize(p *wire.Packet, trans uint32) (int64, bool) {
+	if p.Type != wire.TypeAck || p.Trans != trans ||
+		p.Flags&wire.FlagDone == 0 || len(p.Payload) != 8 {
+		return 0, false
+	}
+	return int64(binary.BigEndian.Uint64(p.Payload)), true
+}
+
+// Stat asks the serving side for the size of the named object, so a pull —
+// striped or not — can size its REQ exactly. Like any request the stat REQ
+// is retransmitted on silence; cfg supplies the transfer id, retransmit
+// timeout, attempt bound and ack size (Bytes may be zero — no transfer
+// starts, and the session stays open for the pull that follows).
+func Stat(env Env, cfg Config, name string) (int64, error) {
+	if !wire.ValidReqName(name) {
+		return 0, fmt.Errorf("%w: object name %q does not fit the request encoding", ErrBadConfig, name)
+	}
+	tr := cfg.RetransTimeout
+	if tr <= 0 {
+		tr = 100 * time.Millisecond
+	}
+	attempts := cfg.MaxAttempts
+	if attempts <= 0 {
+		attempts = 10
+	}
+	size := cfg.AckSize
+	if size <= 0 {
+		size = params.AckPacketSize
+	}
+	req := &wire.Packet{
+		Type:  wire.TypeReq,
+		Trans: cfg.TransferID,
+		Payload: wire.EncodeReq(wire.Req{
+			Stat:     true,
+			Name:     name,
+			TrMicros: uint64(tr / time.Microsecond),
+		}),
+		VirtualSize: size,
+	}
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := env.Send(req); err != nil {
+			return 0, err
+		}
+		remaining := 4 * tr
+		for remaining > 0 {
+			t0 := env.Now()
+			resp, err := env.Recv(remaining)
+			if err != nil {
+				if IsTimeout(err) {
+					break // re-request
+				}
+				return 0, err
+			}
+			remaining -= env.Now() - t0
+			if n, ok := statSize(resp, cfg.TransferID); ok {
+				return n, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("stat %q: %w", name, ErrGiveUp)
 }
 
 // goAhead builds the handshake acknowledgement for a push request: a
@@ -157,6 +240,14 @@ func AcceptPush(env Env, cfg Config) (RecvResult, error) {
 // caller can run the sender side. accept returning false rejects the
 // request and keeps waiting; malformed requests are ignored.
 func ServeOnce(env Env, idle time.Duration, accept func(wire.Req) (Config, bool)) (Config, error) {
+	return ServeOnceID(env, idle, func(r wire.Req, _ uint32) (Config, bool) { return accept(r) })
+}
+
+// ServeOnceID is ServeOnce with the REQ packet's transfer id passed to
+// accept, so handlers that answer control exchanges from inside the accept
+// hook (a stat reply, say) can address the reply to the requesting
+// transfer before rejecting the REQ to keep the session open.
+func ServeOnceID(env Env, idle time.Duration, accept func(r wire.Req, trans uint32) (Config, bool)) (Config, error) {
 	for {
 		pkt, err := env.Recv(idle)
 		if err != nil {
@@ -169,7 +260,7 @@ func ServeOnce(env Env, idle time.Duration, accept func(wire.Req) (Config, bool)
 		if err != nil {
 			continue // malformed request: ignore, keep serving
 		}
-		if cfg, ok := accept(req); ok {
+		if cfg, ok := accept(req, pkt.Trans); ok {
 			cfg.TransferID = pkt.Trans
 			return cfg, nil
 		}

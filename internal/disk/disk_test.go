@@ -105,6 +105,58 @@ func TestFileReadTimeEdges(t *testing.T) {
 	}
 }
 
+// fileReadTimeLoop is the original O(pages) accounting FileReadTime
+// replaced: first page pays a random access, every subsequent page a
+// rotational latency plus sector-rounded transfer. Kept here as the
+// reference the closed form must match term for term.
+func fileReadTimeLoop(g Geometry, fileSize, pageSize int) time.Duration {
+	if fileSize <= 0 || pageSize <= 0 {
+		return 0
+	}
+	pages := (fileSize + pageSize - 1) / pageSize
+	total := g.AccessTime(min(fileSize, pageSize))
+	remaining := fileSize - pageSize
+	for i := 1; i < pages; i++ {
+		n := min(pageSize, remaining)
+		total += g.RotationPeriod/2 + g.transfer(n)
+		remaining -= n
+	}
+	return total
+}
+
+// The closed form must equal the loop exactly — including the per-term
+// integer division of RotationPeriod/2 and the per-page sector rounding —
+// across page-aligned, tail-page, sub-page and sub-sector shapes on both
+// an odd-period 1985 disk and a zero-rotation NVMe.
+func TestFileReadTimeClosedForm(t *testing.T) {
+	sizes := []int{1, 100, 511, 512, 513, 1024, 2048, 4096, 65536,
+		65537, 1<<20 - 1, 1 << 20, 1<<20 + 513, 16 << 20}
+	pages := []int{1, 100, 512, 1024, 4096, 16384, 65536, 1 << 20}
+	for _, g := range []Geometry{FujitsuEagle(), ModernNVMe()} {
+		for _, fs := range sizes {
+			for _, ps := range pages {
+				want := fileReadTimeLoop(g, fs, ps)
+				if got := g.FileReadTime(fs, ps); got != want {
+					t.Errorf("%s: FileReadTime(%d, %d) = %v, loop says %v",
+						g.Name, fs, ps, got, want)
+				}
+			}
+		}
+	}
+	// Degenerate inputs stay free in both formulations.
+	g := FujitsuEagle()
+	if g.FileReadTime(0, 512) != 0 || g.FileReadTime(512, 0) != 0 ||
+		g.FileReadTime(-1, 512) != 0 {
+		t.Error("degenerate inputs must cost nothing")
+	}
+	// The motivating case: 1 GB at 512 B pages is 2M loop iterations; the
+	// closed form answers immediately and identically.
+	const gb, page = 1 << 30, 512
+	if got, want := g.FileReadTime(gb, page), fileReadTimeLoop(g, gb, page); got != want {
+		t.Errorf("1GB/512B closed form %v != loop %v", got, want)
+	}
+}
+
 func TestModernDiskNearlyFlat(t *testing.T) {
 	g := ModernNVMe()
 	// Compare sector-aligned page sizes: sub-sector pages pay 4× raw

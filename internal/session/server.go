@@ -53,6 +53,22 @@ type Server struct {
 	// ones; the handler sees the narrowed request.
 	Source func(wire.Req) (core.ChunkSource, bool)
 
+	// SourceEnv is Source with the session's protocol environment passed
+	// through, for sources whose reads are charged to the substrate's
+	// clock — a store whose simulated disk spends the serving host's
+	// virtual time (env.Compute) per miss. Preferred over Source when both
+	// are set.
+	SourceEnv func(wire.Req, core.Env) (core.ChunkSource, bool)
+
+	// Stat, when non-nil, answers stat requests (wire.Req.Stat): it
+	// returns the named object's size. The session replies with an
+	// ack-sized FIN carrying the size and stays open for the pull that
+	// usually follows; rejected or unresolvable names are dropped (the
+	// client's retry gives up on its own schedule). Stat REQs are answered
+	// from the accept hook, so a retransmitted stat earns an idempotent
+	// re-reply.
+	Stat func(wire.Req) (int64, bool)
+
 	// Sink, when non-nil, accepts push requests (MoveTo) and receives the
 	// completed, fully assembled transfer.
 	Sink func(wire.Req, []byte)
@@ -302,7 +318,26 @@ func (s *Server) ServeEnv(env core.Env, idle time.Duration, validate func(core.C
 	if validate == nil {
 		validate = s.Validate
 	}
-	cfg, err := core.ServeOnce(env, idle, func(r wire.Req) (core.Config, bool) {
+	cfg, err := core.ServeOnceID(env, idle, func(r wire.Req, trans uint32) (core.Config, bool) {
+		if r.Stat {
+			// A stat is a control exchange, not a transfer: answer it from
+			// the accept hook and keep the session waiting for the pull
+			// that usually follows. Retransmitted stats earn idempotent
+			// re-replies; unresolvable names are dropped silently on the
+			// wire (the client's retry gives up on its own schedule).
+			if s.Stat == nil {
+				return core.Config{}, false
+			}
+			size, ok := s.Stat(r)
+			if !ok {
+				s.logf("session: stat %q from %v: no such object", r.Name, peerOf())
+				return core.Config{}, false
+			}
+			if serr := env.Send(core.StatReply(trans, size)); serr != nil {
+				s.logf("session: stat reply to %v: %v", peerOf(), serr)
+			}
+			return core.Config{}, false
+		}
 		c := core.ConfigOf(0, r)
 		// Bounded linger/idle: the simulation defaults are sized for free
 		// virtual time and would stall the server between clients. The same
@@ -331,6 +366,14 @@ func (s *Server) ServeEnv(env core.Env, idle time.Duration, validate func(core.C
 			}
 			return c, true
 		}
+		if s.SourceEnv != nil {
+			src, ok := s.SourceEnv(r, env)
+			if !ok {
+				return core.Config{}, false
+			}
+			c.Source = src
+			return c, true
+		}
 		if s.Source != nil {
 			src, ok := s.Source(r)
 			if !ok {
@@ -356,18 +399,34 @@ func (s *Server) ServeEnv(env core.Env, idle time.Duration, validate func(core.C
 	defer s.busy.Add(-1)
 	stats := TransferStats{Peer: peerOf(), Req: req, TransferID: cfg.TransferID, Push: isPush}
 	if isPush {
-		res, err := core.AcceptPush(env, cfg)
-		if err != nil {
-			// The sink's resources (an open file, say) must be released
-			// even for an aborted push; Completed is false on this path.
-			if pushDone != nil {
-				pushDone(res)
+		// The sink's completion callback must run exactly once on every
+		// exit path — success, protocol error, a hangup-induced abort or a
+		// panic unwinding the session — or the daemon leaks the sink's
+		// per-transfer resources (an open file, a partial transfer on
+		// disk). finish is idempotent and a deferred call backstops any
+		// path that misses it, delivering whatever result was reached
+		// (zero-valued, Completed=false, if AcceptPush never returned).
+		hadStream := pushDone != nil
+		finish := func(res core.RecvResult) {
+			if pushDone == nil {
+				return
 			}
+			done := pushDone
+			pushDone = nil
+			done(res)
+		}
+		var last core.RecvResult
+		defer func() { finish(last) }()
+		res, err := core.AcceptPush(env, cfg)
+		last = res
+		if err != nil {
+			// Completed is false on this path; the sink releases its
+			// resources and discards partials.
+			finish(res)
 			return fmt.Errorf("session: accepting push: %w", err)
 		}
-		if pushDone != nil {
-			pushDone(res)
-		} else if s.Sink != nil {
+		finish(res)
+		if !hadStream && s.Sink != nil {
 			s.Sink(req, res.Data)
 		}
 		stats.Bytes, stats.Elapsed = res.Bytes, res.Elapsed

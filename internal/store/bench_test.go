@@ -1,0 +1,51 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"blastlan/internal/core"
+)
+
+// The hot-path budget: a warm hit must cost close to what the seeded
+// generator costs (the in-memory source the daemon's anonymous pulls use),
+// or the cache would tax every warm transfer. Compare:
+//
+//	go test -bench 'Source' -benchtime 2s ./internal/store
+func BenchmarkSeededSource(b *testing.B) {
+	const chunk = 1000
+	n := (64 << 20) / chunk
+	src := core.SeededSource(1, 64<<20, chunk)
+	dst := make([]byte, chunk)
+	b.SetBytes(chunk)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src(i%n, dst)
+	}
+}
+
+func BenchmarkHotSource(b *testing.B) {
+	dir := b.TempDir()
+	const chunk = 1000
+	payload := core.SeededPayload(1, 64<<20, chunk)
+	if err := os.WriteFile(filepath.Join(dir, "f"), payload, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	st := Open(dir, Options{})
+	defer st.Close()
+	src, err := st.Source("f", chunk, 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := (64 << 20) / chunk
+	dst := make([]byte, chunk)
+	for i := 0; i < n; i++ {
+		src(i, dst) // warm the cache
+	}
+	b.SetBytes(chunk)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src(i%n, dst)
+	}
+}

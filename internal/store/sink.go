@@ -1,0 +1,97 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"blastlan/internal/core"
+	"blastlan/internal/wire"
+)
+
+// FileSink is the push-side of the daemon's file handling: it streams
+// pushed transfers into numbered files under a directory, guarantees the
+// per-transfer file is closed exactly once on every outcome, and discards
+// partials from aborted pushes (a client that vanished mid-blast, a
+// force-closed session at shutdown). The session layer guarantees the
+// completion callback fires exactly once per accepted push; everything
+// the daemon must do with that guarantee lives here, where it is testable
+// without a main().
+type FileSink struct {
+	// Dir receives transfer-NNNN.bin files. Empty means verify-and-discard:
+	// pushes stream into the incremental checksum only.
+	Dir string
+
+	// MaxBytes, when positive, rejects pushes larger than this.
+	MaxBytes int
+
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+
+	// OnDone, when non-nil, observes every completed callback: the file's
+	// path ("" when discarding), the result, and whether the file was kept.
+	// Test hook.
+	OnDone func(path string, res core.RecvResult, kept bool)
+
+	n atomic.Int64
+}
+
+func (fs *FileSink) logf(format string, args ...any) {
+	if fs.Logf != nil {
+		fs.Logf(format, args...)
+	}
+}
+
+// SinkStream is the session.Server.SinkStream hook. Degenerate REQs are
+// rejected before any resource is created: a push REQ with Bytes==0 or
+// Chunk==0 would otherwise reach the engine's chunk arithmetic (the pull
+// path has always had this guard; the push path must mirror it).
+func (fs *FileSink) SinkStream(r wire.Req) (core.ChunkSink, func(core.RecvResult), bool) {
+	if r.Bytes == 0 || r.Chunk == 0 {
+		fs.logf("store: rejecting degenerate push (bytes=%d chunk=%d)", r.Bytes, r.Chunk)
+		return nil, nil, false
+	}
+	if fs.MaxBytes > 0 && int(r.Bytes) > fs.MaxBytes {
+		fs.logf("store: rejecting %d-byte push (limit %d)", r.Bytes, fs.MaxBytes)
+		return nil, nil, false
+	}
+	n := fs.n.Add(1)
+	if fs.Dir == "" {
+		return func(int, []byte) {}, func(res core.RecvResult) {
+			fs.logf("store: verified %d bytes (push #%d), checksum %04x",
+				res.Bytes, n, res.Checksum)
+			if fs.OnDone != nil {
+				fs.OnDone("", res, false)
+			}
+		}, true
+	}
+	name := filepath.Join(fs.Dir, fmt.Sprintf("transfer-%04d.bin", n))
+	f, err := os.Create(name)
+	if err != nil {
+		fs.logf("store: creating %s: %v", name, err)
+		return nil, nil, false
+	}
+	sink := func(off int, b []byte) {
+		if _, werr := f.WriteAt(b, int64(off)); werr != nil {
+			fs.logf("store: writing %s: %v", name, werr)
+		}
+	}
+	done := func(res core.RecvResult) {
+		if cerr := f.Close(); cerr != nil {
+			fs.logf("store: closing %s: %v", name, cerr)
+		}
+		kept := res.Completed
+		if !kept {
+			// Aborted push: drop the partial file.
+			os.Remove(name)
+			fs.logf("store: discarded aborted push %s (%d bytes received)", name, res.Bytes)
+		} else {
+			fs.logf("store: wrote %s (%d bytes, checksum %04x)", name, res.Bytes, res.Checksum)
+		}
+		if fs.OnDone != nil {
+			fs.OnDone(name, res, kept)
+		}
+	}
+	return sink, done, true
+}

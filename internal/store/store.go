@@ -1,0 +1,481 @@
+// Package store is the disk-backed file store behind the serving side:
+// real files served by name as core.ChunkSources through the shared
+// session layer, so the simulator, the V kernel and the UDP daemon all
+// pull from the same read path — platter to protocol engine.
+//
+// The paper's introduction motivates large pages with "economies in
+// accessing the disk in large quantities as well as ... the network in
+// large quantities"; this package supplies the disk half at serving time.
+// Three pieces matter at fleet scale (the hot set must leave the disk
+// once, not once per client):
+//
+//   - a sharded hot-object cache with ref-counted chunk buffers, so one
+//     disk read fans out to N concurrent pullers without copying per
+//     session or breaking the zero-alloc datapath (cache.go);
+//   - single-flight fills: N sessions racing for the same cold chunk
+//     trigger exactly one backing read;
+//   - pipelined read-ahead that stays a configurable window ahead of the
+//     sender — background prefetch goroutines on real substrates, and on
+//     the DES a batched span read whose cost the disk model charges as
+//     one large page (read-ahead IS the paper's page-size economy).
+package store
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"blastlan/internal/core"
+	"blastlan/internal/wire"
+)
+
+// maxChunk bounds a client-requested chunk size: above this a REQ is
+// rejected rather than allocating attacker-sized buffers per chunk. Real
+// substrates bound chunks at the MTU long before this; the DES has no MTU.
+const maxChunk = 1 << 20
+
+// Options configures a Store.
+type Options struct {
+	// CacheBytes is the hot-object cache budget. Default 256 MiB.
+	CacheBytes int64
+
+	// Shards is the cache shard count. Default GOMAXPROCS.
+	Shards int
+
+	// ReadAhead is how many chunks the store keeps in flight ahead of the
+	// sender. Default 8; negative disables read-ahead.
+	ReadAhead int
+
+	// Prefetchers caps concurrent background prefetch reads (real
+	// substrates only). Default 4.
+	Prefetchers int
+
+	// Sim selects DES mode: no goroutines (fills are synchronous batched
+	// span reads charged to the session's virtual clock) and cache waits
+	// poll in virtual time. Required when the Store serves simulator
+	// sessions; forbidden otherwise.
+	Sim bool
+
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 256 << 20
+	}
+	if o.Shards < 1 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.ReadAhead == 0 {
+		o.ReadAhead = 8
+	}
+	if o.ReadAhead < 0 {
+		o.ReadAhead = 0
+	}
+	if o.Prefetchers < 1 {
+		o.Prefetchers = 4
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of the store's counters.
+type Stats struct {
+	Hits        int64 // chunk requests served from cache (incl. fill waits)
+	Misses      int64 // chunk requests that owned a backing fill
+	ChunkReads  int64 // chunks filled from the backing FS — with single-flight, ≤ one per (file, chunk)
+	ReadOps     int64 // backing ReadAt calls (batched read-ahead folds many fills into one)
+	Evictions   int64 // entries reclaimed by CLOCK
+	BytesCached int64 // budget-accounted cache residency
+}
+
+// Store serves named files through the chunk cache.
+type Store struct {
+	fs  FS
+	opt Options
+	c   *cache
+
+	mu     sync.Mutex
+	objs   map[string]*object
+	nextID uint32
+
+	sem chan struct{} // prefetch slots
+
+	hits       atomic.Int64
+	misses     atomic.Int64
+	chunkReads atomic.Int64
+	readOps    atomic.Int64
+}
+
+// object is one resolved file in the registry.
+type object struct {
+	id   uint32
+	name string
+	f    File
+	size int64
+
+	// views are dense per-chunk-size indexes over the object's cache
+	// entries: views[chunk][idx] points at the entry for chunk idx, nil
+	// when absent or torn down. Entries publish themselves into their
+	// cell at creation and clear it on eviction (cache.go), so every
+	// source over the object — including all stripes of a striped pull
+	// and every later session — shares one lock-free warm path. The
+	// cells cost 8 bytes per chunk per chunk size, unaccounted against
+	// the cache budget (the budget covers payload bytes).
+	mu    sync.Mutex
+	views map[uint32][]atomic.Pointer[entry]
+}
+
+// view returns (creating if needed) the object's dense index at the
+// given chunk size.
+func (o *object) view(chunk int) []atomic.Pointer[entry] {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.views == nil {
+		o.views = make(map[uint32][]atomic.Pointer[entry])
+	}
+	v, ok := o.views[uint32(chunk)]
+	if !ok {
+		v = make([]atomic.Pointer[entry], totalChunks(o.size, chunk))
+		o.views[uint32(chunk)] = v
+	}
+	return v
+}
+
+// New creates a Store over fs.
+func New(fs FS, opt Options) *Store {
+	opt = opt.withDefaults()
+	return &Store{
+		fs:   fs,
+		opt:  opt,
+		c:    newCache(opt.CacheBytes, opt.Shards, opt.Sim),
+		objs: make(map[string]*object),
+		sem:  make(chan struct{}, opt.Prefetchers),
+	}
+}
+
+// Open creates a Store serving the files under dir (see DirFS).
+func Open(dir string, opt Options) *Store { return New(NewDirFS(dir), opt) }
+
+func (s *Store) logf(format string, args ...any) {
+	if s.opt.Logf != nil {
+		s.opt.Logf(format, args...)
+	}
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		ChunkReads:  s.chunkReads.Load(),
+		ReadOps:     s.readOps.Load(),
+		Evictions:   s.c.evictions.Load(),
+		BytesCached: s.c.bytesCached(),
+	}
+}
+
+// Close closes every open file. In-flight prefetches fail harmlessly.
+func (s *Store) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, o := range s.objs {
+		o.f.Close()
+	}
+	s.objs = make(map[string]*object)
+}
+
+// resolve opens (or finds) the named object. Open files are kept for the
+// store's lifetime — the registry is the file-handle cache.
+func (s *Store) resolve(name string) (*object, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if o := s.objs[name]; o != nil {
+		return o, nil
+	}
+	f, err := s.fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	o := &object{id: s.nextID, name: name, f: f, size: f.Size()}
+	s.nextID++
+	s.objs[name] = o
+	return o, nil
+}
+
+// Stat reports the named object's size.
+func (s *Store) Stat(name string) (int64, error) {
+	o, err := s.resolve(name)
+	if err != nil {
+		return 0, err
+	}
+	return o.size, nil
+}
+
+// StatReq is the session.Server.Stat hook: it answers stat REQs for named
+// objects.
+func (s *Store) StatReq(r wire.Req) (int64, bool) {
+	if r.Name == "" {
+		return 0, false
+	}
+	o, err := s.resolve(r.Name)
+	if err != nil {
+		s.logf("store: stat %q: %v", r.Name, err)
+		return 0, false
+	}
+	return o.size, true
+}
+
+// SourceReq is the session.Server.SourceEnv hook: it resolves named pull
+// REQs — striped or not — into chunk sources reading through the cache.
+// Anonymous REQs (no name) are not the store's business; return false so
+// the daemon can fall back to another source.
+func (s *Store) SourceReq(r wire.Req, env core.Env) (core.ChunkSource, bool) {
+	if r.Name == "" {
+		return nil, false
+	}
+	if r.Bytes == 0 || r.Chunk == 0 || r.Chunk > maxChunk {
+		s.logf("store: rejecting degenerate pull of %q (bytes=%d chunk=%d)", r.Name, r.Bytes, r.Chunk)
+		return nil, false
+	}
+	o, err := s.resolve(r.Name)
+	if err != nil {
+		s.logf("store: pull %q: %v", r.Name, err)
+		return nil, false
+	}
+	if r.StreamBytes() > uint64(o.size) || r.Offset()+r.Bytes > uint64(o.size) {
+		s.logf("store: rejecting pull of [%d,%d) beyond %d-byte %q",
+			r.Offset(), r.Offset()+r.Bytes, o.size, r.Name)
+		return nil, false
+	}
+	return s.source(o, int(r.Chunk), int(r.OffsetChunks), env), true
+}
+
+// Source returns a chunk source for the named object, for callers outside
+// the session layer (tests, benchmarks). env may be nil on real
+// substrates.
+func (s *Store) Source(name string, chunk, offsetChunks int, env core.Env) (core.ChunkSource, error) {
+	if chunk <= 0 || chunk > maxChunk {
+		return nil, fmt.Errorf("store: chunk size %d out of range", chunk)
+	}
+	o, err := s.resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.source(o, chunk, offsetChunks, env), nil
+}
+
+// source builds the per-transfer chunk source. The engine owns the
+// returned bytes only until its next call (core.ChunkSource contract), so
+// a copy-out keeps cached buffers shared and immutable while staying
+// alloc-free on hits.
+//
+// Warm chunks are served through the object's view — one pointer load,
+// one state load and a memcpy, no shard mutex and no map lookup — which
+// is what keeps a fully cached pull at parity with the in-memory
+// generator. Because the view is shared at the object, a chunk any
+// earlier session (or stripe, or prefetcher) filled is already on the
+// fast path for this one; the locked cache path only runs for absent or
+// in-flight chunks.
+func (s *Store) source(o *object, chunk, offsetChunks int, env core.Env) core.ChunkSource {
+	ahead := offsetChunks // high-water chunk index already dispatched to prefetch
+	ra := s.opt.ReadAhead
+	view := o.view(chunk)
+	return func(seq int, dst []byte) []byte {
+		idx := offsetChunks + seq
+		n := chunkLen(o.size, chunk, idx)
+		if n <= 0 {
+			return dst[:0]
+		}
+		if cap(dst) < n {
+			dst = make([]byte, n)
+		}
+		dst = dst[:n]
+		var advance bool
+		if e := view[idx].Load(); e != nil && e.state.Load() == entryFilled {
+			s.hits.Add(1)
+			if !e.hot.Load() {
+				e.hot.Store(true)
+			}
+			advance = e.prefetched.Load() && e.prefetched.Swap(false)
+			copy(dst, e.buf)
+		} else {
+			adv, err := s.readChunk(o, chunk, idx, dst, env, view)
+			if err != nil {
+				s.logf("store: reading %q chunk %d: %v", o.name, idx, err)
+				return dst[:0]
+			}
+			advance = adv
+		}
+		if !s.opt.Sim && ra > 0 && advance {
+			// Pipelined read-ahead: keep (idx, idx+ra] in flight behind
+			// the sender. The high-water mark makes the steady state O(1)
+			// — each served chunk dispatches at most one new prefetch —
+			// and only advances past chunks actually dispatched, so a
+			// busy prefetcher pool delays the window instead of punching
+			// holes in it. The window slides only when the pipeline is
+			// live (a miss, or the first consumption of a prefetched
+			// chunk); a warm hit skips the probing outright, so fully
+			// cached streams pay no read-ahead tax.
+			start := idx + 1
+			if ahead > start {
+				start = ahead
+			}
+			for j := start; j <= idx+ra; j++ {
+				if !s.prefetch(o, chunk, j, view) {
+					break
+				}
+				ahead = j + 1
+			}
+		}
+		return dst
+	}
+}
+
+// readChunk delivers chunk idx into dst through the cache — the slow
+// path behind the view: absent chunks (a miss that owns the fill) and
+// in-flight chunks (wait on another session's fill). advance reports
+// whether the read-ahead window should slide: true on a miss or on the
+// first consumption of a prefetched chunk, false on a warm hit (the
+// stream ahead is already cached).
+func (s *Store) readChunk(o *object, chunk, idx int, dst []byte, env core.Env, view []atomic.Pointer[entry]) (advance bool, err error) {
+	k := chunkKey{file: o.id, chunk: uint32(chunk), idx: uint32(idx)}
+	e, hit, prefetched := s.c.acquire(k, len(dst), &view[idx])
+	if hit {
+		s.hits.Add(1)
+		if err := s.c.wait(e, env); err != nil {
+			s.c.release(e)
+			return prefetched, err
+		}
+		copy(dst, e.buf)
+		s.c.release(e)
+		return prefetched, nil
+	}
+	s.misses.Add(1)
+	if s.opt.Sim {
+		return true, s.fillSpanSim(o, chunk, idx, e, dst, env, view)
+	}
+	buf := make([]byte, len(dst))
+	s.readOps.Add(1)
+	if _, err := o.f.ReadAt(env, buf, int64(idx)*int64(chunk)); err != nil {
+		s.c.fillFail(e, err)
+		s.c.release(e)
+		return true, err
+	}
+	s.chunkReads.Add(1)
+	s.c.fillDone(e, buf)
+	copy(dst, buf)
+	s.c.release(e)
+	return true, nil
+}
+
+// fillSpanSim is the DES miss path: instead of background goroutines
+// (which would break the kernel's deterministic handoff scheduling),
+// read-ahead happens synchronously as one span read of up to ReadAhead+1
+// chunks — one disk access the timing model charges like a single large
+// page, which is exactly the paper's disk-economy argument. The span
+// stops at the file's end and at the first chunk some other session
+// already owns.
+func (s *Store) fillSpanSim(o *object, chunk, idx int, first *entry, dst []byte, env core.Env, view []atomic.Pointer[entry]) error {
+	entries := []*entry{first}
+	for j := idx + 1; j <= idx+s.opt.ReadAhead; j++ {
+		n := chunkLen(o.size, chunk, j)
+		if n <= 0 {
+			break
+		}
+		e, hit, _ := s.c.acquire(chunkKey{file: o.id, chunk: uint32(chunk), idx: uint32(j)}, n, &view[j])
+		if hit {
+			s.c.release(e)
+			break
+		}
+		entries = append(entries, e)
+	}
+	span := int(min64(int64(len(entries))*int64(chunk), o.size-int64(idx)*int64(chunk)))
+	buf := make([]byte, span)
+	s.readOps.Add(1)
+	if _, err := o.f.ReadAt(env, buf, int64(idx)*int64(chunk)); err != nil {
+		for _, e := range entries {
+			s.c.fillFail(e, err)
+			s.c.release(e)
+		}
+		return err
+	}
+	s.chunkReads.Add(int64(len(entries)))
+	for i, e := range entries {
+		lo := i * chunk
+		hi := lo + chunkLen(o.size, chunk, idx+i)
+		s.c.fillDone(e, buf[lo:hi:hi])
+		if i > 0 {
+			s.c.release(e)
+		}
+	}
+	copy(dst, first.buf)
+	s.c.release(first)
+	return nil
+}
+
+// prefetch schedules a background fill for chunk idx if no entry exists
+// and a prefetch slot is free; otherwise it does nothing — read-ahead is
+// an optimisation, never a wait. It reports whether the chunk is covered
+// (already present, past EOF, or now in flight); false means no slot was
+// free and the caller should retry on its next serve.
+func (s *Store) prefetch(o *object, chunk, idx int, view []atomic.Pointer[entry]) bool {
+	n := chunkLen(o.size, chunk, idx)
+	if n <= 0 {
+		return true
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		return false // all prefetchers busy
+	}
+	e, hit, _ := s.c.acquire(chunkKey{file: o.id, chunk: uint32(chunk), idx: uint32(idx)}, n, &view[idx])
+	if hit {
+		s.c.release(e)
+		<-s.sem
+		return true
+	}
+	s.c.markPrefetched(e)
+	go func() {
+		defer func() { <-s.sem }()
+		buf := make([]byte, n)
+		s.readOps.Add(1)
+		if _, err := o.f.ReadAt(nil, buf, int64(idx)*int64(chunk)); err != nil {
+			s.c.fillFail(e, err)
+			s.c.release(e)
+			return
+		}
+		s.chunkReads.Add(1)
+		s.c.fillDone(e, buf)
+		s.c.release(e)
+	}()
+	return true
+}
+
+// totalChunks is how many chunk-sized pieces a size-byte object splits
+// into (the memo slot count for a source over it).
+func totalChunks(size int64, chunk int) int {
+	return int((size + int64(chunk) - 1) / int64(chunk))
+}
+
+// chunkLen is the length of chunk idx in a size-byte object: the chunk
+// size except for a short tail, zero past the end.
+func chunkLen(size int64, chunk, idx int) int {
+	off := int64(idx) * int64(chunk)
+	if off >= size {
+		return 0
+	}
+	n := size - off
+	if n > int64(chunk) {
+		n = int64(chunk)
+	}
+	return int(n)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

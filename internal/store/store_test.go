@@ -1,0 +1,431 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"blastlan/internal/core"
+	"blastlan/internal/disk"
+	"blastlan/internal/wire"
+)
+
+// fakeEnv is a minimal core.Env for driving sources outside a substrate:
+// Compute accumulates virtual time, which is how the SimFS tests observe
+// disk-model charges.
+type fakeEnv struct{ t time.Duration }
+
+func (e *fakeEnv) Now() time.Duration           { return e.t }
+func (e *fakeEnv) Compute(d time.Duration)      { e.t += d }
+func (e *fakeEnv) Send(*wire.Packet) error      { return nil }
+func (e *fakeEnv) SendAsync(*wire.Packet) error { return nil }
+func (e *fakeEnv) Recv(time.Duration) (*wire.Packet, error) {
+	return nil, fmt.Errorf("fakeEnv has no packets")
+}
+
+// memFS counts backing reads, optionally dawdling to widen race windows.
+type memFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+}
+
+type memFile struct {
+	content []byte
+	delay   time.Duration
+	mu      sync.Mutex
+	reads   int
+}
+
+func newMemFS() *memFS { return &memFS{files: map[string]*memFile{}} }
+
+func (m *memFS) add(name string, size int, delay time.Duration) *memFile {
+	content := make([]byte, size)
+	rng := rand.New(rand.NewSource(int64(size)))
+	rng.Read(content)
+	f := &memFile{content: content, delay: delay}
+	m.mu.Lock()
+	m.files[name] = f
+	m.mu.Unlock()
+	return f
+}
+
+func (m *memFS) Open(name string) (File, error) {
+	m.mu.Lock()
+	f := m.files[name]
+	m.mu.Unlock()
+	if f == nil {
+		return nil, fmt.Errorf("no such file %q", name)
+	}
+	return f, nil
+}
+
+func (f *memFile) Size() int64 { return int64(len(f.content)) }
+
+func (f *memFile) ReadAt(_ core.Env, p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	f.reads++
+	f.mu.Unlock()
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	if off < 0 || off > int64(len(f.content)) {
+		return 0, fmt.Errorf("read at %d outside %d bytes", off, len(f.content))
+	}
+	return copy(p, f.content[off:]), nil
+}
+
+func (f *memFile) Close() error { return nil }
+
+func (f *memFile) readCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.reads
+}
+
+// pullAll drains the whole object through a fresh source and returns the
+// reassembled bytes.
+func pullAll(t *testing.T, s *Store, name string, chunk int, env core.Env) []byte {
+	t.Helper()
+	size, err := s.Stat(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := s.Source(name, chunk, 0, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 0, size)
+	buf := make([]byte, chunk)
+	for seq := 0; int64(len(out)) < size; seq++ {
+		b := src(seq, buf)
+		if len(b) == 0 {
+			t.Fatalf("source dried up at seq %d (%d of %d bytes)", seq, len(out), size)
+		}
+		out = append(out, b...)
+	}
+	return out
+}
+
+func TestDirFSServesAndValidates(t *testing.T) {
+	dir := t.TempDir()
+	content := make([]byte, 300000)
+	rand.New(rand.NewSource(7)).Read(content)
+	if err := os.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "sub", "blob.bin"), content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := Open(dir, Options{})
+	defer s.Close()
+
+	got := pullAll(t, s, "sub/blob.bin", 1400, nil)
+	if !bytes.Equal(got, content) {
+		t.Fatal("pulled bytes differ from the file")
+	}
+	// Hostile names never escape the root.
+	for _, name := range []string{"../blob", "/etc/passwd", "sub/../../x", ".", "", "sub"} {
+		if _, err := s.Stat(name); err == nil {
+			t.Errorf("Stat(%q) resolved", name)
+		}
+	}
+}
+
+// The acceptance criterion: N concurrent pullers of one cold file trigger
+// exactly one backing read per chunk — the cache's single-flight fan-out,
+// verified under -race by the CI race job.
+func TestSingleFlightFanOut(t *testing.T) {
+	const (
+		pullers = 8
+		chunk   = 1024
+		chunks  = 64
+	)
+	fs := newMemFS()
+	f := fs.add("hot.bin", chunk*chunks, 200*time.Microsecond)
+	s := New(fs, Options{CacheBytes: 64 << 20})
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make(chan error, pullers)
+	for i := 0; i < pullers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			src, err := s.Source("hot.bin", chunk, 0, nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			buf := make([]byte, chunk)
+			for seq := 0; seq < chunks; seq++ {
+				b := src(seq, buf)
+				want := f.content[seq*chunk : (seq+1)*chunk]
+				if !bytes.Equal(b, want) {
+					errs <- fmt.Errorf("puller got wrong bytes at seq %d", seq)
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.ChunkReads != chunks {
+		t.Errorf("ChunkReads = %d, want exactly %d (one per chunk)", st.ChunkReads, chunks)
+	}
+	if got := f.readCount(); got != chunks {
+		t.Errorf("backing ReadAt calls = %d, want exactly %d", got, chunks)
+	}
+	if st.Hits == 0 {
+		t.Error("fan-out produced no cache hits")
+	}
+}
+
+// Read-ahead keeps a window in flight behind the sender: after serving
+// early chunks the later ones must already be cached.
+func TestReadAheadPipelines(t *testing.T) {
+	const chunk, chunks = 2048, 32
+	fs := newMemFS()
+	fs.add("ra.bin", chunk*chunks, 0)
+	s := New(fs, Options{CacheBytes: 64 << 20, ReadAhead: 8, Prefetchers: 8})
+	defer s.Close()
+
+	src, err := s.Source("ra.bin", chunk, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, chunk)
+	src(0, buf)
+	// Chunks 1..8 should land without being demanded.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if s.Stats().ChunkReads >= 9 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("read-ahead idle: ChunkReads = %d after chunk 0", s.Stats().ChunkReads)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	before := s.Stats().Misses
+	src(1, buf)
+	src(2, buf)
+	if after := s.Stats().Misses; after != before {
+		t.Errorf("chunks 1-2 missed (%d -> %d misses) despite read-ahead", before, after)
+	}
+}
+
+// CLOCK eviction: fresh chunks enter cold (scan-resistant), re-referenced
+// chunks get a second chance, pins are never evicted.
+func TestClockEviction(t *testing.T) {
+	const chunk = 1024
+	fs := newMemFS()
+	fs.add("ev.bin", chunk*16, 0)
+	s := New(fs, Options{CacheBytes: 4 * chunk, Shards: 1, ReadAhead: -1})
+	defer s.Close()
+
+	src, err := s.Source("ev.bin", chunk, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, chunk)
+	for seq := 0; seq < 4; seq++ {
+		src(seq, buf)
+	}
+	src(0, buf) // re-reference chunk 0: hot bit set
+	reads := s.Stats().ChunkReads
+	src(4, buf) // over budget: CLOCK clears 0's hot bit, evicts cold 1
+	if s.Stats().Evictions == 0 {
+		t.Fatal("no eviction past the budget")
+	}
+	src(0, buf) // survived its second chance
+	if got := s.Stats().ChunkReads; got != reads+1 {
+		t.Errorf("re-read of hot chunk 0 went to disk (ChunkReads %d -> %d)", reads, got)
+	}
+	src(1, buf) // the cold victim was evicted
+	if got := s.Stats().ChunkReads; got != reads+2 {
+		t.Errorf("evicted chunk 1 not re-read (ChunkReads %d -> %d)", reads, got)
+	}
+}
+
+// The DES read path: a cold sequential file read through the store with
+// read-ahead R costs exactly disk.FileReadTime(size, (R+1)*chunk) of
+// virtual time — read-ahead is the paper's large-page disk economy, and
+// the model is exact, so the DES can gate on it deterministically.
+func TestSimColdReadMatchesDiskModel(t *testing.T) {
+	const chunk, ra = 1024, 7
+	const size = chunk * 64 // divisible by the (ra+1)-chunk span
+	g := disk.FujitsuEagle()
+	sfs := NewSimFS(g)
+	sfs.Add("cold.bin", 42, size)
+	s := New(sfs, Options{Sim: true, ReadAhead: ra, CacheBytes: 64 << 20})
+	defer s.Close()
+
+	env := &fakeEnv{}
+	got := pullAll(t, s, "cold.bin", chunk, env)
+	if !bytes.Equal(got, core.SeededPayload(42, size, 1024)) {
+		t.Fatal("sim content mismatch")
+	}
+	want := g.FileReadTime(size, (ra+1)*chunk)
+	if env.t != want {
+		t.Errorf("cold read cost %v, disk model says %v", env.t, want)
+	}
+	// Hot re-read is free of disk time entirely.
+	env2 := &fakeEnv{}
+	pullAll(t, s, "cold.bin", chunk, env2)
+	if env2.t != 0 {
+		t.Errorf("hot re-read charged %v of disk time", env2.t)
+	}
+	st := s.Stats()
+	if st.ChunkReads != 64 {
+		t.Errorf("ChunkReads = %d, want 64", st.ChunkReads)
+	}
+	if st.ReadOps != 8 {
+		t.Errorf("ReadOps = %d, want 8 span reads", st.ReadOps)
+	}
+}
+
+// Sim-mode determinism: two identical runs produce identical counters and
+// identical virtual-time charges.
+func TestSimDeterministic(t *testing.T) {
+	run := func() (Stats, time.Duration) {
+		g := disk.FujitsuEagle()
+		sfs := NewSimFS(g)
+		sfs.Add("d.bin", 9, 100_000)
+		s := New(sfs, Options{Sim: true, ReadAhead: 4, CacheBytes: 16 * 1024, Shards: 2})
+		defer s.Close()
+		env := &fakeEnv{}
+		pullAll(t, s, "d.bin", 1000, env)
+		pullAll(t, s, "d.bin", 1000, env)
+		return s.Stats(), env.t
+	}
+	s1, t1 := run()
+	s2, t2 := run()
+	if s1 != s2 || t1 != t2 {
+		t.Errorf("two identical sim runs diverged: %+v/%v vs %+v/%v", s1, t1, s2, t2)
+	}
+	if s1.Evictions == 0 {
+		t.Error("scenario sized to evict, but nothing was evicted")
+	}
+}
+
+func TestSourceReqValidation(t *testing.T) {
+	fs := newMemFS()
+	fs.add("ok.bin", 10_000, 0)
+	s := New(fs, Options{})
+	defer s.Close()
+
+	ok := func(r wire.Req) bool {
+		_, got := s.SourceReq(r, nil)
+		return got
+	}
+	if !ok(wire.Req{Name: "ok.bin", Bytes: 10_000, Chunk: 1000}) {
+		t.Error("valid pull rejected")
+	}
+	bad := []wire.Req{
+		{Bytes: 1000, Chunk: 100},                                                  // anonymous: not ours
+		{Name: "ok.bin", Bytes: 0, Chunk: 100},                                     // degenerate
+		{Name: "ok.bin", Bytes: 1000, Chunk: 0},                                    // degenerate
+		{Name: "ok.bin", Bytes: 1000, Chunk: 2 << 20},                              // absurd chunk
+		{Name: "missing", Bytes: 1000, Chunk: 100},                                 // no such object
+		{Name: "ok.bin", Bytes: 20_000, Chunk: 1000},                               // beyond EOF
+		{Name: "ok.bin", Bytes: 5000, Chunk: 1000, OffsetChunks: 8, Total: 10_000}, // range past EOF
+	}
+	for i, r := range bad {
+		if ok(r) {
+			t.Errorf("bad req %d accepted: %+v", i, r)
+		}
+	}
+	// Striped ranges resolve like unstriped ones.
+	r := wire.Req{Name: "ok.bin", Bytes: 5000, Chunk: 1000, OffsetChunks: 5, Total: 10_000}
+	src, got := s.SourceReq(r, nil)
+	if !got {
+		t.Fatal("striped tail rejected")
+	}
+	b := src(0, make([]byte, 1000))
+	f, _ := fs.Open("ok.bin")
+	want := f.(*memFile).content[5000:6000]
+	if !bytes.Equal(b, want) {
+		t.Error("striped source returned wrong range")
+	}
+	if size, got := s.StatReq(wire.Req{Name: "ok.bin", Stat: true}); !got || size != 10_000 {
+		t.Errorf("StatReq = %d, %v", size, got)
+	}
+	if _, got := s.StatReq(wire.Req{Stat: true}); got {
+		t.Error("anonymous stat accepted")
+	}
+}
+
+func TestFileSinkLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	var calls []bool
+	sink := &FileSink{Dir: dir, MaxBytes: 1 << 20,
+		OnDone: func(_ string, _ core.RecvResult, kept bool) { calls = append(calls, kept) }}
+
+	// Satellite guard: degenerate push REQs are rejected up front, before
+	// any file exists — mirroring the pull path's Bytes/Chunk check.
+	for _, r := range []wire.Req{
+		{Push: true, Bytes: 0, Chunk: 100},
+		{Push: true, Bytes: 100, Chunk: 0},
+		{Push: true, Bytes: 2 << 20, Chunk: 1000}, // over MaxBytes
+	} {
+		if _, _, ok := sink.SinkStream(r); ok {
+			t.Errorf("degenerate push accepted: %+v", r)
+		}
+	}
+	if ents, _ := os.ReadDir(dir); len(ents) != 0 {
+		t.Fatal("rejected pushes left files behind")
+	}
+
+	// A completed push keeps its file with the pushed bytes.
+	put, done, ok := sink.SinkStream(wire.Req{Push: true, Bytes: 10, Chunk: 5})
+	if !ok {
+		t.Fatal("valid push rejected")
+	}
+	put(0, []byte("hello"))
+	put(5, []byte("world"))
+	done(core.RecvResult{Completed: true, Bytes: 10})
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("expected 1 stored file, found %d", len(ents))
+	}
+	b, _ := os.ReadFile(filepath.Join(dir, ents[0].Name()))
+	if string(b) != "helloworld" {
+		t.Errorf("stored %q", b)
+	}
+
+	// An aborted push closes and removes its partial file.
+	put, done, ok = sink.SinkStream(wire.Req{Push: true, Bytes: 100, Chunk: 10})
+	if !ok {
+		t.Fatal("valid push rejected")
+	}
+	put(0, []byte("partial"))
+	done(core.RecvResult{Completed: false, Bytes: 7})
+	ents, _ = os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("aborted push not cleaned up: %d files", len(ents))
+	}
+	if want := []bool{true, false}; len(calls) != 2 || calls[0] != want[0] || calls[1] != want[1] {
+		t.Errorf("OnDone kept flags = %v", calls)
+	}
+
+	// Verify-and-discard mode never touches the filesystem.
+	discard := &FileSink{}
+	put, done, ok = discard.SinkStream(wire.Req{Push: true, Bytes: 10, Chunk: 5})
+	if !ok {
+		t.Fatal("discard-mode push rejected")
+	}
+	put(0, []byte("hello"))
+	done(core.RecvResult{Completed: true})
+}

@@ -101,13 +101,19 @@ func DecodeMissing(payload []byte) ([]uint32, error) {
 // 64-byte ack-sized packet) and the length of the stream it belongs to, so
 // a serving side can regenerate or address exactly the requested range.
 
-// reqLen is the encoded TypeReq payload length.
+// reqLen is the encoded TypeReq payload length without the optional name
+// extension.
 const reqLen = 39
+
+// MaxReqName bounds the optional object-name extension: its length is
+// carried in one byte.
+const MaxReqName = 255
 
 // Req flag bits (byte 14 of the encoding).
 const (
 	reqFlagPush     = 1 << 0
 	reqFlagAdaptive = 1 << 1
+	reqFlagStat     = 1 << 2
 )
 
 // Req describes a requested transfer.
@@ -134,6 +140,19 @@ type Req struct {
 	// is one stripe of a larger transfer; zero means the request stands
 	// alone (the stream is exactly Bytes long).
 	Total uint64
+
+	// Name identifies the remote object the request addresses — a file
+	// served by name from a store. Empty for anonymous (seeded or pushed)
+	// transfers. Encoded as a trailing extension (one length byte plus the
+	// bytes) so nameless requests keep the original 39-byte, ack-sized
+	// encoding and old decoders simply ignore the extension.
+	Name string
+
+	// Stat asks the serving side only for the named object's size (the
+	// reply is an ack-sized FIN carrying the 8-byte length); no transfer
+	// starts. Clients stat first so a pull — striped or not — can size its
+	// REQ exactly.
+	Stat bool
 }
 
 // Offset returns the stripe's byte offset within its logical stream.
@@ -151,9 +170,19 @@ func (r Req) StreamBytes() uint64 {
 // ErrReqEncoding reports a malformed request payload.
 var ErrReqEncoding = errors.New("wire: malformed request payload")
 
-// EncodeReq serialises the request parameters.
+// EncodeReq serialises the request parameters. Names longer than
+// MaxReqName cannot be carried in the one-byte length extension; callers
+// validate (see ValidReqName) before encoding, so a longer name here is a
+// programming error and panics.
 func EncodeReq(r Req) []byte {
-	buf := make([]byte, reqLen)
+	if len(r.Name) > MaxReqName {
+		panic(fmt.Sprintf("wire: request name %d bytes exceeds MaxReqName %d", len(r.Name), MaxReqName))
+	}
+	n := reqLen
+	if r.Name != "" {
+		n += 1 + len(r.Name)
+	}
+	buf := make([]byte, n)
 	binary.BigEndian.PutUint64(buf[0:8], r.Bytes)
 	binary.BigEndian.PutUint32(buf[8:12], r.Chunk)
 	buf[12] = r.Strategy
@@ -164,28 +193,62 @@ func EncodeReq(r Req) []byte {
 	if r.Adaptive {
 		buf[14] |= reqFlagAdaptive
 	}
+	if r.Stat {
+		buf[14] |= reqFlagStat
+	}
 	binary.BigEndian.PutUint32(buf[15:19], r.Window)
 	binary.BigEndian.PutUint64(buf[19:27], r.TrMicros)
 	binary.BigEndian.PutUint32(buf[27:31], r.OffsetChunks)
 	binary.BigEndian.PutUint64(buf[31:39], r.Total)
+	if r.Name != "" {
+		buf[reqLen] = byte(len(r.Name))
+		copy(buf[reqLen+1:], r.Name)
+	}
 	return buf
 }
 
-// DecodeReq parses request parameters.
+// ValidReqName reports whether a name fits the request encoding: non-empty,
+// at most MaxReqName bytes, no NUL.
+func ValidReqName(name string) bool {
+	if name == "" || len(name) > MaxReqName {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		if name[i] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// DecodeReq parses request parameters. A payload longer than the fixed
+// encoding carries the name extension; bytes beyond a complete extension
+// are ignored (room for future additions, mirroring how the fixed part
+// itself grew in place).
 func DecodeReq(payload []byte) (Req, error) {
 	if len(payload) < reqLen {
 		return Req{}, fmt.Errorf("%w: %d bytes", ErrReqEncoding, len(payload))
 	}
-	return Req{
+	r := Req{
 		Bytes:        binary.BigEndian.Uint64(payload[0:8]),
 		Chunk:        binary.BigEndian.Uint32(payload[8:12]),
 		Strategy:     payload[12],
 		Protocol:     payload[13],
 		Push:         payload[14]&reqFlagPush != 0,
 		Adaptive:     payload[14]&reqFlagAdaptive != 0,
+		Stat:         payload[14]&reqFlagStat != 0,
 		Window:       binary.BigEndian.Uint32(payload[15:19]),
 		TrMicros:     binary.BigEndian.Uint64(payload[19:27]),
 		OffsetChunks: binary.BigEndian.Uint32(payload[27:31]),
 		Total:        binary.BigEndian.Uint64(payload[31:39]),
-	}, nil
+	}
+	if len(payload) > reqLen {
+		n := int(payload[reqLen])
+		if len(payload) < reqLen+1+n {
+			return Req{}, fmt.Errorf("%w: name extension truncated (%d of %d bytes)",
+				ErrReqEncoding, len(payload)-reqLen-1, n)
+		}
+		r.Name = string(payload[reqLen+1 : reqLen+1+n])
+	}
+	return r, nil
 }

@@ -362,6 +362,67 @@ func TestReqRoundTrip(t *testing.T) {
 	}
 }
 
+func TestReqNameExtension(t *testing.T) {
+	// Nameless requests keep the original ack-sized 39-byte encoding.
+	if n := len(EncodeReq(Req{Bytes: 1})); n != 39 {
+		t.Errorf("nameless REQ is %d bytes, want 39", n)
+	}
+	// Named + stat round-trips, including alongside stripe fields.
+	r := Req{Bytes: 4 << 20, Chunk: 1400, Name: "models/weights.bin",
+		Stat: true, OffsetChunks: 512, Total: 16 << 20, Window: 32}
+	got, err := DecodeReq(EncodeReq(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Errorf("named round trip %+v -> %+v", r, got)
+	}
+	// Old decoders only read the fixed 39 bytes; the extension must leave
+	// them intact, and a new decoder must ignore bytes past the extension.
+	enc := EncodeReq(r)
+	fixed, err := DecodeReq(enc[:39])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Bytes != r.Bytes || fixed.Name != "" {
+		t.Errorf("fixed prefix decode = %+v", fixed)
+	}
+	future, err := DecodeReq(append(append([]byte{}, enc...), 0xAA, 0xBB))
+	if err != nil || future != r {
+		t.Errorf("trailing future bytes: %+v, %v", future, err)
+	}
+	// A truncated name extension is malformed, not silently shortened.
+	if _, err := DecodeReq(enc[:len(enc)-3]); err == nil {
+		t.Error("truncated name extension should error")
+	}
+	// Max-length names encode; longer ones are a caller bug.
+	long := Req{Bytes: 1, Name: strings.Repeat("x", MaxReqName)}
+	if got, err := DecodeReq(EncodeReq(long)); err != nil || len(got.Name) != MaxReqName {
+		t.Errorf("max-length name: %d bytes, %v", len(got.Name), err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("over-long name should panic at encode")
+			}
+		}()
+		EncodeReq(Req{Bytes: 1, Name: strings.Repeat("x", MaxReqName+1)})
+	}()
+	// ValidReqName gates what EncodeReq accepts.
+	for name, want := range map[string]bool{
+		"":                                false,
+		"a":                               true,
+		"dir/file":                        true,
+		"bad\x00name":                     false,
+		strings.Repeat("x", MaxReqName):   true,
+		strings.Repeat("x", MaxReqName+1): false,
+	} {
+		if ValidReqName(name) != want {
+			t.Errorf("ValidReqName(%q) != %v", name, want)
+		}
+	}
+}
+
 // The paper's NAK for a 64-packet blast must fit in an ack-sized packet.
 func TestNakFitsInAckPacket(t *testing.T) {
 	var missing []uint32
