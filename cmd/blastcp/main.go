@@ -11,17 +11,27 @@
 //	blastcp -to 127.0.0.1:7025 -pull 67108864 -adaptive              # AIMD rate control
 //	blastcp -to 127.0.0.1:7025 -get data.bin -o local.bin            # named pull from -serve
 //	blastcp -to 127.0.0.1:7025 -get data.bin -streams 4              # striped named pull
+//	blastcp -to 127.0.0.1:7025 -pull 67108864 -resume                # survive a server restart
+//	blastcp -to 127.0.0.1:7025 -pull 268435456 -streams 4 -repair    # per-stripe repair
+//	blastcp -to 127.0.0.1:7025 -pull 65536 -sum 1a2b                 # verify the checksum
 //
 // A named pull (-get) stats the remote object first — the daemon answers
 // with its size from the file store — then pulls exactly that many bytes by
 // name, striped or not. -o writes the pulled bytes to a local file.
+//
+// Failures exit with a distinct code per class — 2 usage, 3 give-up (peer
+// silent), 4 busy (admission refused past the retry budget), 5 refused
+// range, 6 checksum mismatch — each announced by a one-line taxonomy tag on
+// stderr, so wrapping scripts can branch without parsing prose.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"time"
 
 	"blastlan/internal/core"
@@ -29,6 +39,57 @@ import (
 	"blastlan/internal/udplan"
 	"blastlan/internal/wire"
 )
+
+// Exit codes. Scripts wrap blastcp (a cron mover retries give-ups, honors
+// busy back-pressure, aborts on refused ranges), so each failure class gets
+// a distinct code and a single taxonomy line on stderr instead of a generic
+// fatal log.
+const (
+	exitUsage    = 2 // bad flags or flag combinations
+	exitGiveUp   = 3 // peer silent: transfer abandoned after max attempts/resumes
+	exitBusy     = 4 // server refused admission (BUSY) past the retry budget
+	exitRefused  = 5 // request shape refused: bad range, stripe or name
+	exitChecksum = 6 // transfer completed but its checksum differs from -sum
+)
+
+// exitLabel is the taxonomy tag leading each failure line.
+func exitLabel(code int) string {
+	switch code {
+	case exitUsage:
+		return "usage"
+	case exitGiveUp:
+		return "give-up"
+	case exitBusy:
+		return "busy"
+	case exitRefused:
+		return "refused-range"
+	case exitChecksum:
+		return "checksum-mismatch"
+	}
+	return "error"
+}
+
+// fail prints one taxonomy line and exits with the class's code.
+func fail(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "blastcp: %s: %s\n", exitLabel(code), fmt.Sprintf(format, args...))
+	os.Exit(code)
+}
+
+// failErr classifies a transfer error into its exit code: BUSY beats
+// bad-config beats give-up (errors wrap, the most specific class wins).
+func failErr(context string, err error) {
+	code := 1
+	var busy *core.BusyError
+	switch {
+	case errors.As(err, &busy):
+		code = exitBusy
+	case errors.Is(err, core.ErrBadConfig):
+		code = exitRefused
+	case errors.Is(err, core.ErrGiveUp):
+		code = exitGiveUp
+	}
+	fail(code, "%s: %v", context, err)
+}
 
 var protocols = map[string]core.Protocol{
 	"saw":   core.StopAndWait,
@@ -65,16 +126,19 @@ func main() {
 		adaptive  = flag.Bool("adaptive", false, "AIMD rate control: window/batch/pacing react to observed loss")
 		lossTx    = flag.Float64("drop-tx", 0, "inject outbound loss (testing)")
 		lossRx    = flag.Float64("drop-rx", 0, "inject inbound loss (testing)")
+		resume    = flag.Bool("resume", false, "resume a pull across server crashes/restarts (offset REQs from the verified frontier)")
+		repair    = flag.Bool("repair", false, "striped pulls: resume a failed stripe instead of aborting its siblings")
+		wantSum   = flag.String("sum", "", "expected transfer checksum (4 hex digits); mismatch exits 6")
 	)
 	flag.Parse()
 
 	proto, ok := protocols[*protoName]
 	if !ok {
-		log.Fatalf("blastcp: unknown protocol %q", *protoName)
+		fail(exitUsage, "unknown protocol %q", *protoName)
 	}
 	strat, ok := strategies[*stratName]
 	if !ok {
-		log.Fatalf("blastcp: unknown strategy %q", *stratName)
+		fail(exitUsage, "unknown strategy %q", *stratName)
 	}
 	modes := 0
 	for _, on := range []bool{*pushFile != "", *pullBytes != 0, *getName != ""} {
@@ -83,17 +147,28 @@ func main() {
 		}
 	}
 	if modes != 1 {
-		log.Fatal("blastcp: exactly one of -push, -pull or -get is required")
+		fail(exitUsage, "exactly one of -push, -pull or -get is required")
 	}
 	if *streams > 1 && *pushFile != "" {
-		log.Fatal("blastcp: -streams applies to pulls only")
+		fail(exitUsage, "-streams applies to pulls only")
 	}
 	if *outFile != "" && *pushFile != "" {
-		log.Fatal("blastcp: -o applies to pulls only")
+		fail(exitUsage, "-o applies to pulls only")
+	}
+	if (*resume || *repair) && *pushFile != "" {
+		fail(exitUsage, "-resume and -repair apply to pulls only")
+	}
+	var expectSum uint16
+	if *wantSum != "" {
+		v, perr := strconv.ParseUint(*wantSum, 16, 16)
+		if perr != nil {
+			fail(exitUsage, "-sum %q is not a 16-bit hex checksum", *wantSum)
+		}
+		expectSum = uint16(v)
 	}
 	tier, err := udplan.ParseTier(*tierName)
 	if err != nil {
-		log.Fatalf("blastcp: %v", err)
+		fail(exitUsage, "%v", err)
 	}
 
 	cfg := core.Config{
@@ -117,7 +192,7 @@ func main() {
 			// Stat on a throwaway endpoint; the stripes dial their own.
 			size, err := statRemote(*to, cfg, *getName)
 			if err != nil {
-				log.Fatalf("blastcp: stat %q: %v", *getName, err)
+				failErr(fmt.Sprintf("stat %q", *getName), err)
 			}
 			log.Printf("blastcp: remote %q is %d bytes", *getName, size)
 			cfg.Name, cfg.Bytes = *getName, int(size)
@@ -130,6 +205,7 @@ func main() {
 			MTU:       *mtu,
 			SocketBuf: *sockbuf,
 			PacketGap: *gap,
+			Repair:    *repair || *resume,
 		}
 		if *lossTx > 0 {
 			opts.MangleTx = func(i int) func(*wire.Packet) params.Mangle {
@@ -167,12 +243,16 @@ func main() {
 					s.Stripe.Index, s.Stripe.Offset, s.Stripe.Offset+s.Stripe.Bytes,
 					s.Recv.Bytes, s.Stripe.Bytes, status)
 			}
-			log.Fatalf("blastcp: striped pull: %v", err)
+			failErr("striped pull", err)
 		}
 		for _, s := range res.Stripes {
-			fmt.Printf("  stripe %d [%d,%d): %d packets (%d dups) in %v\n",
+			repaired := ""
+			if s.Resume.Sessions > 1 {
+				repaired = fmt.Sprintf(", %d resumed sessions", s.Resume.Sessions-1)
+			}
+			fmt.Printf("  stripe %d [%d,%d): %d packets (%d dups) in %v%s\n",
 				s.Stripe.Index, s.Stripe.Offset, s.Stripe.Offset+s.Stripe.Bytes,
-				s.Recv.DataPackets, s.Recv.Duplicates, s.Recv.Elapsed.Round(time.Microsecond))
+				s.Recv.DataPackets, s.Recv.Duplicates, s.Recv.Elapsed.Round(time.Microsecond), repaired)
 		}
 		fmt.Printf("pulled %d bytes over %d stripes in %v (%.2f MB/s), checksum %04x\n",
 			res.Bytes, len(res.Stripes), res.Elapsed.Round(time.Microsecond),
@@ -183,12 +263,15 @@ func main() {
 			}
 			fmt.Printf("wrote %s\n", *outFile)
 		}
+		if *wantSum != "" && res.Checksum != expectSum {
+			fail(exitChecksum, "pulled checksum %04x, expected %04x", res.Checksum, expectSum)
+		}
 		return
 	}
 
 	e, err := udplan.Dial(*to)
 	if err != nil {
-		log.Fatalf("blastcp: %v", err)
+		failErr("dial", err)
 	}
 	defer e.Close()
 	e.PacketGap = *gap
@@ -221,7 +304,7 @@ func main() {
 		cfg.Payload = payload
 		res, err := udplan.Push(e, cfg)
 		if err != nil {
-			log.Fatalf("blastcp: push: %v", err)
+			failErr("push", err)
 		}
 		fmt.Printf("pushed %d bytes in %v (%.2f MB/s), %d packets (%d retransmitted), checksum %04x\n",
 			len(payload), res.Elapsed.Round(time.Microsecond),
@@ -236,7 +319,7 @@ func main() {
 		// the stat and stays open for the pull that follows.
 		size, err := core.Stat(e, cfg, *getName)
 		if err != nil {
-			log.Fatalf("blastcp: stat %q: %v", *getName, err)
+			failErr(fmt.Sprintf("stat %q", *getName), err)
 		}
 		log.Printf("blastcp: remote %q is %d bytes", *getName, size)
 		cfg.Name, cfg.Bytes = *getName, int(size)
@@ -257,9 +340,22 @@ func main() {
 			}
 		}
 	}
-	res, err := udplan.Pull(e, cfg)
+	var res core.RecvResult
+	if *resume {
+		// Resumable pull: a server crash/restart mid-transfer costs only the
+		// unverified tail (offset REQs from the frontier), and BUSY refusals
+		// are honored with backoff instead of burning REQ rounds.
+		var rstats core.ResumeStats
+		res, rstats, err = core.PullResume(e, cfg, core.ResumeOptions{})
+		if rstats.Sessions > 1 || rstats.BusyWaits > 0 {
+			log.Printf("blastcp: recovered over %d sessions (%d chunks re-requested, %d busy waits)",
+				rstats.Sessions, rstats.ResumedChunks, rstats.BusyWaits)
+		}
+	} else {
+		res, err = udplan.Pull(e, cfg)
+	}
 	if err != nil {
-		log.Fatalf("blastcp: pull: %v", err)
+		failErr("pull", err)
 	}
 	fmt.Printf("pulled %d bytes in %v (%.2f MB/s), %d packets (%d dups), checksum %04x\n",
 		res.Bytes, res.Elapsed.Round(time.Microsecond),
@@ -270,6 +366,9 @@ func main() {
 			log.Fatalf("blastcp: closing %s: %v", *outFile, err)
 		}
 		fmt.Printf("wrote %s\n", *outFile)
+	}
+	if *wantSum != "" && res.Checksum != expectSum {
+		fail(exitChecksum, "pulled checksum %04x, expected %04x", res.Checksum, expectSum)
 	}
 }
 

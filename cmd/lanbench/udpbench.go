@@ -17,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -213,6 +214,199 @@ func runFilePull(c filePullCase, tier udplan.Tier) (time.Duration, udplan.Tier, 
 	return pull()
 }
 
+// runResumePull measures the failure-recovery path end to end: the server
+// crashes (socket closed under its sessions) after serving half the chunks,
+// a fresh socket rebinds the same port after a short downtime, and the
+// client recovers through core.PullResume — frontier offset REQ, no
+// verified chunk re-fetched. The elapsed time therefore includes crash
+// detection (the dead session's idle bound), the downtime, and the resume
+// round trip; the bench floor pins the whole recovered pull at ≥70% of the
+// uninterrupted throughput floor. A small Tr keeps detection latency
+// proportionate on loopback (RTT is microseconds).
+func runResumePull(bytes int) (time.Duration, error) {
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	addr := conn.LocalAddr().String()
+	const chunk = 1000
+	crashAt := int64(bytes / chunk / 2)
+	trigger := params.Faults{CrashAfterChunks: []int64{crashAt}}.Trigger()
+
+	var (
+		mu      sync.Mutex
+		curConn net.PacketConn
+	)
+	srvDone := make(chan error, 2)
+	var crash func()
+	start := func(c net.PacketConn) {
+		setSocketBufs(c)
+		srv := udplan.NewServer(c)
+		srv.Concurrency = 2
+		srv.Batch = 32
+		srv.SessionIdle = 2 * time.Second
+		srv.Source = func(r wire.Req) (core.ChunkSource, bool) {
+			stream := int(r.StreamBytes())
+			base := core.OffsetSource(
+				core.SeededSource(int64(stream), stream, int(r.Chunk)),
+				int(r.OffsetChunks))
+			return func(seq int, dst []byte) []byte {
+				if trigger.OnChunk() {
+					crash()
+				}
+				return base(seq, dst)
+			}, true
+		}
+		mu.Lock()
+		curConn = c
+		mu.Unlock()
+		go func() { srvDone <- srv.Run() }()
+	}
+	restarted := make(chan struct{})
+	crash = func() {
+		mu.Lock()
+		dead := curConn
+		mu.Unlock()
+		dead.Close()
+		time.AfterFunc(10*time.Millisecond, func() {
+			defer close(restarted)
+			c2, err := net.ListenPacket("udp", addr)
+			if err != nil {
+				return // the client's resume budget reports the failure
+			}
+			start(c2)
+		})
+	}
+	start(conn)
+
+	e, err := udplan.Dial(addr)
+	if err != nil {
+		return 0, err
+	}
+	defer e.Close()
+	e.SetSocketBuffers(udpSocketBuf)
+	e.SetBatch(32)
+	cfg := core.Config{
+		TransferID:     1,
+		Bytes:          bytes,
+		ChunkSize:      chunk,
+		Protocol:       core.Blast,
+		Strategy:       core.GoBackN,
+		Window:         128,
+		RetransTimeout: 20 * time.Millisecond,
+		// One REQ round per session: crash detection belongs to the resume
+		// layer, whose offset REQ re-fetches only the unverified tail.
+		MaxAttempts: 1,
+		Sink:        func(int, []byte) {}, // stream: checksum and discard
+	}
+	t0 := time.Now()
+	res, rstats, err := core.PullResume(e, cfg, core.ResumeOptions{
+		MaxResumes: 16,
+		Backoff:    5 * time.Millisecond,
+		Seed:       1,
+	})
+	elapsed := time.Since(t0)
+	if err != nil {
+		return elapsed, err
+	}
+	if res.Bytes != bytes {
+		return elapsed, fmt.Errorf("resumed pull delivered %d of %d bytes", res.Bytes, bytes)
+	}
+	if rstats.Sessions < 2 {
+		return elapsed, fmt.Errorf("server never crashed (%d sessions)", rstats.Sessions)
+	}
+	<-restarted
+	mu.Lock()
+	curConn.Close()
+	mu.Unlock()
+	for i := 0; i < 2; i++ {
+		if err := <-srvDone; err != nil {
+			return elapsed, fmt.Errorf("server: %w", err)
+		}
+	}
+	return elapsed, nil
+}
+
+// runBusyBackoff measures admission-control shedding: `clients` concurrent
+// pulls against a server capped at 2 sessions with a short RETRY-AFTER
+// hint. Refused clients honor the hint through PullResume's jittered
+// backoff, so the makespan is the serialised transfer time plus the
+// admission queueing — the figure quantifies what BUSY-and-retry costs over
+// an uncontended pull, and the case fails outright if any client errors or
+// nobody was ever refused.
+func runBusyBackoff(bytes, clients int) (time.Duration, error) {
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	setSocketBufs(conn)
+	srv := udplan.NewServer(conn)
+	srv.Concurrency = 2
+	srv.Batch = 32
+	srv.RetryAfter = 10 * time.Millisecond
+	srv.Source = func(r wire.Req) (core.ChunkSource, bool) {
+		return core.SeededSource(int64(r.Bytes), int(r.Bytes), int(r.Chunk)), true
+	}
+	go srv.Run()
+	defer srv.Close()
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		busyWaits int
+		firstErr  error
+	)
+	t0 := time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, err := udplan.Dial(conn.LocalAddr().String())
+			if err == nil {
+				defer e.Close()
+				e.SetSocketBuffers(udpSocketBuf)
+				e.SetBatch(32)
+				cfg := core.Config{
+					TransferID:     uint32(1 + i),
+					Bytes:          bytes,
+					ChunkSize:      1000,
+					Protocol:       core.Blast,
+					Strategy:       core.GoBackN,
+					Window:         128,
+					RetransTimeout: 20 * time.Millisecond,
+					Sink:           func(int, []byte) {},
+				}
+				var rstats core.ResumeStats
+				_, rstats, err = core.PullResume(e, cfg, core.ResumeOptions{
+					MaxBusyWaits: 1 << 20,
+					Backoff:      5 * time.Millisecond,
+					Seed:         int64(i),
+				})
+				mu.Lock()
+				busyWaits += rstats.BusyWaits
+				mu.Unlock()
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("client %d: %w", i, err)
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	if firstErr != nil {
+		return elapsed, firstErr
+	}
+	if busyWaits == 0 {
+		return elapsed, fmt.Errorf("%d clients against a 2-session cap were never refused", clients)
+	}
+	return elapsed, nil
+}
+
 // stripedCase is one streams×adaptive×network loopback measurement.
 type stripedCase struct {
 	name     string
@@ -363,6 +557,32 @@ func runUDPBench(path string, quick bool, streams int, adaptiveOnly bool, tierNa
 					return err
 				}
 			}
+		}
+	}
+
+	if streams == 0 {
+		// The failure-recovery cases (PR 8): a resumed 64 MB pull through a
+		// mid-transfer server crash — gated by ci/bench_floor.json at ≥70% of
+		// the uninterrupted gso floor — and the BUSY admission-shedding
+		// makespan of 8 clients against a 2-session cap.
+		const resumeBytes = 64 << 20
+		if err := measurePull(&snap, "udp_pull_resume", resumeBytes, 3,
+			func() (time.Duration, string, error) {
+				el, err := runResumePull(resumeBytes)
+				return el, "", err
+			}); err != nil {
+			return err
+		}
+		busyBytes, busyClients := 4<<20, 8
+		if quick {
+			busyBytes = 2 << 20
+		}
+		if err := measurePull(&snap, "udp_busy_backoff", busyBytes*busyClients, 3,
+			func() (time.Duration, string, error) {
+				el, err := runBusyBackoff(busyBytes, busyClients)
+				return el, "", err
+			}); err != nil {
+			return err
 		}
 	}
 

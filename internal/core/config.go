@@ -184,6 +184,12 @@ type Config struct {
 	// srcBuf is the reusable chunk scratch handed to Source; sized once in
 	// withDefaults so the steady-state send loop allocates nothing.
 	srcBuf []byte
+
+	// surfaceBusy makes Request return a server's BUSY refusal to the
+	// caller immediately instead of honoring the retry-after hint inside
+	// its own attempt loop. Set by PullResume, which owns the backoff
+	// policy (jitter, budgets, stats) and must observe every refusal.
+	surfaceBusy bool
 }
 
 // ChunkSource deterministically supplies the payload of data packet seq. It

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"time"
 
@@ -81,22 +82,90 @@ func Request(env Env, cfg Config) (RecvResult, error) {
 	// Bound each receive attempt so a lost REQ retries promptly: the first
 	// data packet should arrive within a round trip once the REQ lands.
 	attemptIdle := 4 * c.RetransTimeout
+	// Counters accumulate across attempts, so even a failed request reports
+	// every packet that actually crossed the wire — the resume layer's
+	// recovery accounting depends on partial sessions not vanishing.
+	var acc RecvResult
 	for attempt := 0; attempt < c.MaxAttempts; attempt++ {
 		req := reqPacket(c, false)
 		if err := env.Send(req); err != nil {
-			return RecvResult{}, err
+			return acc, err
 		}
 		probe := c
 		probe.ReceiverIdle = attemptIdle
 		res, err := RunReceiver(env, probe)
+		addRecv(&acc, res)
 		if err == nil {
+			res.DataPackets, res.Duplicates = acc.DataPackets, acc.Duplicates
+			res.AcksSent, res.NaksSent = acc.AcksSent, acc.NaksSent
+			res.LingerEvents = acc.LingerEvents
+			res.LingerAcks, res.LingerNaks = acc.LingerAcks, acc.LingerNaks
 			return res, nil
 		}
+		var busy *BusyError
+		if errors.As(err, &busy) && !c.surfaceBusy {
+			// Refused at admission. Honor the server's hint and ask again —
+			// the attempt-loop equivalent of the old silent-drop recovery,
+			// but without burning REQ rounds against a server that already
+			// said no. Callers that manage their own backoff (PullResume)
+			// set surfaceBusy and see the refusal instead.
+			wait := busy.RetryAfter
+			if wait <= 0 {
+				wait = c.RetransTimeout
+			}
+			sleepOn(env, wait)
+			continue
+		}
 		if !IsTimeout(err) {
-			return res, err
+			return acc, err
 		}
 	}
-	return RecvResult{}, fmt.Errorf("request for transfer %d: %w", cfg.TransferID, ErrGiveUp)
+	return acc, fmt.Errorf("request for transfer %d: %w", cfg.TransferID, ErrGiveUp)
+}
+
+// sleepOn idles between request attempts on the env's own clock when it has
+// one (a simulated endpoint sleeps in virtual time), wall time otherwise.
+func sleepOn(env Env, d time.Duration) {
+	if s, ok := env.(interface{ SleepFor(time.Duration) }); ok {
+		s.SleepFor(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// Busy is the server's admission refusal for transfer trans: a best-effort
+// ack-sized reply telling the requester the server is at capacity (or
+// draining) and to retry no sooner than retryAfter. The hint rides in Seq
+// as whole milliseconds.
+func Busy(trans uint32, retryAfter time.Duration) *wire.Packet {
+	ms := retryAfter.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	return &wire.Packet{
+		Type:        wire.TypeBusy,
+		Trans:       trans,
+		Seq:         uint32(ms),
+		VirtualSize: params.AckPacketSize,
+	}
+}
+
+// BusyError reports that the server refused a request with a BUSY reply.
+// RetryAfter is the server's back-off hint; Request surfaces the error
+// immediately (it is not a timeout), so callers — PullResume, the striped
+// repair path — can honor the hint instead of burning REQ retransmissions
+// against a server that has already said no.
+type BusyError struct {
+	RetryAfter time.Duration
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("server busy (retry after %v)", e.RetryAfter)
+}
+
+// busyErrorOf converts a received BUSY packet into its client-side error.
+func busyErrorOf(pkt *wire.Packet) *BusyError {
+	return &BusyError{RetryAfter: time.Duration(pkt.Seq) * time.Millisecond}
 }
 
 // StatReply builds the serving side's answer to a stat request: an

@@ -91,6 +91,17 @@ func recvInOrder(env Env, c Config) (RecvResult, error) {
 		if pkt.Trans != c.TransferID {
 			continue
 		}
+		if pkt.Type == wire.TypeBusy {
+			// Admission refusal: the server will not serve this session.
+			// Not a timeout, so Request surfaces it to the caller at once.
+			// Ignored once data has flowed — by then we were admitted, and
+			// the BUSY is a straggler from an earlier refused REQ.
+			if res.DataPackets == 0 {
+				res.Elapsed = env.Now() - start
+				return res, busyErrorOf(pkt)
+			}
+			continue
+		}
 		if pkt.Type == wire.TypeReq {
 			// Retransmitted push announcement: our go-ahead was lost.
 			if err := env.Send(goAhead(c)); err != nil {

@@ -87,9 +87,20 @@ type Server struct {
 	Idle time.Duration
 
 	// Concurrency caps the number of simultaneous sessions; requests beyond
-	// the cap are dropped (the client's REQ retransmission retries them).
-	// Values <= 1 mean a single session at a time.
+	// the cap are refused with a best-effort BUSY/RETRY-AFTER reply (when
+	// the listener can address one) and otherwise dropped — either way the
+	// client retries on its own schedule. Values <= 1 mean a single session
+	// at a time.
 	Concurrency int
+
+	// RetryAfter is the back-off hint carried on BUSY refusals (default
+	// 250ms): how soon a refused client should re-request.
+	RetryAfter time.Duration
+
+	// SessionIdle bounds how long an admitted session may sit quiet before
+	// it is reaped (default: Idle when set, else 30s) — a client that
+	// vanished mid-handshake must not hold a session slot forever.
+	SessionIdle time.Duration
 
 	// Validate, when non-nil, checks an accepted transfer configuration
 	// against substrate limits (an MTU, say) before the session starts.
@@ -108,6 +119,49 @@ type Server struct {
 	active   atomic.Int32 // sessions admitted by the sharded demux loop
 	busy     atomic.Int32 // transfers in flight inside ServeEnv (any path)
 	draining atomic.Bool
+	limiter  logLimiter
+}
+
+// logLimiter rate-limits per-peer operational log lines to one per second,
+// so a REQ storm (refused admissions, degenerate requests) cannot spam the
+// log with one line per packet.
+type logLimiter struct {
+	mu   sync.Mutex
+	last map[string]time.Time
+}
+
+// allowKey reports whether a line keyed by raw demux-key bytes may log now.
+// The lookup itself does not allocate; only the once-per-second insert does.
+func (ll *logLimiter) allowKey(key []byte, now time.Time) bool {
+	ll.mu.Lock()
+	defer ll.mu.Unlock()
+	if t, ok := ll.last[string(key)]; ok && now.Sub(t) < time.Second {
+		return false
+	}
+	ll.insert(string(key), now)
+	return true
+}
+
+// allowString is allowKey for string-identified peers.
+func (ll *logLimiter) allowString(key string, now time.Time) bool {
+	ll.mu.Lock()
+	defer ll.mu.Unlock()
+	if t, ok := ll.last[key]; ok && now.Sub(t) < time.Second {
+		return false
+	}
+	ll.insert(key, now)
+	return true
+}
+
+func (ll *logLimiter) insert(key string, now time.Time) {
+	if ll.last == nil {
+		ll.last = make(map[string]time.Time)
+	}
+	if len(ll.last) > 4096 {
+		// A storm of spoofed sources must not grow the map without bound.
+		clear(ll.last)
+	}
+	ll.last[key] = now
 }
 
 // TransferStats reports one completed transfer for the Done hook.
@@ -161,6 +215,39 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 func (s *Server) logf(format string, args ...any) {
 	if s.Logf != nil {
 		s.Logf(format, args...)
+	}
+}
+
+// logfPeer logs at most one line per peer per second.
+func (s *Server) logfPeer(peer transport.Peer, format string, args ...any) {
+	if s.Logf == nil {
+		return
+	}
+	if !s.limiter.allowString(peer.String(), time.Now()) {
+		return
+	}
+	s.Logf(format, args...)
+}
+
+func (s *Server) retryAfter() time.Duration {
+	if s.RetryAfter > 0 {
+		return s.RetryAfter
+	}
+	return 250 * time.Millisecond
+}
+
+// refuse answers an admissible REQ the server will not serve: a best-effort
+// BUSY/RETRY-AFTER reply when the listener can address one (clients honor
+// the hint, see core.PullResume), plus a rate-limited log line — one per
+// peer per second, not one per packet.
+func (s *Server) refuse(l transport.Listener, inb transport.Inbound, why string) {
+	retry := s.retryAfter()
+	if br, ok := l.(transport.BusyReplier); ok {
+		_ = br.ReplyBusy(inb.Msg, retry)
+	}
+	if s.Logf != nil && s.limiter.allowKey(inb.Key, time.Now()) {
+		s.Logf("session: %s (active %d/%d); replying BUSY to %x (retry-after %v)",
+			why, s.active.Load(), s.concurrency(), inb.Key, retry)
 	}
 }
 
@@ -235,11 +322,11 @@ func (s *Server) Run(l transport.Listener) error {
 				continue
 			}
 			if s.draining.Load() {
-				s.logf("session: draining; dropping REQ (client will retry elsewhere)")
+				s.refuse(l, inb, "draining")
 				continue
 			}
 			if int(s.active.Load()) >= s.concurrency() {
-				s.logf("session: cap %d reached; dropping REQ (client will retry)", s.concurrency())
+				s.refuse(l, inb, "at session cap")
 				continue
 			}
 			conn, peer, err := l.Open()
@@ -291,10 +378,13 @@ func (s *Server) RunAll(ls ...transport.Listener) error {
 
 // runSession drives one client conversation to completion.
 func (s *Server) runSession(env core.Env, peer transport.Peer) {
-	idle := s.Idle
+	// The opening REQ is already queued; the idle bound reaps a session
+	// whose client vanished mid-handshake so it cannot hold a slot forever.
+	idle := s.SessionIdle
 	if idle <= 0 {
-		// The opening REQ is already queued; this only bounds a client that
-		// vanished mid-handshake.
+		idle = s.Idle
+	}
+	if idle <= 0 {
 		idle = 30 * time.Second
 	}
 	err := s.ServeEnv(env, idle, s.Validate, func() transport.Peer { return peer })
@@ -330,7 +420,7 @@ func (s *Server) ServeEnv(env core.Env, idle time.Duration, validate func(core.C
 			}
 			size, ok := s.Stat(r)
 			if !ok {
-				s.logf("session: stat %q from %v: no such object", r.Name, peerOf())
+				s.logfPeer(peerOf(), "session: stat %q from %v: no such object", r.Name, peerOf())
 				return core.Config{}, false
 			}
 			if serr := env.Send(core.StatReply(trans, size)); serr != nil {
@@ -347,7 +437,9 @@ func (s *Server) ServeEnv(env core.Env, idle time.Duration, validate func(core.C
 		c.ReceiverIdle = 8*c.RetransTimeout + 2*time.Second
 		if validate != nil {
 			if verr := validate(c); verr != nil {
-				s.logf("session: rejecting request from %v: %v", peerOf(), verr)
+				// Rate-limited: a degenerate-REQ storm (one malformed client
+				// retransmitting hard) must not write a log line per packet.
+				s.logfPeer(peerOf(), "session: rejecting request from %v: %v", peerOf(), verr)
 				return core.Config{}, false
 			}
 		}

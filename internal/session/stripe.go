@@ -29,12 +29,34 @@ type StripeOptions struct {
 	// logical-stream offset. Stripes deliver concurrently; calls are
 	// serialised. When nil the transfer is checksummed and discarded.
 	Sink core.ChunkSink
+
+	// Repair enables per-stripe failure recovery: instead of the first
+	// error aborting every sibling, the failed stripe is resumed from its
+	// verified frontier with an offset REQ (core.PullResume), re-dialing a
+	// fresh conn when the fabric supports it (transport.Redialer). Abort-
+	// all remains the behaviour for non-retryable failures — a refused or
+	// corrupt configuration (core.ErrBadConfig) names a transfer that can
+	// never complete, so the siblings stop immediately.
+	Repair bool
+	// MaxResumes, Backoff, Seed and Sleep tune the per-stripe resume
+	// engine when Repair is set; zero values take core.ResumeOptions
+	// defaults. On the simulator Sleep must be the client process's own
+	// virtual clock (sim clients provide it via SleepFor automatically).
+	MaxResumes int
+	Backoff    time.Duration
+	Seed       int64
+	Sleep      func(time.Duration)
+	// OnResume, when non-nil, observes stripe repairs: which stripe, its
+	// resume ordinal, the logical chunk offset re-requested, and the error
+	// that killed the previous session.
+	OnResume func(stripe, resume, offsetChunks int, cause error)
 }
 
 // StripeOutcome is one stripe session's result.
 type StripeOutcome struct {
 	Stripe core.Stripe
 	Recv   core.RecvResult
+	Resume core.ResumeStats // zero unless StripeOptions.Repair recovered the stripe
 	Err    error
 }
 
@@ -164,7 +186,13 @@ func PullStriped(f transport.Fabric, cfg core.Config, opts StripeOptions) (Strip
 				return err
 			}
 		}
-		res, err := core.Request(c, scfg)
+		var res core.RecvResult
+		var err error
+		if opts.Repair {
+			res, outs[i].Resume, err = pullStripeRepair(f, c, scfg, opts, cancel, i)
+		} else {
+			res, err = core.Request(c, scfg)
+		}
 		outs[i].Recv = res
 		if err != nil {
 			cancel.fail(i, err)
@@ -191,4 +219,53 @@ func PullStriped(f transport.Fabric, cfg core.Config, opts StripeOptions) (Strip
 		}
 	}
 	return res, nil
+}
+
+// pullStripeRepair runs stripe i through the resume engine instead of a
+// single Request: a dead session is re-planned from the stripe's verified
+// frontier rather than aborting every sibling. When the fabric can re-dial
+// (transport.Redialer) each resume gets a fresh conn, registered with the
+// cancel set so a sibling's fatal failure still aborts it promptly; the
+// replaced conn is closed here (the fabric only closes the original).
+func pullStripeRepair(f transport.Fabric, c transport.Client, scfg core.Config,
+	opts StripeOptions, cancel *stripeCancel, i int) (core.RecvResult, core.ResumeStats, error) {
+	cur := c
+	defer func() {
+		if cur != c {
+			cur.Close()
+		}
+	}()
+	ropts := core.ResumeOptions{
+		MaxResumes: opts.MaxResumes,
+		Backoff:    opts.Backoff,
+		Seed:       opts.Seed + int64(i)*1000003,
+		Sleep:      opts.Sleep,
+		Cancel: func() bool {
+			_, err := cancel.first()
+			return err != nil
+		},
+	}
+	if rd, ok := f.(transport.Redialer); ok {
+		ropts.Redial = func() (core.Env, error) {
+			nc, err := rd.Redial(i)
+			if err != nil {
+				return nil, err
+			}
+			if cancel.register(i, nc) {
+				nc.Close()
+				return nil, fmt.Errorf("stripe %d cancelled by sibling", i)
+			}
+			if cur != c {
+				cur.Close()
+			}
+			cur = nc
+			return nc, nil
+		}
+	}
+	if opts.OnResume != nil {
+		ropts.OnResume = func(resume, offsetChunks int, cause error) {
+			opts.OnResume(i, resume, offsetChunks, cause)
+		}
+	}
+	return core.PullResume(cur, scfg, ropts)
 }

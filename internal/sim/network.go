@@ -641,6 +641,15 @@ func (s *Station) Close() {
 	s.rxSig.Broadcast(s.net.K)
 }
 
+// Closed reports whether the station has been closed.
+func (s *Station) Closed() bool { return s.closed }
+
+// Reopen marks a closed station open again — the simulator's equivalent of a
+// crashed server binding a fresh socket on the same port. Packets that queued
+// while closed are still in the interface; a restart that should lose them
+// (a real crash loses kernel socket buffers) calls FlushRx first.
+func (s *Station) Reopen() { s.closed = false }
+
 // FlushRx discards any packets queued in the receive interface without
 // charging copy time (used between Monte-Carlo attempts that model a
 // restart, and by tests).
@@ -668,6 +677,11 @@ func (e *Endpoint) Now() time.Duration { return e.P.Now() }
 
 // Compute charges d of CPU time to this endpoint's host.
 func (e *Endpoint) Compute(d time.Duration) { e.P.Sleep(d) }
+
+// SleepFor idles the endpoint's process for d of virtual time — the hook
+// core.ResumeOptions uses for backoff waits, so a simulated client's recovery
+// schedule runs on the simulator's clock instead of the wall's.
+func (e *Endpoint) SleepFor(d time.Duration) { e.P.Sleep(d) }
 
 // Send transmits synchronously (single-buffered semantics).
 func (e *Endpoint) Send(pkt *wire.Packet) error {

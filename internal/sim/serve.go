@@ -91,6 +91,17 @@ func (l *Listener) Open() (transport.Conn, transport.Peer, error) {
 	return &serverConn{l: l, peer: l.last}, l.last, nil
 }
 
+// ReplyBusy sends a best-effort BUSY/RETRY-AFTER refusal to the source of
+// the most recent Accept (transport.BusyReplier).
+func (l *Listener) ReplyBusy(msg transport.Message, retryAfter time.Duration) error {
+	pkt, ok := msg.(*wire.Packet)
+	if !ok || l.last == nil {
+		return fmt.Errorf("sim: no refused arrival to reply BUSY to")
+	}
+	l.st.Send(l.p, l.last, core.Busy(pkt.Trans, retryAfter))
+	return nil
+}
+
 // Drain blocks the demux process until every spawned session body has
 // returned.
 func (l *Listener) Drain() {
@@ -158,14 +169,24 @@ func (e *serverEnv) Now() time.Duration { return e.p.Now() }
 // Compute charges d of CPU time to the serving host.
 func (e *serverEnv) Compute(d time.Duration) { e.p.Sleep(d) }
 
-// Send transmits synchronously to the session's peer.
+// Send transmits synchronously to the session's peer. A closed serving
+// station (a crashed server — see Station.Close) refuses the send with
+// net.ErrClosed, so in-flight session bodies die promptly at the crash
+// instead of transmitting from beyond the grave.
 func (e *serverEnv) Send(pkt *wire.Packet) error {
+	if e.c.l.st.Closed() {
+		return net.ErrClosed
+	}
 	e.c.l.st.Send(e.p, e.c.peer, pkt)
 	return nil
 }
 
-// SendAsync transmits with double-buffered semantics.
+// SendAsync transmits with double-buffered semantics; like Send it fails on
+// a closed serving station.
 func (e *serverEnv) SendAsync(pkt *wire.Packet) error {
+	if e.c.l.st.Closed() {
+		return net.ErrClosed
+	}
 	e.c.l.st.SendAsync(e.p, e.c.peer, pkt)
 	return nil
 }

@@ -71,6 +71,25 @@ type Listener interface {
 	Drain()
 }
 
+// BusyReplier is an optional Listener extension: ReplyBusy sends a
+// best-effort BUSY/RETRY-AFTER refusal to the source of the most recent
+// Accept, telling a client whose valid REQ was refused (session cap
+// reached, server draining) to back off retryAfter before asking again
+// instead of burning its REQ retransmission budget. msg is the refused
+// arrival (the substrate recovers the transfer id from it). Like any
+// datagram the reply may be lost; the client's next REQ re-elicits it.
+type BusyReplier interface {
+	ReplyBusy(msg Message, retryAfter time.Duration) error
+}
+
+// Redialer is an optional Fabric extension: Redial opens a fresh client
+// conn to the same server for body i, replacing one whose session died —
+// the striped repair path re-dials a stripe before resuming it on
+// substrates whose conns do not outlive their session.
+type Redialer interface {
+	Redial(i int) (Client, error)
+}
+
 // Conn is one admitted session's server-side channel. The demux loop feeds
 // it with Deliver; the session body consumes through the core.Env that
 // Spawn provides.

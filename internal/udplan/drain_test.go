@@ -1,0 +1,123 @@
+package udplan
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"blastlan/internal/core"
+	"blastlan/internal/wire"
+)
+
+// A drain racing an active striped pull: BeginDrain must let the admitted
+// stripe sessions run to completion while refusing the REQ of a client that
+// arrives after the drain began — with a BUSY reply, so the latecomer fails
+// fast instead of burning its retry budget against a server that is going
+// away.
+func TestDrainRacesStripedPull(t *testing.T) {
+	const total = 4 << 20
+	srv, addr := newLoopbackServer(t)
+	srv.Concurrency = 8
+	srv.Batch = 8
+	srv.RetryAfter = 20 * time.Millisecond
+	// Throttle the source so the admitted stripes stay in flight for about a
+	// second — the drain window the latecomer's refused REQs must land in.
+	// Without it a loopback pull finishes in milliseconds and the drained
+	// server is gone before the new client even dials.
+	srv.Source = func(r wire.Req) (core.ChunkSource, bool) {
+		src, ok := stripedSource(r)
+		if !ok {
+			return nil, false
+		}
+		return func(seq int, dst []byte) []byte {
+			time.Sleep(time.Millisecond)
+			return src(seq, dst)
+		}, true
+	}
+	srvDone := make(chan error, 1)
+	go func() { srvDone <- srv.Run() }()
+
+	// Drain the moment the first stripe byte lands: the stripe sessions are
+	// admitted and mid-flight, the next client is not.
+	var once sync.Once
+	draining := make(chan struct{})
+	out := make([]byte, total)
+	var mu sync.Mutex
+	pullDone := make(chan error, 1)
+	var res StripedResult
+	go func() {
+		var err error
+		res, err = PullStriped(addr, logicalCfg(total), StripeOptions{
+			Streams: 4,
+			Batch:   8,
+			Sink: func(off int, b []byte) {
+				mu.Lock()
+				copy(out[off:], b)
+				mu.Unlock()
+				once.Do(func() {
+					srv.BeginDrain()
+					close(draining)
+				})
+			},
+		})
+		pullDone <- err
+	}()
+
+	<-draining
+
+	// A new client's REQ now meets the draining server. PullResume surfaces
+	// the BUSY refusal once its (tiny) wait budget is spent.
+	e, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	cfg := logicalCfg(total)
+	cfg.TransferID = 999
+	cfg.MaxAttempts = 1
+	_, rstats, rerr := core.PullResume(e, cfg, core.ResumeOptions{
+		MaxBusyWaits: 2,
+		Backoff:      20 * time.Millisecond,
+	})
+	if rerr == nil {
+		t.Fatal("a draining server admitted a new client")
+	}
+	var busy *core.BusyError
+	if !errors.As(rerr, &busy) {
+		t.Fatalf("latecomer failed with %v, want a BUSY refusal", rerr)
+	}
+	if rstats.BusyWaits == 0 {
+		t.Fatal("latecomer never observed a BUSY reply")
+	}
+
+	// The in-flight striped pull still completes, byte-identically.
+	if err := <-pullDone; err != nil {
+		t.Fatalf("in-flight striped pull failed under drain: %v", err)
+	}
+	want := core.SeededPayload(int64(total), total, 1000)
+	mu.Lock()
+	same := bytes.Equal(out, want)
+	mu.Unlock()
+	if !same {
+		t.Fatal("striped payload differs from the seeded stream")
+	}
+	if res.Bytes != total {
+		t.Fatalf("striped pull delivered %d of %d bytes", res.Bytes, total)
+	}
+
+	// And the drain completes: Run returns once the last stripe session
+	// exits, with no sessions leaked.
+	select {
+	case err := <-srvDone:
+		if err != nil {
+			t.Fatalf("drained server: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not finish draining")
+	}
+	if a := srv.Active(); a != 0 {
+		t.Fatalf("%d sessions still active after drain", a)
+	}
+}

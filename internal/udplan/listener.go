@@ -133,6 +133,35 @@ func (l *serverListener) Open() (transport.Conn, transport.Peer, error) {
 	return &serverConn{l: l, peer: peer, inbox: make(chan dgram, 256)}, peer, nil
 }
 
+// ReplyBusy sends a best-effort BUSY/RETRY-AFTER refusal to the source of
+// the most recent Accept (transport.BusyReplier). The reply is a single
+// unbatched write: refusals are rare by construction (one per refused REQ
+// round trip) and must not sit in a frame ring.
+func (l *serverListener) ReplyBusy(msg transport.Message, retryAfter time.Duration) error {
+	data, ok := msg.([]byte)
+	if !ok {
+		return fmt.Errorf("udplan: refused arrival is not a datagram")
+	}
+	var pkt wire.Packet
+	if err := wire.DecodeInto(&pkt, data); err != nil {
+		return err
+	}
+	peer := l.lastAddr
+	if peer == nil {
+		ua := rawToUDPAddr(l.lastName)
+		if ua == nil {
+			return fmt.Errorf("udplan: unresolvable raw source address")
+		}
+		peer = ua
+	}
+	buf, err := core.Busy(pkt.Trans, retryAfter).Encode(nil)
+	if err != nil {
+		return err
+	}
+	_, err = l.conn.WriteTo(buf, peer)
+	return err
+}
+
 // Drain blocks until every session goroutine has returned.
 func (l *serverListener) Drain() { l.wg.Wait() }
 

@@ -51,6 +51,15 @@ type StripeOptions struct {
 	// overrides that direction.
 	MangleTx func(stripe int) func(*wire.Packet) params.Mangle
 	MangleRx func(stripe int) func(*wire.Packet) params.Mangle
+	// Repair enables per-stripe failure recovery (see
+	// session.StripeOptions.Repair): a dead stripe session is re-dialed and
+	// resumed from its verified frontier instead of aborting the whole pull.
+	// MaxResumes, Backoff and Seed tune the resume engine; zero values take
+	// core.ResumeOptions defaults.
+	Repair     bool
+	MaxResumes int
+	Backoff    time.Duration
+	Seed       int64
 }
 
 // StripeOutcome is one stripe session's result.
@@ -72,8 +81,12 @@ type StripedResult = session.StripedResult
 func PullStriped(addr string, cfg core.Config, opts StripeOptions) (StripedResult, error) {
 	f := &stripeFabric{addr: addr, opts: opts}
 	return session.PullStriped(f, cfg, session.StripeOptions{
-		Streams: opts.Streams,
-		Sink:    opts.Sink,
+		Streams:    opts.Streams,
+		Sink:       opts.Sink,
+		Repair:     opts.Repair,
+		MaxResumes: opts.MaxResumes,
+		Backoff:    opts.Backoff,
+		Seed:       opts.Seed,
 	})
 }
 
@@ -143,6 +156,11 @@ func (f *stripeFabric) dial(i int) (transport.Client, error) {
 	}
 	return &clientConn{e}, nil
 }
+
+// Redial opens a fresh, identically-configured endpoint to the same server
+// for stripe i (transport.Redialer) — the striped repair path's socket
+// replacement after a stripe session dies with its conn.
+func (f *stripeFabric) Redial(i int) (transport.Client, error) { return f.dial(i) }
 
 // clientConn adapts a dialed endpoint to transport.Client.
 type clientConn struct{ *Endpoint }

@@ -39,6 +39,13 @@ const (
 	// TypeReq asks the peer to start a transfer (used by MoveFrom, where
 	// the data flows from the remote machine).
 	TypeReq
+	// TypeBusy is the server's admission refusal: the REQ was valid but the
+	// server is at its session cap (or draining) and will not open a
+	// session. Seq carries a retry-after hint in milliseconds; clients back
+	// off at least that long before re-requesting. Best-effort and
+	// ack-sized — a lost BUSY just means the client rediscovers the
+	// condition on its next REQ retransmission.
+	TypeBusy
 )
 
 // String returns the conventional short name of the type.
@@ -52,6 +59,8 @@ func (t Type) String() string {
 		return "NAK"
 	case TypeReq:
 		return "REQ"
+	case TypeBusy:
+		return "BUSY"
 	default:
 		return fmt.Sprintf("TYPE(%d)", uint8(t))
 	}
@@ -247,7 +256,7 @@ func DecodeInto(p *Packet, buf []byte) error {
 		return fmt.Errorf("%w: %d", ErrVersion, buf[2])
 	}
 	t := Type(buf[3])
-	if t < TypeData || t > TypeReq {
+	if t < TypeData || t > TypeBusy {
 		return fmt.Errorf("%w: %d", ErrType, buf[3])
 	}
 	plen := int(binary.BigEndian.Uint16(buf[18:20]))
