@@ -228,8 +228,9 @@ func PushUDP(e *UDPEndpoint, cfg Config) (SendResult, error) { return udplan.Pus
 func PullUDP(e *UDPEndpoint, cfg Config) (RecvResult, error) { return udplan.Pull(e, cfg) }
 
 // Striped transfers: one logical pull fanned out across parallel stripe
-// sessions, reassembled by offset (set cfg.Adaptive for AIMD rate control
-// per stripe).
+// sessions, reassembled by offset (set cfg.Controller to a registered
+// rate-control policy — "aimd", "bbr", "autotune" — for per-stripe rate
+// control; the deprecated cfg.Adaptive maps to "aimd").
 type (
 	// StripeOptions configures the fan-out of a striped pull.
 	StripeOptions = udplan.StripeOptions

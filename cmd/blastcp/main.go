@@ -8,7 +8,8 @@
 //	blastcp -to 127.0.0.1:7025 -pull 67108864 -window 128 -batch 32  # batched syscalls
 //	blastcp -to 127.0.0.1:7025 -pull 1048576 -chunk 8000 -mtu 9000   # jumbo frames
 //	blastcp -to 127.0.0.1:7025 -pull 268435456 -streams 4            # striped parallel pull
-//	blastcp -to 127.0.0.1:7025 -pull 67108864 -adaptive              # AIMD rate control
+//	blastcp -to 127.0.0.1:7025 -pull 67108864 -controller aimd       # AIMD rate control
+//	blastcp -to 127.0.0.1:7025 -pull 67108864 -controller bbr        # rate-based control
 //	blastcp -to 127.0.0.1:7025 -get data.bin -o local.bin            # named pull from -serve
 //	blastcp -to 127.0.0.1:7025 -get data.bin -streams 4              # striped named pull
 //	blastcp -to 127.0.0.1:7025 -pull 67108864 -resume                # survive a server restart
@@ -32,6 +33,7 @@ import (
 	"log"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"blastlan/internal/core"
@@ -123,7 +125,8 @@ func main() {
 		mtu       = flag.Int("mtu", 0, "max datagram size for jumbo chunks (0: default 2048)")
 		sockbuf   = flag.Int("sockbuf", 4<<20, "kernel socket buffer size (large windows overflow the default)")
 		streams   = flag.Int("streams", 1, "stripe a pull across this many parallel sessions")
-		adaptive  = flag.Bool("adaptive", false, "AIMD rate control: window/batch/pacing react to observed loss")
+		ctrlName  = flag.String("controller", "", "rate-control policy: "+strings.Join(core.ControllerNames(), ", ")+" (empty: fixed schedule)")
+		adaptive  = flag.Bool("adaptive", false, "deprecated: same as -controller=aimd")
 		lossTx    = flag.Float64("drop-tx", 0, "inject outbound loss (testing)")
 		lossRx    = flag.Float64("drop-rx", 0, "inject inbound loss (testing)")
 		resume    = flag.Bool("resume", false, "resume a pull across server crashes/restarts (offset REQs from the verified frontier)")
@@ -170,6 +173,14 @@ func main() {
 	if err != nil {
 		fail(exitUsage, "%v", err)
 	}
+	controller := *ctrlName
+	if *adaptive && controller == "" {
+		log.Printf("blastcp: -adaptive is deprecated; use -controller=%s", core.ControllerAIMD)
+		controller = core.ControllerAIMD
+	}
+	if controller != "" && core.ControllerID(controller) == 0 {
+		fail(exitUsage, "unknown controller %q (registered: %s)", controller, strings.Join(core.ControllerNames(), ", "))
+	}
 
 	cfg := core.Config{
 		TransferID:     uint32(*id),
@@ -177,7 +188,7 @@ func main() {
 		Protocol:       proto,
 		Strategy:       strat,
 		Window:         *window,
-		Adaptive:       *adaptive,
+		Controller:     controller,
 		RetransTimeout: *tr,
 		MaxAttempts:    100,
 		Linger:         2**tr + 100*time.Millisecond,

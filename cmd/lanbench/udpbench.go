@@ -6,9 +6,12 @@ package main
 // the pre-batching pipeline (serial server, whole payload materialised per
 // pull, no streaming) as the baseline — archived as BENCH_3.json and
 // guarded by CI's perf-regression gate (cmd/benchgate). The striped sweep
-// measures streams ∈ {1,2,4,8} × {fixed, adaptive} pulls against the
+// measures streams ∈ {1,2,4,8} × {fixed, aimd, bbr} pulls against the
 // sharded server, on a clean loopback and under a 1% seeded drop adversary
-// — archived as BENCH_4.json and the EXPERIMENTS.md streams×adaptive table.
+// — archived as BENCH_4.json and the EXPERIMENTS.md streams×policy table
+// (-controller restricts the sweep to one rate-control policy). The gated
+// udp_pull_bbr_loss1 case pins the BBR policy's 16 MB striped pull under
+// 1% loss against the ci/bench_floor.json floor.
 
 import (
 	"fmt"
@@ -30,12 +33,14 @@ import (
 
 // udpPullCase is one loopback pull measurement.
 type udpPullCase struct {
-	name   string
-	bytes  int
-	batch  int // sendmmsg/recvmmsg ring size; 1 = single-syscall
-	window int
-	legacy bool        // pre-PR pipeline: serial server, materialised payload, no streaming
-	tier   udplan.Tier // datapath tier cap (TierAuto: probe for the best)
+	name       string
+	bytes      int
+	batch      int // sendmmsg/recvmmsg ring size; 1 = single-syscall
+	window     int
+	legacy     bool        // pre-PR pipeline: serial server, materialised payload, no streaming
+	tier       udplan.Tier // datapath tier cap (TierAuto: probe for the best)
+	controller string      // rate-control policy the REQ asks the server for
+	drop       float64     // seeded wire-loss probability on the client endpoint
 }
 
 // minTier combines a case's tier cap with the -tier flag: the stricter of
@@ -91,6 +96,11 @@ func runUDPPull(c udpPullCase) (time.Duration, udplan.Tier, error) {
 		e.SetBatch(c.batch)
 	}
 	engaged := e.Tier()
+	if c.drop > 0 {
+		if err := e.SetAdversary(params.Adversary{Loss: params.LossModel{PNet: c.drop}}, 1); err != nil {
+			return 0, engaged, err
+		}
+	}
 	cfg := core.Config{
 		TransferID:     1,
 		Bytes:          c.bytes,
@@ -98,6 +108,7 @@ func runUDPPull(c udpPullCase) (time.Duration, udplan.Tier, error) {
 		Protocol:       core.Blast,
 		Strategy:       core.GoBackN,
 		Window:         c.window,
+		Controller:     c.controller,
 		RetransTimeout: 250 * time.Millisecond,
 		MaxAttempts:    10000,
 		Linger:         50 * time.Millisecond,
@@ -407,13 +418,13 @@ func runBusyBackoff(bytes, clients int) (time.Duration, error) {
 	return elapsed, nil
 }
 
-// stripedCase is one streams×adaptive×network loopback measurement.
+// stripedCase is one streams×policy×network loopback measurement.
 type stripedCase struct {
-	name     string
-	bytes    int
-	streams  int
-	adaptive bool
-	drop     float64 // seeded per-stripe drop probability (0: clean)
+	name       string
+	bytes      int
+	streams    int
+	controller string  // rate-control policy ("": fixed window)
+	drop       float64 // seeded per-stripe drop probability (0: clean)
 }
 
 // runStripedPull executes one striped pull against a sharded batched server
@@ -442,7 +453,7 @@ func runStripedPull(c stripedCase) (time.Duration, error) {
 		Protocol:       core.Blast,
 		Strategy:       core.Selective,
 		Window:         256,
-		Adaptive:       c.adaptive,
+		Controller:     c.controller,
 		RetransTimeout: 250 * time.Millisecond,
 		MaxAttempts:    10000,
 		Linger:         50 * time.Millisecond,
@@ -505,8 +516,8 @@ func measurePull(snap *benchSnapshot, name string, bytes, reps int, run func() (
 // runUDPBench runs the loopback suites and writes BENCH-style JSON to path
 // (when non-empty), printing a human-readable table either way. streams > 0
 // restricts the striped sweep to that stream count and skips the classic
-// cases; adaptiveOnly restricts it to adaptive rate control.
-func runUDPBench(path string, quick bool, streams int, adaptiveOnly bool, tierName string) error {
+// cases; controller restricts it to that rate-control policy.
+func runUDPBench(path string, quick bool, streams int, controller string, tierName string) error {
 	tierCap, err := udplan.ParseTier(tierName)
 	if err != nil {
 		return err
@@ -526,10 +537,10 @@ func runUDPBench(path string, quick bool, streams int, adaptiveOnly bool, tierNa
 			// UDP_SEGMENT is unsupported — the snapshot's tier column says
 			// which actually ran.
 			cases := []udpPullCase{
-				{fmt.Sprintf("udp_pull_%dmb_legacy", mb), size, 1, 128, true, udplan.TierAuto},
-				{fmt.Sprintf("udp_pull_%dmb_batch1", mb), size, 1, 128, false, udplan.TierAuto},
-				{fmt.Sprintf("udp_pull_%dmb_batch32", mb), size, 32, 128, false, udplan.TierMmsg},
-				{fmt.Sprintf("udp_pull_%dmb_gso", mb), size, 32, 128, false, udplan.TierGSO},
+				{name: fmt.Sprintf("udp_pull_%dmb_legacy", mb), bytes: size, batch: 1, window: 128, legacy: true, tier: udplan.TierAuto},
+				{name: fmt.Sprintf("udp_pull_%dmb_batch1", mb), bytes: size, batch: 1, window: 128, tier: udplan.TierAuto},
+				{name: fmt.Sprintf("udp_pull_%dmb_batch32", mb), bytes: size, batch: 32, window: 128, tier: udplan.TierMmsg},
+				{name: fmt.Sprintf("udp_pull_%dmb_gso", mb), bytes: size, batch: 32, window: 128, tier: udplan.TierGSO},
 			}
 			for _, c := range cases {
 				c := c
@@ -586,7 +597,7 @@ func runUDPBench(path string, quick bool, streams int, adaptiveOnly bool, tierNa
 		}
 	}
 
-	// The striped streams×adaptive sweep, clean and under 1% seeded drop.
+	// The striped streams×policy sweep, clean and under 1% seeded drop.
 	cleanSize, lossySize := 64<<20, 16<<20
 	if quick {
 		cleanSize, lossySize = 8<<20, 2<<20
@@ -595,9 +606,9 @@ func runUDPBench(path string, quick bool, streams int, adaptiveOnly bool, tierNa
 	if streams > 0 {
 		streamCounts = []int{streams}
 	}
-	modes := []bool{false, true}
-	if adaptiveOnly {
-		modes = []bool{true}
+	modes := []string{"", core.ControllerAIMD, core.ControllerBBR}
+	if controller != "" {
+		modes = []string{controller}
 	}
 	for _, nets := range []struct {
 		suffix string
@@ -609,17 +620,17 @@ func runUDPBench(path string, quick bool, streams int, adaptiveOnly bool, tierNa
 		{"_drop1", lossySize, 0.01, 3},
 	} {
 		for _, s := range streamCounts {
-			for _, adaptive := range modes {
+			for _, policy := range modes {
 				mode := ""
-				if adaptive {
-					mode = "_adaptive"
+				if policy != "" {
+					mode = "_" + policy
 				}
 				c := stripedCase{
-					name:     fmt.Sprintf("udp_stream%d%s_%dmb%s", s, mode, nets.size>>20, nets.suffix),
-					bytes:    nets.size,
-					streams:  s,
-					adaptive: adaptive,
-					drop:     nets.drop,
+					name:       fmt.Sprintf("udp_stream%d%s_%dmb%s", s, mode, nets.size>>20, nets.suffix),
+					bytes:      nets.size,
+					streams:    s,
+					controller: policy,
+					drop:       nets.drop,
 				}
 				if err := measurePull(&snap, c.name, c.bytes, nets.reps,
 					func() (time.Duration, string, error) {
@@ -629,6 +640,30 @@ func runUDPBench(path string, quick bool, streams int, adaptiveOnly bool, tierNa
 					return err
 				}
 			}
+		}
+	}
+
+	// The gated controller-under-loss case: the 321 MB/s configuration of the
+	// PR-4 adaptive-under-loss row (streams=4, selective repeat, 16 MB, 1%
+	// seeded drop on every stripe endpoint) driven by the BBR-flavored policy,
+	// whose rate-based window holds through stray drops instead of backing off
+	// multiplicatively. ci/bench_floor.json floors it at the AIMD basis, so a
+	// policy regression that collapses under loss fails the bench gate. Runs
+	// at full size even in -quick: the floor needs a stable figure.
+	if streams == 0 && controller == "" {
+		c := stripedCase{
+			name:       "udp_pull_bbr_loss1",
+			bytes:      16 << 20,
+			streams:    4,
+			controller: core.ControllerBBR,
+			drop:       0.01,
+		}
+		if err := measurePull(&snap, c.name, c.bytes, 3,
+			func() (time.Duration, string, error) {
+				el, err := runStripedPull(c)
+				return el, "", err
+			}); err != nil {
+			return err
 		}
 	}
 

@@ -2,7 +2,8 @@ package core
 
 import "time"
 
-// Adaptive blast rate control (Config.Adaptive).
+// AIMD blast rate control — the "aimd" policy of the RateController
+// registry (ratecontrol.go), which the deprecated Config.Adaptive maps to.
 //
 // The paper fixes every transfer parameter — window, batch, retransmission
 // interval — at connection setup, which is exactly right for its matched
@@ -67,6 +68,12 @@ type ControllerConfig struct {
 	// pre-configured gap, so a deliberately paced endpoint never runs
 	// faster than its operator configured.
 	MinGap time.Duration
+	// Seed parameterises policies that draw pseudo-random decisions (the
+	// autotune hill-climb's perturbation order). Zero selects a fixed
+	// default, so an unseeded controller is still deterministic. The
+	// controlled sender seeds it from the transfer id: both substrates of a
+	// conformance pair see the same id, hence the same decision sequence.
+	Seed int64
 }
 
 func (c ControllerConfig) withDefaults() ControllerConfig {
@@ -110,14 +117,18 @@ func (c ControllerConfig) withDefaults() ControllerConfig {
 }
 
 // WindowObs is what the sender observed driving one blast window to
-// completion. The decision rules read only the recovery counters; Packets
-// records the window size for context (diagnostics, future rate-based
-// rules) and does not influence the verdict.
+// completion. Window and batch decision rules read only the recovery
+// counters — that is what keeps controller trajectories identical across
+// substrates (see ratecontrol.go). Elapsed is the substrate clock's measure
+// of the window (virtual time on the simulator, wall time on UDP): policies
+// may use it for pacing only, and it is zero on substrates or paths that do
+// not measure it.
 type WindowObs struct {
-	Packets     int // first-transmission packets in the window (informational)
-	Retransmits int // data packets re-sent recovering it
-	Naks        int // negative acknowledgements received
-	Timeouts    int // silent Tr expiries
+	Packets     int           // first-transmission packets in the window
+	Retransmits int           // data packets re-sent recovering it
+	Naks        int           // negative acknowledgements received
+	Timeouts    int           // silent Tr expiries
+	Elapsed     time.Duration // time driving the window, response round included
 }
 
 // lossy reports whether the window needed any recovery at all.
@@ -128,15 +139,17 @@ func (o WindowObs) lossy() bool {
 // ControllerStats summarises one transfer's controller trajectory — the
 // per-stripe stats feed surfaced in SendResult.
 type ControllerStats struct {
+	Policy      string        // registered policy name ("aimd", "bbr", ...)
 	Windows     int           // windows driven
-	Growths     int           // clean windows (window grew)
-	Cuts        int           // lossy windows (window shrank)
+	Growths     int           // windows after which the window grew
+	Cuts        int           // windows after which the window shrank
 	TimeoutCuts int           // of Cuts, those triggered by a silent timeout
 	FinalWindow int           // window size after the last observation
 	FinalGap    time.Duration // pacing gap after the last observation
 }
 
-// Controller is the AIMD state machine. It is used from the sender's
+// Controller is the AIMD state machine — the "aimd" entry of the
+// RateController registry (ratecontrol.go). It is used from the sender's
 // goroutine only, like everything else in a protocol engine.
 type Controller struct {
 	cfg       ControllerConfig
@@ -151,6 +164,7 @@ type Controller struct {
 func NewController(cfg ControllerConfig) *Controller {
 	cfg = cfg.withDefaults()
 	c := &Controller{cfg: cfg, win: cfg.InitWindow, gap: cfg.MinGap, slowStart: true}
+	c.stats.Policy = ControllerAIMD
 	c.stats.FinalWindow = c.win
 	c.stats.FinalGap = c.gap
 	return c

@@ -17,8 +17,8 @@ import (
 // interface with SendAsync so that a double-buffered interface overlaps the
 // copy of packet k+1 with the transmission of packet k.
 func sendBlast(env Env, c Config, async bool) (SendResult, error) {
-	if c.Adaptive {
-		return sendBlastAdaptive(env, c, async)
+	if c.Controller != "" || c.Adaptive {
+		return sendBlastControlled(env, c, async)
 	}
 	var res SendResult
 	start := env.Now()
@@ -43,17 +43,21 @@ func sendBlast(env Env, c Config, async bool) (SendResult, error) {
 	return res, nil
 }
 
-// sendBlastAdaptive is the blast sender under AIMD rate control
-// (Config.Adaptive): each window's size comes from the controller, each
-// completed window's recovery cost feeds back into it, and the controller's
-// pacing and batch decisions are actuated on substrates that support them.
-// The receiver needs no changes — it judges windows by the high-water
-// FlagLast sequence, whatever their sizes.
-func sendBlastAdaptive(env Env, c Config, async bool) (SendResult, error) {
+// sendBlastControlled is the blast sender under pluggable rate control
+// (Config.Controller; the deprecated Config.Adaptive maps to "aimd"): each
+// window's size comes from the policy, each completed window's recovery
+// cost (and measured duration) feeds back into it, and the policy's pacing
+// and batch decisions are actuated on substrates that support them. The
+// receiver needs no changes — it judges windows by the high-water FlagLast
+// sequence, whatever their sizes.
+func sendBlastControlled(env Env, c Config, async bool) (SendResult, error) {
 	var res SendResult
 	start := env.Now()
 	n := c.NumPackets()
-	cc := ControllerConfig{InitWindow: c.Window}
+	// The hill-climbing policy draws its perturbation order from the seed;
+	// both substrates of a conformance pair share the transfer id, so they
+	// share the search trajectory too.
+	cc := ControllerConfig{InitWindow: c.Window, Seed: int64(c.TransferID)}
 	limiter, _ := env.(BatchLimiter)
 	pacer, _ := env.(Pacer)
 	origLimit := 0
@@ -69,9 +73,24 @@ func sendBlastAdaptive(env Env, c Config, async bool) (SendResult, error) {
 		origGap = pacer.Gap()
 		cc.MinGap = origGap
 	}
-	ctrl := NewController(cc)
-	// Adaptive mode subsumes AdaptiveTr: the fixed Tr only seeds the
-	// estimator (see adaptive.go).
+	// Frames per flush syscall unit: >1 on the GSO tier, where batch
+	// actuation is quantized to whole superbuffers (see BatchGeometry).
+	unit := 1
+	if g, ok := env.(BatchGeometry); ok {
+		if u := g.FlushUnit(); u > 1 {
+			unit = u
+		}
+	}
+	name := c.Controller
+	if name == "" {
+		name = ControllerAIMD
+	}
+	ctrl, err := NewRateController(name, cc)
+	if err != nil {
+		return res, err
+	}
+	// A controlled transfer subsumes AdaptiveTr: the fixed Tr only seeds
+	// the estimator (see adaptive.go).
 	c.AdaptiveTr = true
 	est := newRTO(c)
 	scratch := scratchPacket(env)
@@ -96,6 +115,7 @@ func sendBlastAdaptive(env Env, c Config, async bool) (SendResult, error) {
 			end = n
 		}
 		before := res
+		t0 := env.Now()
 		if err := sendBlastWindow(env, c, &res, &est, scratch, base, end, n, async); err != nil {
 			finish()
 			return res, err
@@ -105,17 +125,43 @@ func sendBlastAdaptive(env Env, c Config, async bool) (SendResult, error) {
 			Retransmits: res.Retransmits - before.Retransmits,
 			Naks:        res.NaksReceived - before.NaksReceived,
 			Timeouts:    res.Timeouts - before.Timeouts,
+			Elapsed:     env.Now() - t0,
 		})
 		if pacer != nil {
 			pacer.SetPacketGap(ctrl.Gap())
 		}
-		if limiter != nil && limiter.BatchLimit() != ctrl.Batch() {
-			limiter.SetBatchLimit(ctrl.Batch())
+		if limiter != nil {
+			if want := batchLimitFor(ctrl, unit, origLimit); limiter.BatchLimit() != want {
+				limiter.SetBatchLimit(want)
+			}
 		}
 		base = end
 	}
 	finish()
 	return res, nil
+}
+
+// batchLimitFor translates the policy's batch recommendation into the
+// substrate's flush threshold. On frame-unit substrates (sendmmsg, WriteTo
+// loop) it is the recommendation itself. On the GSO tier (unit > 1) the
+// threshold follows the policy's *window* in whole superbuffer units
+// instead of mmsg frame counts: the kernel bursts a superbuffer
+// back-to-back on the wire regardless, so a threshold below one superbuffer
+// only multiplies syscalls, and chopping a large window at an mmsg-era
+// frame cap splits what could ride one UDP_SEGMENT call into several.
+func batchLimitFor(ctrl RateController, unit, ring int) int {
+	if unit <= 1 {
+		return ctrl.Batch()
+	}
+	w := ctrl.Window()
+	if w > ring {
+		w = ring
+	}
+	lim := (w + unit - 1) / unit * unit // round up to whole superbuffers
+	if lim > ring {
+		lim = ring
+	}
+	return lim
 }
 
 // sendBlastWindow drives one blast of packets [base, end) to completion.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"blastlan/internal/params"
@@ -119,17 +120,33 @@ type Config struct {
 	// of the transfer time. Applies to stop-and-wait and blast.
 	AdaptiveTr bool
 
+	// MinRTO bounds the adaptive timeout from below. Zero means the
+	// built-in 1 ms floor, which suits a quiet LAN; hosts with coarse
+	// timers or heavy scheduling noise (virtualized runners, the race
+	// detector) can raise it so a delayed-but-coming response is never
+	// mistaken for a loss. The cross-substrate conformance suites pin
+	// timing-independent counters by raising it to the fixed Tr. Ignored
+	// unless the estimator is active (AdaptiveTr or Controller).
+	MinRTO time.Duration
+
 	// Window, when non-zero, splits a blast transfer into multiple blasts
 	// of at most Window packets each (§3.1.3 "multiple blasts"). Zero means
 	// a single blast. Ignored by StopAndWait and SlidingWindow.
 	Window int
 
-	// Adaptive drives a blast transfer with the AIMD rate/window controller
-	// (see adaptive.go) instead of the fixed Window: window size, syscall
-	// batch and pacing react to observed NAKs, retransmissions and
-	// timeouts, and the retransmission interval is learned online
-	// (AdaptiveTr is implied). Window, when set, seeds the controller's
-	// initial window. Ignored by StopAndWait and SlidingWindow.
+	// Controller names the rate-control policy that drives a blast transfer
+	// instead of the fixed Window: a registered RateController factory
+	// ("aimd", "bbr", "autotune"; see ratecontrol.go) whose window size,
+	// syscall batch and pacing react to observed NAKs, retransmissions and
+	// timeouts, with the retransmission interval learned online (AdaptiveTr
+	// is implied). Window, when set, seeds the controller's initial window.
+	// Empty runs the fixed schedule. Unknown names are rejected by
+	// ValidateConfig. Ignored by StopAndWait and SlidingWindow.
+	Controller string
+
+	// Adaptive is the deprecated PR-4 spelling of Controller: true maps to
+	// Controller="aimd" when Controller is empty. Kept so existing callers
+	// and the wire flag bit keep working.
 	Adaptive bool
 
 	// StripeOffset and StripeTotal identify this transfer as one stripe of
@@ -250,6 +267,16 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if err := c.validateStripe(); err != nil {
 		return c, err
+	}
+	if c.Controller == "" && c.Adaptive {
+		c.Controller = ControllerAIMD
+	}
+	if c.Controller != "" {
+		if _, ok := controllerRegistry[c.Controller]; !ok {
+			return c, fmt.Errorf("%w: unknown controller %q (registered: %s)",
+				ErrBadConfig, c.Controller, strings.Join(ControllerNames(), ", "))
+		}
+		c.Adaptive = true
 	}
 	if c.Name != "" && !wire.ValidReqName(c.Name) {
 		return c, fmt.Errorf("%w: Name %q does not fit the request encoding", ErrBadConfig, c.Name)
@@ -379,8 +406,9 @@ type SendResult struct {
 	AcksReceived int
 	NaksReceived int
 
-	// Controller summarises the AIMD trajectory of an adaptive transfer
-	// (nil when Config.Adaptive was off) — the per-stripe stats feed.
+	// Controller summarises the rate-control trajectory of a controlled
+	// transfer (nil when no Config.Controller policy drove it) — the
+	// per-stripe stats feed. Stats.Policy names the policy that ran.
 	Controller *ControllerStats
 }
 

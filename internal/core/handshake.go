@@ -17,11 +17,22 @@ import (
 // message exchange that guarantees "the recipient has sufficient buffers
 // allocated to receive the data prior to the transfer".
 
-// ReqOf encodes a transfer configuration as a request payload.
+// ReqOf encodes a transfer configuration as a request payload. The
+// rate-control policy rides as its registered wire id; a policy registered
+// without an id (or the deprecated Adaptive bool alone) encodes as the AIMD
+// id, the only policy pre-policy-byte servers know.
 func ReqOf(c Config, push bool) wire.Req {
 	chunk := c.ChunkSize
 	if chunk == 0 {
 		chunk = params.DataPacketSize
+	}
+	policy := uint8(0)
+	if c.Controller != "" {
+		if policy = ControllerID(c.Controller); policy == 0 {
+			policy = ControllerID(ControllerAIMD)
+		}
+	} else if c.Adaptive {
+		policy = ControllerID(ControllerAIMD)
 	}
 	return wire.Req{
 		Bytes:        uint64(c.Bytes),
@@ -31,7 +42,7 @@ func ReqOf(c Config, push bool) wire.Req {
 		Push:         push,
 		Window:       uint32(c.Window),
 		TrMicros:     uint64(c.RetransTimeout / time.Microsecond),
-		Adaptive:     c.Adaptive,
+		Adaptive:     policy,
 		OffsetChunks: uint32(c.StripeOffset / chunk),
 		Total:        uint64(c.StripeTotal),
 		Name:         c.Name,
@@ -39,8 +50,12 @@ func ReqOf(c Config, push bool) wire.Req {
 }
 
 // ConfigOf reconstructs a transfer configuration from a request. The
-// returned config has no payload; the serving side attaches its data.
+// returned config has no payload; the serving side attaches its data. The
+// policy byte resolves through the controller registry — an id this build
+// does not know degrades to AIMD (see ControllerNameOf), so a newer
+// client's request is served rather than refused.
 func ConfigOf(transferID uint32, r wire.Req) Config {
+	ctrl := ControllerNameOf(r.Adaptive)
 	return Config{
 		TransferID:     transferID,
 		Bytes:          int(r.Bytes),
@@ -49,7 +64,8 @@ func ConfigOf(transferID uint32, r wire.Req) Config {
 		Strategy:       Strategy(r.Strategy),
 		Window:         int(r.Window),
 		RetransTimeout: time.Duration(r.TrMicros) * time.Microsecond,
-		Adaptive:       r.Adaptive,
+		Controller:     ctrl,
+		Adaptive:       ctrl != "",
 		StripeOffset:   int(r.Offset()),
 		StripeTotal:    int(r.Total),
 		Name:           r.Name,

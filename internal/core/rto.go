@@ -25,6 +25,7 @@ type rto struct {
 	rttvar  time.Duration
 	primed  bool
 	fixed   time.Duration // Config.RetransTimeout: initial and non-adaptive value
+	floor   time.Duration // Config.MinRTO, defaulted to rtoFloor
 	enabled bool
 }
 
@@ -33,7 +34,11 @@ type rto struct {
 const rtoFloor = time.Millisecond
 
 func newRTO(c Config) rto {
-	return rto{fixed: c.RetransTimeout, enabled: c.AdaptiveTr}
+	floor := c.MinRTO
+	if floor <= 0 {
+		floor = rtoFloor
+	}
+	return rto{fixed: c.RetransTimeout, floor: floor, enabled: c.AdaptiveTr}
 }
 
 // timeout returns the current retransmission interval.
@@ -42,8 +47,8 @@ func (r *rto) timeout() time.Duration {
 		return r.fixed
 	}
 	t := r.srtt + 4*r.rttvar
-	if t < rtoFloor {
-		t = rtoFloor
+	if t < r.floor {
+		t = r.floor
 	}
 	return t
 }

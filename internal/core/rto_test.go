@@ -69,3 +69,16 @@ func TestRTOFloorAndGarbage(t *testing.T) {
 		t.Errorf("RTO %v below floor %v", got, rtoFloor)
 	}
 }
+
+func TestRTOMinRTORaisesFloor(t *testing.T) {
+	r := newRTO(Config{RetransTimeout: time.Second, AdaptiveTr: true, MinRTO: 50 * time.Millisecond})
+	for i := 0; i < 200; i++ {
+		r.sample(time.Millisecond)
+	}
+	// srtt + 4·rttvar converges to ≈ 1 ms, well under the configured
+	// floor: the floor must win, so a host with scheduling noise can pin
+	// how aggressive the learned timeout is allowed to get.
+	if got := r.timeout(); got != 50*time.Millisecond {
+		t.Errorf("RTO %v, want the 50ms MinRTO floor", got)
+	}
+}

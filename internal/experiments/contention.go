@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"blastlan/internal/simrun"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "contention",
+		Title: "Extension: rate-control policies judged under N-flow contention (DES)",
+		Paper: "not in the paper: crosses every registered RateController policy with clean/lossy/jittery fabrics and 1/8/64 concurrent clients, reporting goodput, Jain fairness and makespan per cell — deterministically at any worker count",
+		Run:   runContention,
+	})
+}
+
+// runContention executes the full ContentionSweep gauntlet and renders the
+// judged table.
+func runContention(opt Options) (*Result, error) {
+	res := &Result{
+		ID:     "contention",
+		Title:  "Controller × adversary × client-count contention sweep (256 KB pulls, sharded DES server)",
+		Paper:  "not in the paper: the judging harness for the pluggable congestion-control registry",
+		Header: []string{"policy", "adversary", "clients", "completed", "goodput MB/s", "fairness (Jain)", "makespan (virtual)", "retransmits"},
+	}
+	sw := simrun.ContentionSweep{Seed: opt.Seed}
+	if opt.Quick {
+		sw.Clients = []int{1, 8}
+		sw.Bytes = 64 << 10
+	}
+	workers := opt.Workers
+	cells, err := sw.Run(workers)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cells {
+		res.Rows = append(res.Rows, []string{
+			c.PolicyName(),
+			c.Adversary,
+			fmt.Sprintf("%d", c.Clients),
+			fmt.Sprintf("%d/%d", c.Completed, c.Clients),
+			fmt.Sprintf("%.1f", c.Goodput),
+			fmt.Sprintf("%.3f", c.Fairness),
+			fmt.Sprintf("%v", c.Makespan.Round(time.Microsecond)),
+			fmt.Sprintf("%d", c.Retrans),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"every cell is N clients of one policy pulling concurrently from one sharded simulated server through the shared session layer; the policy rides the REQ's rate-control id, exactly as blastd serves it",
+		"goodput is delivered payload over the cell's makespan; fairness is Jain's index over per-client end-to-end throughputs",
+		"bit-identical at any worker count (cells seeded by enumeration index, merged in index order); regression-pinned by TestContentionSweepDeterministicAtAnyWorkerCount",
+	)
+	return res, nil
+}

@@ -33,7 +33,8 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "figure3", "figure4",
 		"figure5", "figure6", "util", "ablation-dma", "ablation-burst",
 		"ablation-adversary", "multiblast", "udp-loopback", "ext-load",
-		"ext-load-clients", "ext-pagesize", "ext-chunk", "ext-adaptive"}
+		"ext-load-clients", "ext-pagesize", "ext-chunk", "ext-adaptive",
+		"contention"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))

@@ -176,8 +176,12 @@ func TestFaultScenarioBlackhole(t *testing.T) {
 // jittered backoff, and everyone eventually completes — deterministically.
 func TestFaultScenarioOverload(t *testing.T) {
 	n := 4096
+	arrival := 100 * time.Millisecond
 	if testing.Short() {
-		n = 512
+		// Keep the full run's arrival *rate*: 512 clients trickling in
+		// over the same 100 ms window never oversubscribe the 8-session
+		// cap, and an overload test without refusals is vacuous.
+		n, arrival = 512, 100*time.Millisecond/8
 	}
 	sc := FaultScenario{
 		Name:        "overload",
@@ -185,7 +189,7 @@ func TestFaultScenarioOverload(t *testing.T) {
 		Bytes:       []int{4 << 10},
 		Concurrency: 8,
 		RetryAfter:  50 * time.Millisecond,
-		Arrival:     100 * time.Millisecond,
+		Arrival:     arrival,
 		// Deep refusal queues: a late client may be refused many times
 		// before a slot frees up.
 		MaxBusyWaits: 1 << 20,

@@ -51,6 +51,14 @@ type LoadScenario struct {
 	// Concurrency is the server's session cap (default GOMAXPROCS-like 4);
 	// clients beyond it are dropped at REQ time and recover by retrying.
 	Concurrency int
+	// Controller names the rate-control policy every client's REQ asks the
+	// server to drive its blast with (core.Config.Controller → the policy
+	// byte of the handshake). Empty means the fixed schedule.
+	Controller string
+	// ClientController, when non-nil, returns client i's policy name and
+	// overrides Controller — a mixed-policy contention experiment (empty:
+	// fixed schedule).
+	ClientController func(i int) string
 	// Adversary, when active, is installed per client (station-scoped, so
 	// one client's traffic cannot perturb another's decision stream),
 	// client i seeded Seed+i. ClientAdversary overrides it per client.
@@ -100,6 +108,7 @@ type LoadClientResult struct {
 	TransferID uint32
 	Bytes      int
 	Strategy   core.Strategy
+	Controller string        // rate-control policy the client requested
 	Arrival    time.Duration // scheduled arrival (virtual)
 	Start      time.Duration // request issued (virtual)
 	End        time.Duration // transfer complete (virtual)
@@ -153,11 +162,12 @@ func jain(xs []float64) float64 {
 
 // loadClientSpec is one client's pre-drawn workload.
 type loadClientSpec struct {
-	bytes    int
-	strategy core.Strategy
-	arrival  time.Duration
-	adv      params.Adversary
-	advSeed  int64
+	bytes      int
+	strategy   core.Strategy
+	controller string
+	arrival    time.Duration
+	adv        params.Adversary
+	advSeed    int64
 }
 
 // specs draws every client's workload up front, in index order, so the
@@ -171,6 +181,10 @@ func (sc LoadScenario) specs() []loadClientSpec {
 		s.strategy = sc.Strategies[rng.Intn(len(sc.Strategies))]
 		if sc.Arrival > 0 {
 			s.arrival = time.Duration(rng.Int63n(int64(sc.Arrival)))
+		}
+		s.controller = sc.Controller
+		if sc.ClientController != nil {
+			s.controller = sc.ClientController(i)
 		}
 		s.adv = sc.Adversary
 		if sc.ClientAdversary != nil {
@@ -237,6 +251,7 @@ func (sc LoadScenario) Run() (LoadResult, error) {
 			s := specs[i]
 			r := &results[i]
 			r.Client, r.Bytes, r.Strategy, r.Arrival = i, s.bytes, s.strategy, s.arrival
+			r.Controller = s.controller
 			r.TransferID = uint32(i + 1)
 			c.Compute(s.arrival) // staggered arrival
 			cfg := core.Config{
@@ -246,6 +261,7 @@ func (sc LoadScenario) Run() (LoadResult, error) {
 				Protocol:       core.Blast,
 				Strategy:       s.strategy,
 				Window:         sc.Window,
+				Controller:     s.controller,
 				RetransTimeout: sc.Tr,
 			}
 			r.Start = c.Now()
@@ -338,7 +354,7 @@ func (sc LoadScenario) Sample(workers int) (LoadStats, error) {
 	if workers > n {
 		workers = n
 	}
-	if sc.ClientAdversary != nil || sc.Adversary.Script != nil {
+	if sc.ClientAdversary != nil || sc.ClientController != nil || sc.Adversary.Script != nil {
 		workers = 1 // callback hooks are not goroutine-safe
 	}
 	results := make([]LoadResult, n)

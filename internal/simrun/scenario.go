@@ -185,6 +185,7 @@ func (sc Scenario) RunVKernel() (Outcome, error) {
 		Strategy:     sc.Config.Strategy,
 		Tr:           sc.Config.RetransTimeout,
 		Window:       sc.Config.Window,
+		Controller:   sc.Config.Controller,
 		Adaptive:     sc.Config.Adaptive,
 		Chunk:        sc.Config.ChunkSize,
 		MaxAttempts:  sc.Config.MaxAttempts,

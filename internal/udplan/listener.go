@@ -240,6 +240,7 @@ type sessionEnv struct {
 	gs    gsoSender
 	tier  Tier          // transmit tier, inherited from the listener's probe
 	gap   time.Duration // adaptive pacing between data packets (core.Pacer)
+	pace  pacer         // amortized sleep state for gap actuation
 }
 
 func newSessionEnv(conn net.PacketConn, raw syscall.RawConn, peer net.Addr, inbox chan dgram, pool *sync.Pool) *sessionEnv {
@@ -267,6 +268,17 @@ func (se *sessionEnv) SetBatchLimit(n int) {
 		return
 	}
 	se.tx.setLimit(n)
+}
+
+// FlushUnit implements core.BatchGeometry: the frames one flush syscall
+// carries as a single wire unit at the session's inherited tier (see
+// flushUnitOf), so a serving-side controller's batch actuation is quantized
+// to whole GSO superbuffers too.
+func (se *sessionEnv) FlushUnit() int {
+	if se.tx == nil {
+		return 1
+	}
+	return flushUnitOf(se.tier, len(se.tx.frames))
 }
 
 // SetPacketGap implements core.Pacer for the serving side of a pull.
@@ -300,17 +312,15 @@ func (se *sessionEnv) flushFrames(frames [][]byte, lens []int, n int) error {
 
 // Send encodes and transmits one packet to the session's peer. A non-zero
 // pacing gap spaces data packets on the wire, exactly like
-// Endpoint.PacketGap (the frame is flushed before the sleep so the gap is
-// real spacing, not a queued burst).
+// Endpoint.PacketGap: the pacer flushes queued frames before it sleeps so
+// the gap is real spacing, not a queued burst, and amortizes sub-quantum
+// gaps so the actuation cost tracks the nominal rate (see pace.go).
 func (se *sessionEnv) Send(p *wire.Packet) error {
 	if err := se.send(p); err != nil {
 		return err
 	}
 	if se.gap > 0 && p.Type == wire.TypeData {
-		if err := se.FlushBatch(); err != nil {
-			return err
-		}
-		time.Sleep(se.gap)
+		return se.pace.owe(se.gap, se.FlushBatch)
 	}
 	return nil
 }

@@ -225,6 +225,63 @@ func TestAdaptiveSenderControllerOverUDP(t *testing.T) {
 	}
 }
 
+// Every registered policy drives a transfer over real endpoints: scripted
+// first-transmission drops, intact payload, the policy's own stats on the
+// SendResult, and the endpoint's configured batching restored afterwards.
+func TestControllerPoliciesOverUDP(t *testing.T) {
+	for _, name := range core.ControllerNames() {
+		t.Run(name, func(t *testing.T) {
+			ea, eb := pipe(t)
+			ea.SetBatch(16)
+			payload := randomPayload(256<<10, 11)
+			cfg := loopCfg(13, payload, core.Blast, core.GoBackN)
+			cfg.Controller = name
+			cfg.Window = 32
+			ea.MangleTx = func(p *wire.Packet) params.Mangle {
+				if p.Type == wire.TypeData && p.Attempt == 0 && p.Seq%50 == 3 && !p.IsLast() {
+					return params.Mangle{Drop: true}
+				}
+				return params.Mangle{}
+			}
+			rcfg := cfg
+			rcfg.Payload = nil
+			type out struct {
+				res core.RecvResult
+				err error
+			}
+			done := make(chan out, 1)
+			go func() {
+				r, err := core.RunReceiver(eb, rcfg)
+				done <- out{r, err}
+			}()
+			res, err := core.RunSender(ea, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ro := <-done
+			if ro.err != nil {
+				t.Fatal(ro.err)
+			}
+			if !bytes.Equal(ro.res.Data, payload) {
+				t.Fatalf("policy %s corrupted the transfer", name)
+			}
+			st := res.Controller
+			if st == nil {
+				t.Fatalf("policy %s reported no controller stats", name)
+			}
+			if st.Policy != name {
+				t.Errorf("stats policy %q, want %q", st.Policy, name)
+			}
+			if st.Windows == 0 {
+				t.Errorf("policy %s never observed a window: %+v", name, *st)
+			}
+			if got := ea.BatchLimit(); got != 16 {
+				t.Errorf("batch limit after %s transfer = %d, want the configured 16", name, got)
+			}
+		})
+	}
+}
+
 // The batch-limit actuation must throttle flushes without reallocating the
 // ring: a ring of 16 with limit 4 flushes every 4 commits, and raising the
 // limit back restores full-ring batching.

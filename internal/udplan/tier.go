@@ -68,6 +68,28 @@ func ParseTier(s string) (Tier, error) {
 	return TierAuto, fmt.Errorf("udplan: unknown tier %q (want gso, mmsg, writeto or auto)", s)
 }
 
+// gsoSegLimit mirrors the kernel's UDP_MAX_SEGMENTS bound on superbuffer
+// segments. It lives here (not the Linux-only GSO files) so flush-unit
+// geometry compiles on every platform; gso_linux.go pins its maxGSOSegs to
+// this value with a compile-time assertion.
+const gsoSegLimit = 64
+
+// flushUnitOf returns how many frames one flush syscall puts on the wire as
+// a single unit: a superbuffer's segment capacity at TierGSO (bounded by
+// the ring size), 1 everywhere else — sendmmsg and the WriteTo loop
+// transmit each frame as its own datagram unit. This is what Endpoint and
+// sessionEnv report through core.BatchGeometry, so the controlled sender
+// quantizes batch actuation to whole superbuffers at the GSO tier.
+func flushUnitOf(tier Tier, ring int) int {
+	if tier >= TierGSO && ring > 1 {
+		if ring < gsoSegLimit {
+			return ring
+		}
+		return gsoSegLimit
+	}
+	return 1
+}
+
 // TierEnv is the environment knob capping the datapath tier for a whole
 // process, so CI can exercise every rung of the GSO→mmsg→WriteTo chain on a
 // kernel where the best tier works (see the forced-fallback tests).

@@ -115,6 +115,8 @@ type Endpoint struct {
 	// sender can outrun kernel socket buffers by orders of magnitude, and
 	// pacing restores the matched-speed premise for large blasts.
 	PacketGap time.Duration
+
+	pace pacer // amortized sleep state for PacketGap actuation
 }
 
 // heldFrame is one packet the endpoint's adversary is holding back for
@@ -288,6 +290,16 @@ func (e *Endpoint) SetBatchLimit(n int) {
 	e.tx.setLimit(n) // socket errors resurface on the next Send/Recv
 }
 
+// FlushUnit implements core.BatchGeometry: the frames one flush syscall
+// carries as a single wire unit — a superbuffer's segment capacity at the
+// GSO tier, 1 on the frame-at-a-time tiers (see flushUnitOf).
+func (e *Endpoint) FlushUnit() int {
+	if e.tx == nil {
+		return 1
+	}
+	return flushUnitOf(e.tier, len(e.tx.frames))
+}
+
 // ValidateConfig checks that the configured transfer's packets fit the
 // endpoint's datagram size, returning a clear error instead of the silent
 // truncating receive an oversized chunk would otherwise cause.
@@ -387,13 +399,12 @@ func (e *Endpoint) Compute(time.Duration) {}
 func (e *Endpoint) Send(p *wire.Packet) error {
 	err := e.sendMangled(p)
 	if err == nil && e.PacketGap > 0 && p.Type == wire.TypeData {
-		// Pacing means spacing on the wire: a frame still sitting in the
-		// batch ring would otherwise leave in a burst after the sleep,
-		// defeating the gap entirely.
-		if ferr := e.FlushBatch(); ferr != nil {
+		// Pacing means spacing on the wire: the pacer flushes the batch
+		// ring before it sleeps, and amortizes sub-quantum gaps so the
+		// actuation cost tracks the nominal rate (see pace.go).
+		if ferr := e.pace.owe(e.PacketGap, e.FlushBatch); ferr != nil {
 			return ferr
 		}
-		time.Sleep(e.PacketGap)
 	}
 	return err
 }

@@ -174,9 +174,12 @@ type MoveOptions struct {
 	Tr time.Duration
 	// Window splits very large transfers into multiple blasts (§3.1.3).
 	Window int
-	// Adaptive drives blast moves with the AIMD rate/window controller
-	// (core.Config.Adaptive): the same controller state machine the UDP
+	// Controller names the rate-control policy driving blast moves
+	// (core.Config.Controller): the same controller state machines the UDP
 	// substrate runs, in virtual time.
+	Controller string
+	// Adaptive is the deprecated boolean spelling of Controller: it selects
+	// the AIMD policy (core.ControllerAIMD) when Controller is empty.
 	Adaptive bool
 	// Chunk is the data packet size (defaults to params.DataPacketSize).
 	Chunk int
@@ -326,6 +329,7 @@ func (c *Cluster) transferConfig(payload []byte, opt MoveOptions) core.Config {
 		Strategy:       opt.Strategy,
 		RetransTimeout: tr,
 		Window:         opt.Window,
+		Controller:     opt.Controller,
 		Adaptive:       opt.Adaptive,
 		MaxAttempts:    opt.MaxAttempts,
 		Linger:         opt.Linger,

@@ -89,7 +89,8 @@ func DecodeMissing(payload []byte) ([]uint32, error) {
 //	chunk     uint32  data-packet payload size
 //	strategy  uint8   retransmission strategy identifier (core.Strategy)
 //	protocol  uint8   protocol class identifier (core.Protocol)
-//	flags     uint8   bit 0: push (MoveTo), bit 1: adaptive rate control
+//	flags     uint8   bit 0: push (MoveTo), bit 1: rate control on,
+//	                  bit 2: stat, bits 3-7: rate-control policy id
 //	window    uint32  multiblast window in packets (0 = single blast)
 //	trMicros  uint64  retransmission timeout Tr in microseconds
 //	offChunks uint32  stripe offset within the logical stream, in chunks
@@ -109,12 +110,21 @@ const reqLen = 39
 // carried in one byte.
 const MaxReqName = 255
 
-// Req flag bits (byte 14 of the encoding).
+// Req flag bits (byte 14 of the encoding). The upper five bits carry the
+// rate-control policy id, so the policy selector rides the original
+// 39-byte encoding without a new handshake field.
 const (
 	reqFlagPush     = 1 << 0
 	reqFlagAdaptive = 1 << 1
 	reqFlagStat     = 1 << 2
+
+	reqPolicyShift = 3
+	reqPolicyMask  = 0x1F
 )
+
+// MaxReqPolicy is the largest rate-control policy id the flags byte can
+// carry.
+const MaxReqPolicy = reqPolicyMask
 
 // Req describes a requested transfer.
 type Req struct {
@@ -126,10 +136,14 @@ type Req struct {
 	Window   uint32
 	TrMicros uint64
 
-	// Adaptive asks the data's sender to drive the transfer with the AIMD
-	// rate/window controller instead of the fixed REQ parameters (which
-	// then only seed the controller).
-	Adaptive bool
+	// Adaptive carries the rate-control policy byte: zero asks for the
+	// fixed schedule of the REQ parameters, a non-zero id asks the data's
+	// sender to drive the transfer with that registered rate controller
+	// (the REQ parameters then only seed it; ids map to names through the
+	// core registry, 1 = the classic AIMD controller). Encoders from before
+	// the policy byte set only the adaptive flag bit, which decodes as
+	// policy 1 — the old meaning exactly.
+	Adaptive uint8
 
 	// OffsetChunks is this stripe's byte offset within the logical stream,
 	// in units of Chunk (stripe boundaries are chunk-aligned). Zero for an
@@ -190,8 +204,11 @@ func EncodeReq(r Req) []byte {
 	if r.Push {
 		buf[14] |= reqFlagPush
 	}
-	if r.Adaptive {
+	if r.Adaptive != 0 {
+		// The flag bit stays set alongside the policy id so pre-policy
+		// decoders still see "rate control on".
 		buf[14] |= reqFlagAdaptive
+		buf[14] |= (r.Adaptive & reqPolicyMask) << reqPolicyShift
 	}
 	if r.Stat {
 		buf[14] |= reqFlagStat
@@ -235,12 +252,18 @@ func DecodeReq(payload []byte) (Req, error) {
 		Strategy:     payload[12],
 		Protocol:     payload[13],
 		Push:         payload[14]&reqFlagPush != 0,
-		Adaptive:     payload[14]&reqFlagAdaptive != 0,
 		Stat:         payload[14]&reqFlagStat != 0,
 		Window:       binary.BigEndian.Uint32(payload[15:19]),
 		TrMicros:     binary.BigEndian.Uint64(payload[19:27]),
 		OffsetChunks: binary.BigEndian.Uint32(payload[27:31]),
 		Total:        binary.BigEndian.Uint64(payload[31:39]),
+	}
+	if payload[14]&reqFlagAdaptive != 0 {
+		r.Adaptive = (payload[14] >> reqPolicyShift) & reqPolicyMask
+		if r.Adaptive == 0 {
+			// A pre-policy encoder: the lone flag bit meant AIMD.
+			r.Adaptive = 1
+		}
 	}
 	if len(payload) > reqLen {
 		n := int(payload[reqLen])

@@ -342,7 +342,7 @@ func TestReqRoundTrip(t *testing.T) {
 		t.Errorf("REQ packet is %d bytes", HeaderSize+len(EncodeReq(r)))
 	}
 	// Stripe + adaptive fields round-trip independently of push.
-	r = Req{Bytes: 8 << 20, Chunk: 1000, Adaptive: true,
+	r = Req{Bytes: 8 << 20, Chunk: 1000, Adaptive: 1,
 		OffsetChunks: 16384, Total: 64 << 20, Window: 128}
 	got, err = DecodeReq(EncodeReq(r))
 	if err != nil {
@@ -350,6 +350,20 @@ func TestReqRoundTrip(t *testing.T) {
 	}
 	if got != r {
 		t.Errorf("stripe round trip %+v -> %+v", r, got)
+	}
+	// Every policy id the flags byte can carry round-trips, and a
+	// pre-policy encoding (the lone adaptive flag bit) decodes as policy 1,
+	// its original AIMD meaning.
+	for id := uint8(1); id <= MaxReqPolicy; id++ {
+		r.Adaptive = id
+		if got, _ := DecodeReq(EncodeReq(r)); got.Adaptive != id {
+			t.Errorf("policy %d decoded as %d", id, got.Adaptive)
+		}
+	}
+	legacy := EncodeReq(Req{Bytes: 1 << 20, Chunk: 1000})
+	legacy[14] |= 1 << 1 // reqFlagAdaptive, as a pre-policy encoder set it
+	if got, _ := DecodeReq(legacy); got.Adaptive != 1 {
+		t.Errorf("legacy adaptive bit decoded as policy %d, want 1", got.Adaptive)
 	}
 	if got.Offset() != 16384*1000 {
 		t.Errorf("Offset() = %d", got.Offset())
