@@ -15,10 +15,16 @@
 //	blastcp -to 127.0.0.1:7025 -pull 67108864 -resume                # survive a server restart
 //	blastcp -to 127.0.0.1:7025 -pull 268435456 -streams 4 -repair    # per-stripe repair
 //	blastcp -to 127.0.0.1:7025 -pull 65536 -sum 1a2b                 # verify the checksum
+//	blastcp -to A:7025 -copy data.bin -dest B:7025                   # third-party copy A→B
 //
 // A named pull (-get) stats the remote object first — the daemon answers
 // with its size from the file store — then pulls exactly that many bytes by
 // name, striped or not. -o writes the pulled bytes to a local file.
+//
+// A third-party copy (-copy NAME -dest B) asks the -to daemon to push the
+// named object to daemon B itself: the bytes move server-to-server while
+// this client only watches relayed progress — replicating between two fast
+// machines is never throttled by the orchestrator's own link.
 //
 // Failures exit with a distinct code per class — 2 usage, 3 give-up (peer
 // silent), 4 busy (admission refused past the retry budget), 5 refused
@@ -78,13 +84,18 @@ func fail(code int, format string, args ...any) {
 }
 
 // failErr classifies a transfer error into its exit code: BUSY beats
-// bad-config beats give-up (errors wrap, the most specific class wins).
+// bad-config beats give-up (errors wrap, the most specific class wins). A
+// remote copy failure — the serving side tried and reported why — lands in
+// the refused class: the request named something the server could not move.
 func failErr(context string, err error) {
 	code := 1
 	var busy *core.BusyError
+	var rce *core.RemoteCopyError
 	switch {
 	case errors.As(err, &busy):
 		code = exitBusy
+	case errors.As(err, &rce):
+		code = exitRefused
 	case errors.Is(err, core.ErrBadConfig):
 		code = exitRefused
 	case errors.Is(err, core.ErrGiveUp):
@@ -112,6 +123,8 @@ func main() {
 		pushFile  = flag.String("push", "", "file to push (MoveTo)")
 		pullBytes = flag.Int("pull", 0, "bytes to pull (MoveFrom)")
 		getName   = flag.String("get", "", "remote file to pull by name from the daemon's -serve store")
+		copyName  = flag.String("copy", "", "ask the -to daemon to push this named object to -dest (third-party copy)")
+		destAddr  = flag.String("dest", "", "target daemon a -copy pushes to (HOST:PORT)")
 		outFile   = flag.String("o", "", "write pulled bytes to this local file")
 		protoName = flag.String("proto", "blast", "protocol: saw, sw, blast")
 		stratName = flag.String("strategy", "go-back-n", "blast strategy")
@@ -144,13 +157,22 @@ func main() {
 		fail(exitUsage, "unknown strategy %q", *stratName)
 	}
 	modes := 0
-	for _, on := range []bool{*pushFile != "", *pullBytes != 0, *getName != ""} {
+	for _, on := range []bool{*pushFile != "", *pullBytes != 0, *getName != "", *copyName != ""} {
 		if on {
 			modes++
 		}
 	}
 	if modes != 1 {
-		fail(exitUsage, "exactly one of -push, -pull or -get is required")
+		fail(exitUsage, "exactly one of -push, -pull, -get or -copy is required")
+	}
+	if *copyName != "" && *destAddr == "" {
+		fail(exitUsage, "-copy requires -dest")
+	}
+	if *copyName == "" && *destAddr != "" {
+		fail(exitUsage, "-dest applies to -copy only")
+	}
+	if *copyName != "" && (*streams > 1 || *outFile != "" || *resume || *repair) {
+		fail(exitUsage, "-streams, -o, -resume and -repair do not apply to -copy")
 	}
 	if *streams > 1 && *pushFile != "" {
 		fail(exitUsage, "-streams applies to pulls only")
@@ -195,21 +217,56 @@ func main() {
 		ReceiverIdle:   10 * time.Second,
 	}
 
+	if *copyName != "" {
+		// Third-party copy: the -to daemon pushes the named object to -dest
+		// itself; this client only orchestrates and watches the progress it
+		// relays. The bytes never touch this machine.
+		e, err := udplan.Dial(*to)
+		if err != nil {
+			failErr("dial", err)
+		}
+		defer e.Close()
+		start := time.Now()
+		n, err := core.Copy(e, cfg, *copyName, *destAddr, func(b int64) {
+			if b > 0 {
+				log.Printf("blastcp: copy progress: %d bytes moved", b)
+			}
+		})
+		if err != nil {
+			failErr(fmt.Sprintf("copy %q to %s", *copyName, *destAddr), err)
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("copied %d bytes from %s to %s in %v (%.2f MB/s server-to-server)\n",
+			n, *to, *destAddr, elapsed.Round(time.Microsecond),
+			float64(n)/elapsed.Seconds()/1e6)
+		return
+	}
+
 	if *streams > 1 {
 		// Striped pull: the fan-out dials its own endpoints, so the loss
 		// knobs install per-stripe hooks (independent seeds per stripe).
 		cfg.Bytes = *pullBytes
+		var statEp *udplan.Endpoint
 		if *getName != "" {
-			// Stat on a throwaway endpoint; the stripes dial their own.
-			size, err := statRemote(*to, cfg, *getName)
+			// Stat on the pull's own endpoint: the socket (and the daemon
+			// session it opened) is handed to stripe 0 below instead of being
+			// thrown away after one round trip.
+			ep, err := udplan.Dial(*to)
 			if err != nil {
+				failErr("dial", err)
+			}
+			size, err := core.Stat(ep, cfg, *getName)
+			if err != nil {
+				ep.Close()
 				failErr(fmt.Sprintf("stat %q", *getName), err)
 			}
 			log.Printf("blastcp: remote %q is %d bytes", *getName, size)
 			cfg.Name, cfg.Bytes = *getName, int(size)
+			statEp = ep
 		}
 		var out *os.File
 		opts := udplan.StripeOptions{
+			Endpoint:  statEp,
 			Streams:   *streams,
 			Batch:     *batch,
 			Tier:      tier,
@@ -381,15 +438,4 @@ func main() {
 	if *wantSum != "" && res.Checksum != expectSum {
 		fail(exitChecksum, "pulled checksum %04x, expected %04x", res.Checksum, expectSum)
 	}
-}
-
-// statRemote asks the daemon for a named object's size on a throwaway
-// endpoint (striped pulls dial their own endpoints per stripe).
-func statRemote(addr string, cfg core.Config, name string) (int64, error) {
-	e, err := udplan.Dial(addr)
-	if err != nil {
-		return 0, err
-	}
-	defer e.Close()
-	return core.Stat(e, cfg, name)
 }

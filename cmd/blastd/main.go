@@ -20,7 +20,11 @@
 // under the given directory through the disk-backed store: a sharded
 // hot-object cache with single-flight fills and pipelined read-ahead
 // (-cache-mb, -readahead), so N clients pulling the same file cost one pass
-// over the disk. Anonymous pulls still hit the seeded generator.
+// over the disk. Anonymous pulls still hit the seeded generator. A -serve
+// daemon also answers third-party copy asks (blastcp -copy NAME -dest B):
+// it pushes the named file to the target daemon itself, relaying progress
+// to the orchestrator, so replicating between two servers never routes the
+// bytes through the client.
 //
 // Striped pulls (blastcp -streams N) arrive as N concurrent sessions each
 // requesting a byte range of one logical stream; the daemon resolves each
@@ -39,6 +43,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
@@ -174,7 +179,69 @@ func main() {
 			return st.SourceReq(r, env)
 		}
 		srv.Stat = st.StatReq
+
+		// Third-party copy (blastcp -copy NAME -dest B): asked by an
+		// orchestrator, this daemon pushes the named object to the target
+		// daemon itself — the ordinary push engine on a fresh socket — while
+		// the control session relays quantised progress back. The orchestrator
+		// never carries the bytes.
+		srv.Copy = func(r wire.Req, env core.Env, progress func(int64)) (int64, error) {
+			size, ok := st.StatReq(r)
+			if !ok {
+				return 0, fmt.Errorf("no such object %q", r.Name)
+			}
+			if size > int64(*maxBytes) {
+				return 0, fmt.Errorf("%d-byte object exceeds the %d-byte limit", size, *maxBytes)
+			}
+			chunk := 1000
+			src, err := st.Source(r.Name, chunk, 0, nil)
+			if err != nil {
+				return 0, err
+			}
+			e, err := udplan.Dial(r.Target)
+			if err != nil {
+				return 0, fmt.Errorf("dial %s: %v", r.Target, err)
+			}
+			defer e.Close()
+			if *sockbuf > 0 {
+				e.SetSocketBuffers(*sockbuf)
+			}
+			e.SetBatch(*batch)
+			// The push engine re-reads chunks on retransmit; progress tracks
+			// the high-water mark of first transmissions only.
+			var sent int64
+			cfg := core.Config{
+				TransferID: 1,
+				Bytes:      int(size),
+				ChunkSize:  chunk,
+				Protocol:   core.Blast,
+				Strategy:   core.GoBackN,
+				Window:     64,
+				Source: func(seq int, dst []byte) []byte {
+					b := src(seq, dst)
+					if hi := int64(seq)*int64(chunk) + int64(len(b)); hi > sent {
+						sent = hi
+						progress(sent)
+					}
+					return b
+				},
+				RetransTimeout: 200 * time.Millisecond,
+				MaxAttempts:    100,
+				Linger:         500 * time.Millisecond,
+			}
+			log.Printf("blastd: copying %q (%d bytes) to %s", r.Name, size, r.Target)
+			if _, err := udplan.Push(e, cfg); err != nil {
+				return 0, fmt.Errorf("push to %s: %v", r.Target, err)
+			}
+			return size, nil
+		}
 		log.Printf("blastd: serving files from %s (cache %d MiB, read-ahead %d)", *serveDir, *cacheMB, *readAhead)
+	} else {
+		// Without a store there is nothing a copy could name; answer the ask
+		// with a clear refusal instead of letting the orchestrator time out.
+		srv.Copy = func(r wire.Req, env core.Env, progress func(int64)) (int64, error) {
+			return 0, fmt.Errorf("this daemon serves no named objects (start it with -serve)")
+		}
 	}
 
 	// Pushes stream straight to disk (or into the incremental checksum):

@@ -418,6 +418,57 @@ func runBusyBackoff(bytes, clients int) (time.Duration, error) {
 	return elapsed, nil
 }
 
+// runFanoutBench measures one-to-many distribution: a single source daemon
+// serving the seeded object, fanned out to 8 receivers either through the
+// depth-2 stripe-relay tree (relays=4: the source transmits each stripe
+// once, cut-through relay boards serve the children while still receiving)
+// or as 8 independent whole-object pulls (relays=0: the source pays 8×).
+// Returns the fan-out's makespan; aggregate MB/s is 8×object over it.
+func runFanoutBench(objBytes, relays, lineRate int) (time.Duration, error) {
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	setSocketBufs(conn)
+	srv := udplan.NewServer(conn)
+	srv.Concurrency = 16
+	srv.Batch = 32
+	srv.LineRate = lineRate
+	srv.Source = func(r wire.Req) (core.ChunkSource, bool) {
+		stream := int(r.StreamBytes())
+		src := core.SeededSource(int64(stream), stream, int(r.Chunk))
+		return core.OffsetSource(src, int(r.OffsetChunks)), true
+	}
+	go srv.Run()
+
+	res, err := udplan.RunFanout(conn.LocalAddr().String(), udplan.FanoutOptions{
+		N:         8,
+		Relays:    relays,
+		Bytes:     objBytes,
+		Chunk:     1000,
+		Window:    128,
+		Tr:        250 * time.Millisecond,
+		Batch:     32,
+		SocketBuf: udpSocketBuf,
+		LineRate:  lineRate,
+	})
+	if err != nil {
+		return res.Elapsed, err
+	}
+	if res.Completed != 8 {
+		for _, r := range res.Receivers {
+			for _, so := range r.Stripes {
+				if so.Err != nil {
+					return res.Elapsed, fmt.Errorf("fanout receiver %d stripe %d: %w", r.Receiver, so.Stripe.Index, so.Err)
+				}
+			}
+		}
+		return res.Elapsed, fmt.Errorf("fanout completed %d of 8 receivers", res.Completed)
+	}
+	return res.Elapsed, nil
+}
+
 // stripedCase is one streams×policy×network loopback measurement.
 type stripedCase struct {
 	name       string
@@ -594,6 +645,50 @@ func runUDPBench(path string, quick bool, streams int, controller string, tierNa
 				return el, "", err
 			}); err != nil {
 			return err
+		}
+
+		// The one-to-many fan-out cases (PR 10): 8 receivers of one object,
+		// as the depth-2 stripe-relay tree (4 relays, cut-through boards —
+		// the source transmits the object ~once and its socket carries 1
+		// stream's load, each relay's 2) vs 8 independent pulls (the source
+		// socket serialises all 8 streams). MB/s is aggregate delivered
+		// payload (8 × object) over the fan-out makespan; the floor gates the
+		// tree, and the PR's acceptance ratio (tree ≥ 3× independent) reads
+		// straight off the two rows.
+		// The headline pair models every socket as a 62.5 MB/s (500 Mb/s)
+		// serializing link (Server.LineRate): loopback has no NIC, so
+		// without the modeled line a topology comparison on a small host
+		// degenerates into a CPU benchmark in which the tree's extra hop
+		// can only lose. With it, the economics under test are real ones —
+		// whose socket carries how many copies — and the line (well under
+		// loopback's CPU ceiling) is the binding constraint. The unpaced
+		// pair is kept for transparency: it reports the raw-CPU regime,
+		// where on a single-core host the tree's 2× per-byte work ties or
+		// loses. The tree's floor gates udp_fanout_8; the PR's acceptance
+		// ratio (tree >= 3x independent) reads straight off the first two
+		// rows.
+		fanBytes, fanLine := 8<<20, 62_500_000
+		if quick {
+			fanBytes = 4 << 20
+		}
+		for _, fc := range []struct {
+			name   string
+			relays int
+			line   int
+		}{
+			{"udp_fanout_8", 4, fanLine},
+			{"udp_fanout_8_independent", 0, fanLine},
+			{"udp_fanout_8_unpaced", 4, 0},
+			{"udp_fanout_8_unpaced_independent", 0, 0},
+		} {
+			fc := fc
+			if err := measurePull(&snap, fc.name, 8*fanBytes, 3,
+				func() (time.Duration, string, error) {
+					el, err := runFanoutBench(fanBytes, fc.relays, fc.line)
+					return el, "", err
+				}); err != nil {
+				return err
+			}
 		}
 	}
 

@@ -34,7 +34,7 @@ func TestRegistryComplete(t *testing.T) {
 		"figure5", "figure6", "util", "ablation-dma", "ablation-burst",
 		"ablation-adversary", "multiblast", "udp-loopback", "ext-load",
 		"ext-load-clients", "ext-pagesize", "ext-chunk", "ext-adaptive",
-		"contention"}
+		"contention", "fanout"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))

@@ -1,0 +1,123 @@
+package session
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"blastlan/internal/wire"
+)
+
+func TestPlanFanout(t *testing.T) {
+	tr := PlanFanout(8, 3)
+	want := []int{-1, -1, -1, 0, 0, 0, 1, 1}
+	for i, p := range tr.Parent {
+		if p != want[i] {
+			t.Errorf("Parent[%d] = %d, want %d", i, p, want[i])
+		}
+	}
+	if d := tr.Depth(); d != 2 {
+		t.Errorf("Depth() = %d, want 2", d)
+	}
+	if got := tr.Internal(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Internal() = %v, want [0 1]", got)
+	}
+	if kids := tr.Children(0); len(kids) != 3 || kids[0] != 3 || kids[2] != 5 {
+		t.Errorf("Children(0) = %v", kids)
+	}
+	if kids := tr.Children(7); kids != nil {
+		t.Errorf("Children(7) = %v, want none", kids)
+	}
+	// A flat plan: everyone pulls from the source.
+	flat := PlanFanout(4, 0)
+	for i, p := range flat.Parent {
+		if p != -1 {
+			t.Errorf("flat Parent[%d] = %d", i, p)
+		}
+	}
+	if flat.Depth() != 1 || flat.Internal() != nil {
+		t.Errorf("flat plan depth %d internal %v", flat.Depth(), flat.Internal())
+	}
+	// Wider trees stay consistent: every parent index precedes its child.
+	wide := PlanFanout(64, 4)
+	for i, p := range wide.Parent {
+		if p >= i {
+			t.Errorf("Parent[%d] = %d is not upstream", i, p)
+		}
+	}
+}
+
+func TestBoardCutThrough(t *testing.T) {
+	const chunk, n = 100, 10
+	payload := make([]byte, chunk*n)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	b := NewBoard(len(payload), chunk, false)
+	src, ok := b.SourceReq(wire.Req{Bytes: uint64(len(payload)), Chunk: chunk}, nil)
+	if !ok {
+		t.Fatal("full-object request refused")
+	}
+	// A reader asking for chunk 5 blocks until the upstream delivers it —
+	// and only it; the tail can still be in flight.
+	served := make(chan []byte)
+	go func() {
+		dst := make([]byte, chunk)
+		served <- append([]byte(nil), src(5, dst)...)
+	}()
+	select {
+	case <-served:
+		t.Fatal("read completed before the chunk landed")
+	default:
+	}
+	for i := 0; i <= 5; i++ {
+		b.Put(i*chunk, payload[i*chunk:(i+1)*chunk])
+	}
+	if got := <-served; !bytes.Equal(got, payload[5*chunk:6*chunk]) {
+		t.Error("served chunk differs from the delivered one")
+	}
+	if b.Complete() || b.Bytes() != nil {
+		t.Error("board complete with chunks still upstream")
+	}
+	for i := 6; i < n; i++ {
+		b.Put(i*chunk, payload[i*chunk:(i+1)*chunk])
+	}
+	if !b.Complete() || !bytes.Equal(b.Bytes(), payload) {
+		t.Error("assembled object differs from the upstream payload")
+	}
+	// An offset REQ (a resuming child) reads from its frontier: seq 0 of a
+	// request offset 3 chunks in is the board's chunk 3.
+	rsrc, ok := b.SourceReq(wire.Req{
+		Bytes: uint64(len(payload) - 3*chunk), Chunk: chunk,
+		OffsetChunks: 3, Total: uint64(len(payload)),
+	}, nil)
+	if !ok {
+		t.Fatal("offset request refused")
+	}
+	if got := rsrc(0, make([]byte, chunk)); !bytes.Equal(got, payload[3*chunk:4*chunk]) {
+		t.Error("offset read served the wrong range")
+	}
+	// Ranges outside the board are refused, not served.
+	if _, ok := b.SourceReq(wire.Req{Bytes: uint64(len(payload)) + 1, Chunk: chunk}, nil); ok {
+		t.Error("oversized request accepted")
+	}
+	if _, ok := b.SourceReq(wire.Req{Bytes: chunk, Chunk: chunk, OffsetChunks: n, Total: uint64(len(payload))}, nil); ok {
+		t.Error("out-of-range offset accepted")
+	}
+}
+
+func TestBoardFailUnblocks(t *testing.T) {
+	b := NewBoard(1000, 100, false)
+	src, _ := b.SourceReq(wire.Req{Bytes: 1000, Chunk: 100}, nil)
+	served := make(chan int)
+	go func() {
+		served <- len(src(9, make([]byte, 100)))
+	}()
+	b.Fail(errors.New("upstream gave up"))
+	if n := <-served; n != 100 {
+		t.Errorf("poisoned read served %d bytes, want the zero-filled 100", n)
+	}
+	if b.Err() == nil {
+		t.Error("Err() lost the poisoning error")
+	}
+}

@@ -69,6 +69,16 @@ type Server struct {
 	// re-reply.
 	Stat func(wire.Req) (int64, bool)
 
+	// Copy, when non-nil, serves third-party copy requests (wire.Req.Copy):
+	// asked to move the object named by req.Name to the server at
+	// req.Target, it performs the push on the serving substrate — dialing
+	// the target itself — and returns the bytes moved. progress must be
+	// called with the running byte count as the push advances; the session
+	// relays quantised progress acks to the orchestrator (see
+	// core.ServeCopy), whose patience window they keep open. An error
+	// return is relayed verbatim as the copy's failure text.
+	Copy func(req wire.Req, env core.Env, progress func(int64)) (int64, error)
+
 	// Sink, when non-nil, accepts push requests (MoveTo) and receives the
 	// completed, fully assembled transfer.
 	Sink func(wire.Req, []byte)
@@ -402,6 +412,7 @@ func (s *Server) runSession(env core.Env, peer transport.Peer) {
 func (s *Server) ServeEnv(env core.Env, idle time.Duration, validate func(core.Config) error, peerOf func() transport.Peer) error {
 	var (
 		isPush   bool
+		isCopy   bool
 		req      wire.Req
 		pushDone func(core.RecvResult)
 	)
@@ -409,6 +420,22 @@ func (s *Server) ServeEnv(env core.Env, idle time.Duration, validate func(core.C
 		validate = s.Validate
 	}
 	cfg, err := core.ServeOnceID(env, idle, func(r wire.Req, trans uint32) (core.Config, bool) {
+		if r.Copy {
+			// A copy ask opens a control session, not a transfer: the
+			// session relays progress while the Copy hook moves the bytes
+			// to the third party. Servers without the hook drop the REQ
+			// (the orchestrator's retry gives up on its own schedule).
+			if s.Copy == nil {
+				s.logfPeer(peerOf(), "session: copy %q to %q from %v: no copy handler", r.Name, r.Target, peerOf())
+				return core.Config{}, false
+			}
+			req, isCopy = r, true
+			c := core.Config{}
+			if r.TrMicros > 0 {
+				c.RetransTimeout = time.Duration(r.TrMicros) * time.Microsecond
+			}
+			return c, true
+		}
 		if r.Stat {
 			// A stat is a control exchange, not a transfer: answer it from
 			// the accept hook and keep the session waiting for the pull
@@ -490,6 +517,25 @@ func (s *Server) ServeEnv(env core.Env, idle time.Duration, validate func(core.C
 	s.busy.Add(1)
 	defer s.busy.Add(-1)
 	stats := TransferStats{Peer: peerOf(), Req: req, TransferID: cfg.TransferID, Push: isPush}
+	if isCopy {
+		t0 := env.Now()
+		bytes, cerr := core.ServeCopy(env, cfg, func(progress func(int64)) (int64, error) {
+			return s.Copy(req, env, progress)
+		})
+		if cerr != nil {
+			// The failure already went to the orchestrator as the copy's
+			// NAK text; surface it here for the server's own log too.
+			return fmt.Errorf("session: serving copy %q to %q: %w", req.Name, req.Target, cerr)
+		}
+		stats.Bytes, stats.Elapsed = int(bytes), env.Now()-t0
+		s.mu.Lock()
+		s.served++
+		s.mu.Unlock()
+		if s.Done != nil {
+			s.Done(stats)
+		}
+		return nil
+	}
 	if isPush {
 		// The sink's completion callback must run exactly once on every
 		// exit path — success, protocol error, a hangup-induced abort or a

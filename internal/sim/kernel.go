@@ -167,7 +167,11 @@ func (k *Kernel) dispatch(ev *event) {
 	case evDeliver:
 		job := ev.job
 		n := job.from.net
-		n.deliver(job.from, job.to, job.pkt)
+		if job.to == nil {
+			n.deliverBroadcast(job.from, job.pkt)
+		} else {
+			n.deliver(job.from, job.to, job.pkt)
+		}
 		n.putJob(job)
 	}
 }

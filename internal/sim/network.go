@@ -278,6 +278,25 @@ func (s *Station) beginSend(p *Proc, to *Station, pkt *wire.Packet) *txJob {
 	if to == nil || to == s {
 		panic(fmt.Sprintf("sim: station %s: invalid send destination", s.Name))
 	}
+	return s.beginSendJob(p, to, pkt)
+}
+
+// SendBroadcast transmits one frame heard by every other attached station
+// — the shared medium's native one-to-many (an ether.Broadcast frame on a
+// real LAN, §2 of the paper's setting). The wire is occupied exactly once
+// regardless of the receiver count; each receiver then runs the frame
+// through its own delivery path (drop filter, adversary, loss draws), so
+// a broadcast is unreliable per receiver just as on a real cable. Blocks
+// until the transmission completes, like Send.
+func (s *Station) SendBroadcast(p *Proc, pkt *wire.Packet) {
+	job := s.beginSendJob(p, nil, pkt)
+	for !job.done {
+		p.Wait(&job.sig, -1)
+	}
+}
+
+// beginSendJob is the shared transmit path; to == nil means broadcast.
+func (s *Station) beginSendJob(p *Proc, to *Station, pkt *wire.Packet) *txJob {
 	k := s.net.K
 	// Acquire a transmit buffer (inline wait loop: no closure per send).
 	for s.txFree <= 0 {
@@ -410,6 +429,24 @@ func (n *Network) advFor(from, to *Station) *netAdversary {
 		return to.adv
 	}
 	return n.adv
+}
+
+// deliverBroadcast fans one transmitted frame out to every attached
+// station except the transmitter. Each receiver gets its own delivery —
+// its own drop-filter, adversary and loss draws, and its own payload copy
+// when the frame carries real bytes — so per-receiver outcomes are
+// independent, exactly as for stations tapping a shared cable.
+func (n *Network) deliverBroadcast(from *Station, pkt *wire.Packet) {
+	for _, to := range n.stations {
+		if to == from {
+			continue
+		}
+		p := pkt
+		if len(pkt.Payload) > 0 {
+			p = pkt.Clone()
+		}
+		n.deliver(from, to, p)
+	}
 }
 
 // deliver applies the drop filter and the adversary, then the loss model.

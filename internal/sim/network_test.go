@@ -454,3 +454,53 @@ func TestFullDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// One broadcast transmission is heard by every other station: the wire is
+// occupied once, each receiver gets its own copy, and the sender hears
+// nothing (it transmitted the frame).
+func TestBroadcastDelivery(t *testing.T) {
+	cost := params.Standalone3Com()
+	k := NewKernel()
+	n, err := NewNetwork(k, cost, params.NoLoss(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := n.AddStation("src")
+	var dsts []*Station
+	for i := 0; i < 4; i++ {
+		dsts = append(dsts, n.AddStation("dst"))
+	}
+	payload := []byte("heard by all")
+	k.Go("sender", func(p *Proc) {
+		src.SendBroadcast(p, &wire.Packet{Type: wire.TypeData, Payload: payload, VirtualSize: params.DataPacketSize})
+	})
+	for _, d := range dsts {
+		d := d
+		k.Go("receiver", func(p *Proc) {
+			pkt, err := d.Recv(p, -1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if string(pkt.Payload) != string(payload) {
+				t.Errorf("%s received %q", d.Name, pkt.Payload)
+			}
+			// Payload-carrying broadcast frames must not share buffers.
+			pkt.Payload[0] = 'X'
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if src.Counters.TxPackets != 1 {
+		t.Errorf("broadcast cost %d transmissions, want 1", src.Counters.TxPackets)
+	}
+	for _, d := range dsts {
+		if d.Counters.RxPackets != 1 {
+			t.Errorf("%s received %d packets, want 1", d.Name, d.Counters.RxPackets)
+		}
+	}
+	if src.Counters.RxPackets != 0 || len(src.rxq) != 0 {
+		t.Error("sender heard its own broadcast")
+	}
+}

@@ -1,0 +1,189 @@
+package udplan
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"blastlan/internal/core"
+	"blastlan/internal/store"
+	"blastlan/internal/wire"
+)
+
+// copyServerA starts a daemon serving real files from dir that answers
+// third-party copy asks by pushing the named object to the target itself —
+// the same hook blastd installs.
+func copyServerA(t *testing.T, dir string) string {
+	t.Helper()
+	srv, addr := newLoopbackServer(t)
+	srv.Concurrency = 4
+	st := store.Open(dir, store.Options{})
+	t.Cleanup(st.Close)
+	srv.SourceEnv = st.SourceReq
+	srv.Stat = st.StatReq
+	srv.Copy = func(r wire.Req, env core.Env, progress func(int64)) (int64, error) {
+		size, ok := st.StatReq(r)
+		if !ok {
+			return 0, fmt.Errorf("no such object %q", r.Name)
+		}
+		const chunk = 1000
+		src, err := st.Source(r.Name, chunk, 0, nil)
+		if err != nil {
+			return 0, err
+		}
+		e, err := Dial(r.Target)
+		if err != nil {
+			return 0, fmt.Errorf("dial %s: %v", r.Target, err)
+		}
+		defer e.Close()
+		var sent int64
+		cfg := core.Config{
+			TransferID: 1,
+			Bytes:      int(size),
+			ChunkSize:  chunk,
+			Protocol:   core.Blast,
+			Strategy:   core.GoBackN,
+			Window:     64,
+			Source: func(seq int, dst []byte) []byte {
+				b := src(seq, dst)
+				if hi := int64(seq)*chunk + int64(len(b)); hi > sent {
+					sent = hi
+					progress(sent)
+				}
+				return b
+			},
+			RetransTimeout: 100 * time.Millisecond,
+			MaxAttempts:    50,
+			Linger:         200 * time.Millisecond,
+		}
+		if _, err := Push(e, cfg); err != nil {
+			return 0, fmt.Errorf("push to %s: %v", r.Target, err)
+		}
+		return size, nil
+	}
+	go srv.Run()
+	return addr
+}
+
+// TestThirdPartyCopy drives the full TPC triangle over UDP loopback: the
+// orchestrator asks daemon A to push a stored file to daemon B, watches the
+// relayed progress, and the bytes land on B byte-identical — without ever
+// passing through the orchestrator's socket.
+func TestThirdPartyCopy(t *testing.T) {
+	srcDir, dstDir := t.TempDir(), t.TempDir()
+	payload := make([]byte, 3<<20)
+	rand.New(rand.NewSource(11)).Read(payload)
+	if err := os.WriteFile(filepath.Join(srcDir, "data.bin"), payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	addrA := copyServerA(t, srcDir)
+
+	// Daemon B: an ordinary push receiver streaming to files.
+	srvB, addrB := newLoopbackServer(t)
+	srvB.Concurrency = 4
+	var landed struct {
+		sync.Mutex
+		path string
+		res  core.RecvResult
+	}
+	fsink := &store.FileSink{Dir: dstDir, MaxBytes: 1 << 30, OnDone: func(path string, res core.RecvResult, kept bool) {
+		landed.Lock()
+		defer landed.Unlock()
+		if kept {
+			landed.path, landed.res = path, res
+		}
+	}}
+	srvB.SinkStream = fsink.SinkStream
+	go srvB.Run()
+
+	e, err := Dial(addrA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	cfg := core.Config{
+		TransferID:     42,
+		RetransTimeout: 100 * time.Millisecond,
+		MaxAttempts:    20,
+		ReceiverIdle:   10 * time.Second,
+	}
+	var progress []int64
+	n, err := core.Copy(e, cfg, "data.bin", addrB, func(b int64) {
+		progress = append(progress, b)
+	})
+	if err != nil {
+		t.Fatalf("copy: %v", err)
+	}
+	if n != int64(len(payload)) {
+		t.Fatalf("copy reported %d bytes, want %d", n, len(payload))
+	}
+	// Progress was relayed and monotone: the accepting 0 plus at least one
+	// quantum for a 3 MiB object.
+	if len(progress) < 2 {
+		t.Fatalf("saw %d progress reports, want the accept plus quanta: %v", len(progress), progress)
+	}
+	for i := 1; i < len(progress); i++ {
+		if progress[i] < progress[i-1] {
+			t.Fatalf("progress went backwards: %v", progress)
+		}
+	}
+
+	// B's completion callback fires once its session winds down (it lingers
+	// re-acking stragglers after the last chunk); poll briefly.
+	var path string
+	var res core.RecvResult
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		landed.Lock()
+		path, res = landed.path, landed.res
+		landed.Unlock()
+		if path != "" || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if path == "" {
+		t.Fatal("no completed push landed on daemon B")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("B received %d bytes differing from the source object", len(got))
+	}
+	if res.Checksum != core.TransferChecksum(payload) {
+		t.Errorf("B's checksum %04x, want %04x", res.Checksum, core.TransferChecksum(payload))
+	}
+}
+
+// TestThirdPartyCopyMissingObject pins the failure relay: asking A to copy
+// a name it cannot resolve surfaces as a RemoteCopyError carrying A's
+// explanation, not a timeout.
+func TestThirdPartyCopyMissingObject(t *testing.T) {
+	addrA := copyServerA(t, t.TempDir())
+	e, err := Dial(addrA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	cfg := core.Config{
+		TransferID:     43,
+		RetransTimeout: 50 * time.Millisecond,
+		MaxAttempts:    10,
+	}
+	_, err = core.Copy(e, cfg, "no-such.bin", "127.0.0.1:1", nil)
+	var rce *core.RemoteCopyError
+	if !errors.As(err, &rce) {
+		t.Fatalf("err = %v, want a RemoteCopyError", err)
+	}
+	if rce.Msg == "" {
+		t.Error("failure NAK carried no explanation")
+	}
+}

@@ -1,0 +1,374 @@
+package udplan
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"blastlan/internal/core"
+	"blastlan/internal/params"
+	"blastlan/internal/session"
+	"blastlan/internal/wire"
+)
+
+// One-to-many replication over real UDP loopback/LAN: the same depth-2
+// stripe-relay fan-out simrun.FanoutScenario models, run with sockets. The
+// source (an ordinary daemon at a caller-supplied address) blasts each
+// stripe of the object once — to the in-process relay that owns it — and
+// every receiver assembles the object by pulling each stripe from its
+// relay. Relays are cut-through: a session.Board lets a relay serve a
+// chunk the moment its uplink delivers it, so the head of the object fans
+// out while the tail is still leaving the source. With Relays == 0 the
+// runner degrades to the baseline the tree is judged against: N
+// independent whole-object pulls straight from the source.
+
+// FanoutOptions configures a RunFanout.
+type FanoutOptions struct {
+	// N is the number of receivers (default 8).
+	N int
+	// Relays is the number of stripe relays; 0 runs the independent-pulls
+	// baseline.
+	Relays int
+	// Bytes is the object size (default 256 KiB); Chunk the data packet
+	// size (default params.DataPacketSize); Window the blast split
+	// (default 16).
+	Bytes  int
+	Chunk  int
+	Window int
+	// Tr is every hop's retransmission timeout (default 250 ms).
+	Tr time.Duration
+	// Controller names the rate-control policy each pull requests.
+	Controller string
+	// Batch is the per-socket syscall batch size (<= 1: single-syscall).
+	Batch int
+	// SocketBuf sizes every socket's kernel buffers (default 4 MiB).
+	SocketBuf int
+	// LineRate, when positive, models each relay's socket as a serializing
+	// link of this many egress bytes/s (Server.LineRate). Set the same rate
+	// on the source daemon and the comparison measures topology — which
+	// socket carries how many copies — instead of loopback CPU.
+	LineRate int
+	// MaxResumes, MaxBusyWaits and Backoff tune every pull's recovery
+	// budget (zero: core.ResumeOptions defaults).
+	MaxResumes   int
+	MaxBusyWaits int
+	Backoff      time.Duration
+	// Seed drives backoff jitter.
+	Seed int64
+	// KeepData retains each receiver's assembled payload (conformance);
+	// otherwise receivers verify by checksum alone.
+	KeepData bool
+	// Done, when non-nil, observes every relay-served transfer's
+	// sender-side stats. Install the same hook on the source daemon and
+	// one map joins both (transfer IDs are disjoint by construction — see
+	// session.FanoutReceiverID).
+	Done func(session.TransferStats)
+}
+
+func (o FanoutOptions) withDefaults() FanoutOptions {
+	if o.N <= 0 {
+		o.N = 8
+	}
+	if o.Bytes <= 0 {
+		o.Bytes = 256 << 10
+	}
+	if o.Chunk <= 0 {
+		o.Chunk = params.DataPacketSize
+	}
+	if o.Window == 0 {
+		o.Window = 16
+	}
+	if o.Tr == 0 {
+		o.Tr = 250 * time.Millisecond
+	}
+	if o.SocketBuf <= 0 {
+		o.SocketBuf = 4 << 20
+	}
+	return o
+}
+
+// FanoutStripeOutcome is one stripe session's result.
+type FanoutStripeOutcome struct {
+	Stripe core.Stripe
+	ID     uint32
+	Recv   core.RecvResult
+	Resume core.ResumeStats
+	Err    error
+}
+
+// FanoutReceiverOutcome is one receiver's end-to-end result.
+type FanoutReceiverOutcome struct {
+	Receiver  int
+	Stripes   []FanoutStripeOutcome
+	Completed bool
+	// Checksum is the whole-object Internet checksum folded from the
+	// stripes; Data is the assembled payload when KeepData is set.
+	Checksum uint16
+	Data     []byte
+	Elapsed  time.Duration
+}
+
+// FanoutRelayOutcome is one relay's uplink result.
+type FanoutRelayOutcome struct {
+	Relay  int
+	Stripe core.Stripe
+	ID     uint32
+	Recv   core.RecvResult
+	Resume core.ResumeStats
+	Err    error
+}
+
+// FanoutRunResult reports one UDP fan-out run.
+type FanoutRunResult struct {
+	Receivers []FanoutReceiverOutcome
+	Relays    []FanoutRelayOutcome
+	// Elapsed is wall time from fan-out start (relay uplinks and receivers
+	// launch together) to the last receiver finishing.
+	Elapsed time.Duration
+	// Completed counts receivers that assembled an intact object.
+	Completed int
+}
+
+// AggMBps is aggregate delivered payload (intact receivers) over Elapsed.
+func (r FanoutRunResult) AggMBps(bytes int) float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Completed) * float64(bytes) / r.Elapsed.Seconds() / 1e6
+}
+
+// fanoutDial opens and configures one client endpoint.
+func fanoutDial(addr string, o FanoutOptions) (*Endpoint, error) {
+	e, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	e.SetSocketBuffers(o.SocketBuf)
+	if o.Batch > 1 {
+		e.SetBatch(o.Batch)
+	}
+	return e, nil
+}
+
+// RunFanout distributes the seeded object served by the daemon at addr to
+// opts.N receivers and reports every hop's outcome. The daemon must
+// resolve stripe-range REQs against the logical stream (blastd and the
+// shared session.Server Source hook do). Setup failures — a socket that
+// cannot bind — return an error; per-hop transfer failures are reported in
+// the outcomes, with each relay's board poisoned on uplink failure so its
+// children finish (corrupt, resumable) instead of deadlocking.
+func RunFanout(addr string, opts FanoutOptions) (FanoutRunResult, error) {
+	o := opts.withDefaults()
+	treed := o.Relays > 0
+	var parts []core.Stripe
+	if treed {
+		parts = core.PlanStripes(o.Bytes, o.Chunk, o.Relays)
+	} else {
+		parts = []core.Stripe{{Index: 0, Offset: 0, Bytes: o.Bytes}}
+	}
+	if len(parts) > session.FanoutStripeStride {
+		return FanoutRunResult{}, fmt.Errorf("udplan: fanout: %d stripes exceed the ID stride %d",
+			len(parts), session.FanoutStripeStride)
+	}
+
+	// Relay plumbing: one board-backed server per stripe on its own
+	// loopback socket.
+	boards := make([]*session.Board, len(parts))
+	relayAddrs := make([]string, len(parts))
+	relaySrvs := make([]*Server, len(parts))
+	relayRunErrs := make([]chan error, len(parts))
+	if treed {
+		for ki, st := range parts {
+			conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+			if err != nil {
+				for _, s := range relaySrvs[:ki] {
+					s.Close()
+				}
+				return FanoutRunResult{}, fmt.Errorf("udplan: fanout relay %d: %w", ki, err)
+			}
+			SetConnBuffers(conn, o.SocketBuf)
+			boards[ki] = session.NewBoardAt(st.Offset, st.Bytes, o.Chunk, false)
+			srv := NewServer(conn)
+			srv.Batch = o.Batch
+			srv.Concurrency = o.N + 2
+			srv.LineRate = o.LineRate
+			srv.SourceEnv = boards[ki].SourceReq
+			srv.Done = o.Done
+			relaySrvs[ki] = srv
+			relayAddrs[ki] = conn.LocalAddr().String()
+			relayRunErrs[ki] = make(chan error, 1)
+			ch := relayRunErrs[ki]
+			go func() { ch <- srv.Run() }()
+		}
+	}
+
+	res := FanoutRunResult{
+		Receivers: make([]FanoutReceiverOutcome, o.N),
+		Relays:    make([]FanoutRelayOutcome, 0, len(parts)),
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+
+	// Relay uplinks: each pulls its stripe from the source into its board.
+	if treed {
+		res.Relays = make([]FanoutRelayOutcome, len(parts))
+		for ki, st := range parts {
+			ki, st := ki, st
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rr := &res.Relays[ki]
+				rr.Relay, rr.Stripe, rr.ID = ki, st, session.FanoutRelayID(ki)
+				ep, err := fanoutDial(addr, o)
+				if err != nil {
+					rr.Err = err
+					boards[ki].Fail(err)
+					return
+				}
+				defer ep.Close()
+				cfg := core.Config{
+					TransferID:     rr.ID,
+					Bytes:          st.Bytes,
+					ChunkSize:      o.Chunk,
+					Protocol:       core.Blast,
+					Strategy:       core.GoBackN,
+					Window:         o.Window,
+					Controller:     o.Controller,
+					RetransTimeout: o.Tr,
+					StripeOffset:   st.Offset,
+					StripeTotal:    o.Bytes,
+					Sink:           boards[ki].Sink(),
+				}
+				rr.Recv, rr.Resume, rr.Err = core.PullResume(ep, cfg, core.ResumeOptions{
+					MaxResumes:   o.MaxResumes,
+					MaxBusyWaits: o.MaxBusyWaits,
+					Backoff:      o.Backoff,
+					Seed:         o.Seed + 7000 + int64(ki),
+					Redial: func() (core.Env, error) {
+						ep.Close()
+						ne, err := fanoutDial(addr, o)
+						if err != nil {
+							return nil, err
+						}
+						ep = ne
+						return ne, nil
+					},
+				})
+				if rr.Err != nil {
+					boards[ki].Fail(rr.Err)
+				}
+			}()
+		}
+	}
+
+	// Receivers: each pulls every stripe from the relay that owns it (or
+	// the whole object from the source, in the baseline).
+	for i := 0; i < o.N; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := &res.Receivers[i]
+			r.Receiver = i
+			r.Stripes = make([]FanoutStripeOutcome, len(parts))
+			var buf []byte
+			if o.KeepData {
+				buf = make([]byte, o.Bytes)
+			}
+			t0 := time.Now()
+			var swg sync.WaitGroup
+			for ki, st := range parts {
+				ki, st := ki, st
+				swg.Add(1)
+				go func() {
+					defer swg.Done()
+					so := &r.Stripes[ki]
+					so.Stripe, so.ID = st, session.FanoutReceiverID(i, ki)
+					target := addr
+					if treed {
+						target = relayAddrs[ki]
+					}
+					ep, err := fanoutDial(target, o)
+					if err != nil {
+						so.Err = err
+						return
+					}
+					defer ep.Close()
+					cfg := core.Config{
+						TransferID:     so.ID,
+						Bytes:          st.Bytes,
+						ChunkSize:      o.Chunk,
+						Protocol:       core.Blast,
+						Strategy:       core.GoBackN,
+						Window:         o.Window,
+						Controller:     o.Controller,
+						RetransTimeout: o.Tr,
+					}
+					if treed {
+						cfg.StripeOffset = st.Offset
+						cfg.StripeTotal = o.Bytes
+					}
+					if buf != nil {
+						// Stripes cover disjoint ranges, so concurrent sinks
+						// never overlap.
+						cfg.Sink = func(off int, b []byte) {
+							copy(buf[st.Offset+off:], b)
+						}
+					}
+					so.Recv, so.Resume, so.Err = core.PullResume(ep, cfg, core.ResumeOptions{
+						MaxResumes:   o.MaxResumes,
+						MaxBusyWaits: o.MaxBusyWaits,
+						Backoff:      o.Backoff,
+						Seed:         o.Seed + int64(i*session.FanoutStripeStride+ki),
+						Redial: func() (core.Env, error) {
+							ep.Close()
+							ne, err := fanoutDial(target, o)
+							if err != nil {
+								return nil, err
+							}
+							ep = ne
+							return ne, nil
+						},
+					})
+				}()
+			}
+			swg.Wait()
+			r.Elapsed = time.Since(t0)
+			r.Completed = true
+			var acc wire.SumAcc
+			for ki := range r.Stripes {
+				so := &r.Stripes[ki]
+				if so.Err != nil || !so.Recv.Completed {
+					r.Completed = false
+					continue
+				}
+				acc.AddChecksumAt(so.Stripe.Offset, so.Recv.Checksum)
+			}
+			r.Checksum = acc.Sum16()
+			r.Data = buf
+		}()
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+
+	// Tear the relays down; a clean socket close ends each Run loop.
+	var firstErr error
+	if treed {
+		for ki, s := range relaySrvs {
+			s.Close()
+			if err := <-relayRunErrs[ki]; err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("udplan: fanout relay %d server: %w", ki, err)
+			}
+		}
+	}
+
+	expected := core.TransferChecksum(core.SeededPayload(int64(o.Bytes), o.Bytes, o.Chunk))
+	for i := range res.Receivers {
+		r := &res.Receivers[i]
+		if r.Completed && r.Checksum == expected {
+			res.Completed++
+		}
+	}
+	return res, firstErr
+}

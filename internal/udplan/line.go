@@ -1,0 +1,66 @@
+package udplan
+
+import (
+	"sync"
+	"time"
+)
+
+// linePacer models a serializing link of a fixed byte rate, shared by every
+// session on one socket. Loopback has no NIC: a single-socket daemon serving
+// 8 clients never pays the serialization that makes one-to-many distribution
+// expensive on real hardware, so topology comparisons (the fan-out tree vs N
+// independent pulls) degenerate into a CPU benchmark. Charging every egress
+// byte against one busy-until horizon restores the physics: the socket
+// transmits at most rate bytes/s no matter how many sessions share it, and
+// sessions contend for the link exactly as their frames interleave.
+//
+// The model is a virtual transmission clock, not a token bucket: each write
+// of n bytes extends the link-busy horizon by n/rate, and the writer sleeps
+// until the horizon minus a small burst allowance (lineBurst bytes' worth),
+// which amortizes sleeps into >=~1ms quanta so actuation cost stays far
+// below the rates being modeled.
+type linePacer struct {
+	mu    sync.Mutex
+	rate  int64 // bytes per second
+	burst time.Duration
+	busy  time.Time // link is transmitting until this instant
+}
+
+// lineBurst is the in-flight allowance: a writer may run this many bytes
+// ahead of the modeled link before it sleeps. 64 KiB at 62.5 MB/s is ~1ms —
+// coarse enough for the sleep timer, small against any bench object.
+const lineBurst = 64 << 10
+
+func newLinePacer(rate int) *linePacer {
+	if rate <= 0 {
+		return nil
+	}
+	lp := &linePacer{rate: int64(rate)}
+	lp.burst = lp.cost(lineBurst)
+	return lp
+}
+
+// cost is the modeled transmission time of n bytes.
+func (lp *linePacer) cost(n int) time.Duration {
+	return time.Duration(int64(n) * int64(time.Second) / lp.rate)
+}
+
+// wait charges n egress bytes against the shared link and blocks until the
+// link has capacity for them (within the burst allowance). Nil-safe: an
+// unlimited socket charges nothing.
+func (lp *linePacer) wait(n int) {
+	if lp == nil || n <= 0 {
+		return
+	}
+	lp.mu.Lock()
+	now := time.Now()
+	if lp.busy.Before(now) {
+		lp.busy = now
+	}
+	sleep := lp.busy.Sub(now) - lp.burst
+	lp.busy = lp.busy.Add(lp.cost(n))
+	lp.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+}

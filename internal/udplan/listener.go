@@ -26,7 +26,8 @@ type serverListener struct {
 	raw   syscall.RawConn // non-nil when the socket supports raw batched I/O
 	mtu   int
 	batch int
-	tier  Tier // transmit tier for session frame rings, probed once per socket
+	tier  Tier       // transmit tier for session frame rings, probed once per socket
+	line  *linePacer // modeled egress line rate shared by all sessions (nil: unlimited)
 	rx    *rxBatch
 	rbuf  []byte
 	pool  *sync.Pool
@@ -212,6 +213,7 @@ func (c *serverConn) Spawn(name string, body func(env core.Env)) {
 		defer c.l.wg.Done()
 		env := newSessionEnv(c.l.conn, c.l.raw, c.peer, c.inbox, c.l.pool)
 		env.tier = c.l.tier
+		env.line = c.l.line
 		if c.l.batch > 1 {
 			env.tx = newTxBatch(c.l.batch, c.l.mtu, env.flushFrames)
 		}
@@ -239,6 +241,7 @@ type sessionEnv struct {
 	ms    mmsgSender
 	gs    gsoSender
 	tier  Tier          // transmit tier, inherited from the listener's probe
+	line  *linePacer    // shared per-socket line rate (nil: unlimited)
 	gap   time.Duration // adaptive pacing between data packets (core.Pacer)
 	pace  pacer         // amortized sleep state for gap actuation
 }
@@ -305,8 +308,18 @@ func (se *sessionEnv) FlushBatch() error {
 }
 
 // flushFrames writes the session's queued frames through the listener's
-// probed datapath tier (GSO superbuffer, sendmmsg or WriteTo loop).
+// probed datapath tier (GSO superbuffer, sendmmsg or WriteTo loop). A
+// modeled line rate charges the whole flush before it hits the socket: the
+// shared pacer serializes this session's frames against every other
+// session's on the same link.
 func (se *sessionEnv) flushFrames(frames [][]byte, lens []int, n int) error {
+	if se.line != nil {
+		total := 0
+		for _, l := range lens[:n] {
+			total += l
+		}
+		se.line.wait(total)
+	}
 	return flushFramesTiered(se.tier, se.raw, &se.gs, &se.ms, se.conn, se.peer, frames, lens, n)
 }
 
@@ -344,6 +357,7 @@ func (se *sessionEnv) send(p *wire.Packet) error {
 		return err
 	}
 	se.wbuf = buf[:0]
+	se.line.wait(len(buf))
 	_, err = se.conn.WriteTo(buf, se.peer)
 	return err
 }

@@ -49,6 +49,15 @@ type Server struct {
 	// override applies on top.
 	MaxTier Tier
 
+	// LineRate, when positive, models each socket as a serializing link of
+	// this many egress bytes per second, shared by every session on it —
+	// loopback has no NIC, so topology benchmarks (fan-out trees vs N
+	// independent pulls) need the modeled link to measure anything but CPU.
+	// Applies to the sharded datapath (Concurrency > 1 or multiple
+	// sockets); the serial path ignores it. Each socket of a MultiServer
+	// gets its own line, like ports on a switch.
+	LineRate int
+
 	conns []net.PacketConn
 }
 
@@ -103,12 +112,16 @@ func (s *Server) Run() error {
 	if len(s.conns) > 1 {
 		ls := make([]transport.Listener, len(s.conns))
 		for i, conn := range s.conns {
-			ls[i] = newServerListener(conn, s.Batch, mtu, s.MaxTier)
+			sl := newServerListener(conn, s.Batch, mtu, s.MaxTier)
+			sl.line = newLinePacer(s.LineRate)
+			ls[i] = sl
 		}
 		return s.Server.RunAll(ls...)
 	}
 	if s.Concurrency > 1 {
-		return s.Server.Run(newServerListener(s.conns[0], s.Batch, mtu, s.MaxTier))
+		sl := newServerListener(s.conns[0], s.Batch, mtu, s.MaxTier)
+		sl.line = newLinePacer(s.LineRate)
+		return s.Server.Run(sl)
 	}
 	var e *Endpoint
 	for {

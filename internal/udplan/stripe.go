@@ -2,6 +2,7 @@ package udplan
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"blastlan/internal/core"
@@ -23,6 +24,12 @@ import (
 type StripeOptions struct {
 	// Streams is the number of parallel stripe sessions (default 4).
 	Streams int
+	// Endpoint, when non-nil, is an already-dialed endpoint to the same
+	// server that stripe 0 reuses instead of dialing fresh — the endpoint a
+	// preceding stat ran on, so the session the daemon opened for the stat
+	// carries the first stripe too. Ownership transfers: the fan-out
+	// reconfigures and closes it like every endpoint it dials itself.
+	Endpoint *Endpoint
 	// Batch is the per-endpoint syscall batch size (<= 1: single-syscall).
 	Batch int
 	// Tier caps the batched-datapath tier each stripe endpoint probes up to
@@ -95,6 +102,9 @@ func PullStriped(addr string, cfg core.Config, opts StripeOptions) (StripedResul
 type stripeFabric struct {
 	addr string
 	opts StripeOptions
+	// handed marks the pre-dialed opts.Endpoint as consumed, so stripe 0's
+	// first dial reuses it but a repair Redial opens a fresh socket.
+	handed atomic.Bool
 }
 
 // Fan runs each stripe body in its own goroutine with its own endpoint.
@@ -121,11 +131,17 @@ func (f *stripeFabric) Fan(n int, body func(i int, c transport.Client) error) []
 	return errs
 }
 
-// dial opens and configures stripe i's endpoint.
+// dial opens and configures stripe i's endpoint. Stripe 0's first dial
+// reuses a pre-dialed StripeOptions.Endpoint when one was supplied.
 func (f *stripeFabric) dial(i int) (transport.Client, error) {
-	e, err := Dial(f.addr)
-	if err != nil {
-		return nil, err
+	var e *Endpoint
+	if i == 0 && f.opts.Endpoint != nil && f.handed.CompareAndSwap(false, true) {
+		e = f.opts.Endpoint
+	} else {
+		var err error
+		if e, err = Dial(f.addr); err != nil {
+			return nil, err
+		}
 	}
 	opts := f.opts
 	if opts.MTU > 0 {

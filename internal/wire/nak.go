@@ -110,17 +110,10 @@ const reqLen = 39
 // carried in one byte.
 const MaxReqName = 255
 
-// Req flag bits (byte 14 of the encoding). The upper five bits carry the
-// rate-control policy id, so the policy selector rides the original
-// 39-byte encoding without a new handshake field.
-const (
-	reqFlagPush     = 1 << 0
-	reqFlagAdaptive = 1 << 1
-	reqFlagStat     = 1 << 2
-
-	reqPolicyShift = 3
-	reqPolicyMask  = 0x1F
-)
+// MaxReqTarget bounds the optional copy-target address: it shares the
+// second extension with the xflags byte, whose combined length is carried
+// in one byte.
+const MaxReqTarget = 254
 
 // MaxReqPolicy is the largest rate-control policy id the flags byte can
 // carry.
@@ -167,6 +160,18 @@ type Req struct {
 	// starts. Clients stat first so a pull — striped or not — can size its
 	// REQ exactly.
 	Stat bool
+
+	// Copy asks the serving side to push the object named by Name to the
+	// server at Target (third-party copy): the requester is only the
+	// orchestrator, the data moves server-to-server. Rides the second
+	// trailing extension's xflags byte — the original flags byte is fully
+	// allocated (see features.go).
+	Copy bool
+
+	// Target is the destination server address of a third-party copy, in
+	// the serving substrate's notation (host:port for UDP). Carried in the
+	// second trailing extension; at most MaxReqTarget bytes.
+	Target string
 }
 
 // Offset returns the stripe's byte offset within its logical stream.
@@ -185,16 +190,27 @@ func (r Req) StreamBytes() uint64 {
 var ErrReqEncoding = errors.New("wire: malformed request payload")
 
 // EncodeReq serialises the request parameters. Names longer than
-// MaxReqName cannot be carried in the one-byte length extension; callers
-// validate (see ValidReqName) before encoding, so a longer name here is a
-// programming error and panics.
+// MaxReqName (or targets longer than MaxReqTarget) cannot be carried in
+// the one-byte length extensions; callers validate (see ValidReqName)
+// before encoding, so an oversized field here is a programming error and
+// panics.
 func EncodeReq(r Req) []byte {
 	if len(r.Name) > MaxReqName {
 		panic(fmt.Sprintf("wire: request name %d bytes exceeds MaxReqName %d", len(r.Name), MaxReqName))
 	}
+	if len(r.Target) > MaxReqTarget {
+		panic(fmt.Sprintf("wire: request target %d bytes exceeds MaxReqTarget %d", len(r.Target), MaxReqTarget))
+	}
+	// The second extension rides behind the name extension, so a request
+	// that needs it emits the name extension too — with a zero length byte
+	// when there is no name.
+	ext2 := r.Copy || r.Target != ""
 	n := reqLen
-	if r.Name != "" {
+	if r.Name != "" || ext2 {
 		n += 1 + len(r.Name)
+	}
+	if ext2 {
+		n += 2 + len(r.Target)
 	}
 	buf := make([]byte, n)
 	binary.BigEndian.PutUint64(buf[0:8], r.Bytes)
@@ -217,9 +233,20 @@ func EncodeReq(r Req) []byte {
 	binary.BigEndian.PutUint64(buf[19:27], r.TrMicros)
 	binary.BigEndian.PutUint32(buf[27:31], r.OffsetChunks)
 	binary.BigEndian.PutUint64(buf[31:39], r.Total)
-	if r.Name != "" {
+	if r.Name != "" || ext2 {
 		buf[reqLen] = byte(len(r.Name))
 		copy(buf[reqLen+1:], r.Name)
+	}
+	if ext2 {
+		// [length][xflags][target...]: the length byte counts the xflags
+		// byte plus the target, so the extension can grow more fields the
+		// same way the fixed part did.
+		off := reqLen + 1 + len(r.Name)
+		buf[off] = byte(1 + len(r.Target))
+		if r.Copy {
+			buf[off+1] |= reqXflagCopy
+		}
+		copy(buf[off+2:], r.Target)
 	}
 	return buf
 }
@@ -239,9 +266,10 @@ func ValidReqName(name string) bool {
 }
 
 // DecodeReq parses request parameters. A payload longer than the fixed
-// encoding carries the name extension; bytes beyond a complete extension
-// are ignored (room for future additions, mirroring how the fixed part
-// itself grew in place).
+// encoding carries the name extension, optionally followed by the second
+// (xflags + copy-target) extension; bytes beyond a complete extension are
+// ignored (room for future additions, mirroring how the fixed part itself
+// grew in place).
 func DecodeReq(payload []byte) (Req, error) {
 	if len(payload) < reqLen {
 		return Req{}, fmt.Errorf("%w: %d bytes", ErrReqEncoding, len(payload))
@@ -272,6 +300,18 @@ func DecodeReq(payload []byte) (Req, error) {
 				ErrReqEncoding, len(payload)-reqLen-1, n)
 		}
 		r.Name = string(payload[reqLen+1 : reqLen+1+n])
+		off := reqLen + 1 + n
+		if len(payload) > off {
+			n2 := int(payload[off])
+			if n2 > 0 {
+				if len(payload) < off+1+n2 {
+					return Req{}, fmt.Errorf("%w: xflags extension truncated (%d of %d bytes)",
+						ErrReqEncoding, len(payload)-off-1, n2)
+				}
+				r.Copy = payload[off+1]&reqXflagCopy != 0
+				r.Target = string(payload[off+2 : off+1+n2])
+			}
+		}
 	}
 	return r, nil
 }

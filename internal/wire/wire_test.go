@@ -401,8 +401,15 @@ func TestReqNameExtension(t *testing.T) {
 	if fixed.Bytes != r.Bytes || fixed.Name != "" {
 		t.Errorf("fixed prefix decode = %+v", fixed)
 	}
-	future, err := DecodeReq(append(append([]byte{}, enc...), 0xAA, 0xBB))
-	if err != nil || future != r {
+	// Bytes past the last complete extension are future room: a decoder
+	// must ignore them. (Bytes directly after the name extension are the
+	// second extension — see TestReqCopyExtension — so the future room now
+	// sits behind that.)
+	withExt2 := r
+	withExt2.Copy, withExt2.Target = true, "peer:7025"
+	enc2 := EncodeReq(withExt2)
+	future, err := DecodeReq(append(append([]byte{}, enc2...), 0xAA, 0xBB))
+	if err != nil || future != withExt2 {
 		t.Errorf("trailing future bytes: %+v, %v", future, err)
 	}
 	// A truncated name extension is malformed, not silently shortened.
